@@ -1,0 +1,35 @@
+package crossbow
+
+import (
+	"fmt"
+
+	"crossbow/internal/ckpt"
+)
+
+// SaveModel writes a training result's model (the central average model for
+// SMA/EA-SGD, the global model for S-SGD) to path as an atomic, checksummed
+// checkpoint.
+func SaveModel(path string, model Model, res *Result) error {
+	if res == nil || len(res.Series) == 0 {
+		return fmt.Errorf("crossbow: empty result")
+	}
+	if res.Params == nil {
+		return fmt.Errorf("crossbow: result carries no model parameters")
+	}
+	return ckpt.Save(path, &ckpt.Checkpoint{
+		Model:        string(model),
+		Epoch:        res.Series[len(res.Series)-1].Epoch,
+		BestAccuracy: res.BestAccuracy,
+		Params:       res.Params,
+	})
+}
+
+// LoadModel reads a checkpoint from path, returning the model identity,
+// parameters and recorded training context.
+func LoadModel(path string) (Model, []float32, int, float64, error) {
+	c, err := ckpt.Load(path)
+	if err != nil {
+		return "", nil, 0, 0, err
+	}
+	return Model(c.Model), c.Params, c.Epoch, c.BestAccuracy, nil
+}

@@ -1,0 +1,44 @@
+package crossbow
+
+import (
+	"path/filepath"
+	"testing"
+
+	"crossbow/internal/tensor"
+)
+
+func TestSaveLoadModelRoundTrip(t *testing.T) {
+	res, err := Train(Config{Model: LeNet, GPUs: 1, LearnersPerGPU: 1, Batch: 8, MaxEpochs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Params == nil {
+		t.Fatal("result has no parameters")
+	}
+	path := filepath.Join(t.TempDir(), "lenet.ckpt")
+	if err := SaveModel(path, LeNet, res); err != nil {
+		t.Fatal(err)
+	}
+	model, params, epoch, best, err := LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model != LeNet {
+		t.Fatalf("model = %s", model)
+	}
+	if epoch != 2 {
+		t.Fatalf("epoch = %d", epoch)
+	}
+	if best != res.BestAccuracy {
+		t.Fatalf("best = %v, want %v", best, res.BestAccuracy)
+	}
+	if tensor.MaxAbsDiff(params, res.Params) != 0 {
+		t.Fatal("parameters corrupted")
+	}
+}
+
+func TestSaveModelRejectsEmptyResult(t *testing.T) {
+	if err := SaveModel(filepath.Join(t.TempDir(), "x.ckpt"), LeNet, &Result{}); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,82 @@
+// Command crossbow-bench regenerates the tables and figures of the paper's
+// evaluation (§5). Each experiment prints the same rows/series the paper
+// reports; EXPERIMENTS.md records the expected shapes.
+//
+// Usage:
+//
+//	crossbow-bench -exp all            # quick pass over every experiment
+//	crossbow-bench -exp fig10 -model resnet32 -full
+//	crossbow-bench -exp fig14 -model vgg16 -gpus 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"crossbow"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1, fig2, fig3, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, autotune, all")
+	model := flag.String("model", "resnet32", "benchmark model (lenet, resnet32, vgg16, resnet50)")
+	gpus := flag.Int("gpus", 8, "GPU count for per-g experiments")
+	full := flag.Bool("full", false, "paper-scale parameter sweeps (slow); default is a quick pass")
+	flag.Parse()
+
+	quick := !*full
+	id := crossbow.Model(*model)
+	known := false
+	for _, m := range crossbow.Models {
+		if m == id {
+			known = true
+		}
+	}
+	if !known {
+		fmt.Fprintf(os.Stderr, "unknown model %q\n", *model)
+		os.Exit(2)
+	}
+
+	run := func(name string, fn func()) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		start := time.Now()
+		fn()
+		fmt.Printf("[%s took %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("table1", func() { crossbow.PrintTable1(os.Stdout, crossbow.Table1()) })
+	run("fig2", func() { crossbow.PrintFigure2(os.Stdout, crossbow.Figure2()) })
+	run("fig3", func() { crossbow.PrintFigure3(os.Stdout, crossbow.Figure3(quick)) })
+	run("fig9", func() { crossbow.PrintFigure9(os.Stdout, crossbow.Figure9(quick)) })
+	run("fig10", func() {
+		models := []crossbow.Model{id}
+		if *exp == "all" {
+			models = []crossbow.Model{crossbow.ResNet32}
+		}
+		for _, m := range models {
+			crossbow.PrintFigure10(os.Stdout, m, crossbow.Figure10(m, quick))
+		}
+	})
+	run("fig11", func() {
+		crossbow.PrintFigure11(os.Stdout, id, *gpus, crossbow.Figure11(id, *gpus, quick))
+	})
+	run("fig12", func() { crossbow.PrintFigure1213(os.Stdout, 1, crossbow.Figure1213(1, quick)) })
+	run("fig13", func() { crossbow.PrintFigure1213(os.Stdout, 8, crossbow.Figure1213(8, quick)) })
+	run("fig14", func() {
+		crossbow.PrintFigure14(os.Stdout, id, *gpus, crossbow.Figure14(id, *gpus, quick))
+	})
+	run("fig15", func() { crossbow.PrintFigure15(os.Stdout, crossbow.Figure15(quick)) })
+	run("fig16", func() { crossbow.PrintFigure16(os.Stdout, crossbow.Figure16(quick)) })
+	run("fig17", func() { crossbow.PrintFigure17(os.Stdout, crossbow.Figure17()) })
+	run("autotune", func() {
+		m, hist := crossbow.TuneLearners(id, *gpus, 16)
+		fmt.Printf("Auto-tuner (Alg 2) for %s on %d GPUs, b=16\n", id, *gpus)
+		for _, d := range hist {
+			fmt.Printf("  m=%d -> %.0f images/s\n", d.M, d.Throughput)
+		}
+		fmt.Printf("chosen: m=%d\n", m)
+	})
+}

@@ -1,0 +1,263 @@
+// Package crossbow is a Go reproduction of "CROSSBOW: Scaling Deep Learning
+// with Small Batch Sizes on Multi-GPU Servers" (Koliousis et al., VLDB
+// 2019): synchronous model averaging (SMA) with independent learners, a
+// concurrent task engine that trains multiple model replicas per GPU, and
+// auto-tuning of the learner count to saturate hardware at small batch
+// sizes.
+//
+// Since CUDA GPUs are not reachable from pure Go, the package composes two
+// planes (see DESIGN.md): genuine gradient-descent training of scaled
+// benchmark models measures statistical efficiency, while a discrete-event
+// simulator of the paper's 8-GPU server measures hardware efficiency.
+// Time-to-accuracy — the paper's headline metric — multiplies epochs-to-
+// accuracy from the first plane by epoch duration from the second.
+//
+// Quick start:
+//
+//	res, err := crossbow.Train(crossbow.Config{
+//		Model:          crossbow.ResNet32,
+//		GPUs:           8,
+//		LearnersPerGPU: crossbow.AutoTune,
+//		Batch:          16,
+//		TargetAccuracy: 0.80,
+//	})
+package crossbow
+
+import (
+	"fmt"
+
+	"crossbow/internal/autotune"
+	"crossbow/internal/core"
+	"crossbow/internal/engine"
+	"crossbow/internal/metrics"
+	"crossbow/internal/nn"
+)
+
+// Model identifies a benchmark model (paper Table 1).
+type Model = nn.ModelID
+
+// The four benchmark models.
+const (
+	LeNet    = nn.LeNet
+	ResNet32 = nn.ResNet32
+	VGG16    = nn.VGG16
+	ResNet50 = nn.ResNet50
+)
+
+// Models lists the benchmark models in Table 1 order.
+var Models = nn.AllModels
+
+// Algorithm selects the synchronisation algorithm.
+type Algorithm = core.Algorithm
+
+// Available algorithms. SMA is Crossbow's synchronous model averaging
+// (Algorithm 1); SSGD is the TensorFlow-style baseline; EASGD the elastic
+// averaging comparator of §5.5; SMAHierarchical the two-level organisation
+// of §3.3.
+const (
+	SMA             = core.AlgoSMA
+	SMAHierarchical = core.AlgoSMAHier
+	SSGD            = core.AlgoSSGD
+	EASGD           = core.AlgoEASGD
+	ASGD            = core.AlgoASGD
+)
+
+// AutoTune, used as LearnersPerGPU, lets Algorithm 2 choose the learner
+// count that saturates training throughput.
+const AutoTune = -1
+
+// Config configures a training run.
+type Config struct {
+	// Model is the benchmark to train. Required.
+	Model Model
+	// Algo defaults to SMA.
+	Algo Algorithm
+	// GPUs is the number of simulated GPUs g (default 1).
+	GPUs int
+	// LearnersPerGPU is m, the model replicas trained per GPU; AutoTune
+	// selects it with Algorithm 2 (default 1).
+	LearnersPerGPU int
+	// Batch is the per-learner batch size b (default 16).
+	Batch int
+	// LearnRate γ (default: per-model calibration), Momentum µ (default
+	// 0.9).
+	LearnRate float32
+	Momentum  float32
+	// Tau is the synchronisation period (default 1; see §5.5).
+	Tau int
+	// TargetAccuracy stops training once the median test accuracy of the
+	// last 5 epochs reaches it (TTA's window). Zero trains MaxEpochs.
+	TargetAccuracy float64
+	// MaxEpochs bounds the run (default 30).
+	MaxEpochs int
+	// Seed makes the run reproducible (default 1).
+	Seed uint64
+	// Schedule optionally adapts the learning rate per epoch; Restart
+	// applies the §3.2 SMA restart on learning-rate changes.
+	Schedule core.Schedule
+	Restart  bool
+	// TrainSamples/TestSamples override the synthetic dataset sizes.
+	TrainSamples, TestSamples int
+}
+
+// Result is the outcome of a training run.
+type Result struct {
+	// Series holds one point per epoch with simulated-time stamps.
+	Series []metrics.EpochPoint
+	// LearnersPerGPU is the effective m (after auto-tuning).
+	LearnersPerGPU int
+	// ThroughputImgSec is the simulated training throughput.
+	ThroughputImgSec float64
+	// EpochSeconds is the simulated duration of one paper-scale epoch.
+	EpochSeconds float64
+	// EpochsToTarget is the ETA statistic (-1 if target unset/missed).
+	EpochsToTarget int
+	// TTASeconds is time-to-accuracy in simulated seconds (-1 if missed).
+	TTASeconds float64
+	// BestAccuracy is the highest test accuracy observed.
+	BestAccuracy float64
+	// TuneHistory holds Algorithm 2's decisions when auto-tuning was used.
+	TuneHistory []autotune.Decision
+	// Params is the trained model: the central average model for
+	// SMA/EA-SGD, the global model for S-SGD/A-SGD. Pair with SaveModel
+	// to checkpoint it.
+	Params []float32
+}
+
+func (c *Config) fillDefaults() error {
+	if c.Model == "" {
+		return fmt.Errorf("crossbow: Config.Model is required")
+	}
+	if _, ok := nn.ScaledConfigs[c.Model]; !ok {
+		return fmt.Errorf("crossbow: unknown model %q", c.Model)
+	}
+	if c.Algo == "" {
+		c.Algo = SMA
+	}
+	if c.GPUs <= 0 {
+		c.GPUs = 1
+	}
+	if c.Batch <= 0 {
+		c.Batch = 16
+	}
+	if c.Momentum == 0 {
+		c.Momentum = 0.9
+	}
+	if c.MaxEpochs <= 0 {
+		c.MaxEpochs = 30
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return nil
+}
+
+// Train runs the configured experiment end to end: optional learner
+// auto-tuning, hardware-efficiency measurement on the simulated server, and
+// genuine training of the scaled model for statistical efficiency.
+func Train(cfg Config) (*Result, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	res := &Result{LearnersPerGPU: cfg.LearnersPerGPU}
+
+	if cfg.LearnersPerGPU == AutoTune {
+		tuned := autotune.Tune(autotune.Config{Model: cfg.Model, GPUs: cfg.GPUs, Batch: cfg.Batch})
+		res.LearnersPerGPU = tuned.Chosen
+		res.TuneHistory = tuned.History
+	} else if cfg.LearnersPerGPU <= 0 {
+		res.LearnersPerGPU = 1
+	}
+
+	// Hardware plane: throughput and epoch duration at paper scale.
+	spec := nn.FullSpec(cfg.Model)
+	var tau int
+	if cfg.Tau > 1 {
+		tau = cfg.Tau
+	}
+	var throughput float64
+	if cfg.Algo == SSGD {
+		eng := engine.NewSSGD(engine.SSGDConfig{
+			Model: cfg.Model, GPUs: cfg.GPUs,
+			AggregateBatch: cfg.Batch * cfg.GPUs * res.LearnersPerGPU,
+		})
+		throughput = eng.Throughput(30)
+	} else {
+		eng := engine.New(engine.Config{
+			Model: cfg.Model, GPUs: cfg.GPUs, LearnersPerGPU: res.LearnersPerGPU,
+			Batch: cfg.Batch, Tau: tau, Overlap: true,
+		})
+		throughput = eng.Throughput(30)
+	}
+	res.ThroughputImgSec = throughput
+	if throughput > 0 {
+		res.EpochSeconds = float64(spec.TrainSamples) / throughput
+	}
+
+	// Statistical plane: real training of the scaled model.
+	tr := core.Train(core.TrainConfig{
+		Model:           cfg.Model,
+		Algo:            cfg.Algo,
+		GPUs:            cfg.GPUs,
+		LearnersPerGPU:  res.LearnersPerGPU,
+		BatchPerLearner: cfg.Batch,
+		LearnRate:       cfg.LearnRate,
+		Momentum:        cfg.Momentum,
+		LocalMomentum:   cfg.Momentum, // solver momentum inside learners, as released
+
+		Tau:               cfg.Tau,
+		MaxEpochs:         cfg.MaxEpochs,
+		TargetAcc:         cfg.TargetAccuracy,
+		Seed:              cfg.Seed,
+		Schedule:          cfg.Schedule,
+		RestartOnLRChange: cfg.Restart,
+		EpochSeconds:      res.EpochSeconds,
+		TrainSamples:      cfg.TrainSamples,
+		TestSamples:       cfg.TestSamples,
+	})
+	res.Series = tr.Series
+	res.EpochsToTarget = tr.EpochsToTarget
+	res.BestAccuracy = tr.FinalAccuracy
+	res.Params = tr.Model
+	res.TTASeconds = -1
+	if cfg.TargetAccuracy > 0 {
+		if t, ok := metrics.TTA(tr.Series, cfg.TargetAccuracy); ok {
+			res.TTASeconds = t
+		}
+	}
+	return res, nil
+}
+
+// Throughput measures simulated training throughput (images/s) for a
+// configuration without running the statistical plane.
+func Throughput(cfg Config) (float64, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return 0, err
+	}
+	m := cfg.LearnersPerGPU
+	if m == AutoTune {
+		m = autotune.Tune(autotune.Config{Model: cfg.Model, GPUs: cfg.GPUs, Batch: cfg.Batch}).Chosen
+	} else if m <= 0 {
+		m = 1
+	}
+	if cfg.Algo == SSGD {
+		return engine.NewSSGD(engine.SSGDConfig{
+			Model: cfg.Model, GPUs: cfg.GPUs, AggregateBatch: cfg.Batch * cfg.GPUs * m,
+		}).Throughput(30), nil
+	}
+	var tau int
+	if cfg.Tau > 1 {
+		tau = cfg.Tau
+	}
+	return engine.New(engine.Config{
+		Model: cfg.Model, GPUs: cfg.GPUs, LearnersPerGPU: m, Batch: cfg.Batch,
+		Tau: tau, Overlap: true,
+	}).Throughput(30), nil
+}
+
+// TuneLearners runs Algorithm 2 and returns the chosen learners-per-GPU
+// with the decision history.
+func TuneLearners(model Model, gpus, batch int) (int, []autotune.Decision) {
+	r := autotune.Tune(autotune.Config{Model: model, GPUs: gpus, Batch: batch})
+	return r.Chosen, r.History
+}

@@ -1,0 +1,36 @@
+// LeNet on the MNIST-shaped synthetic benchmark: the paper's small-model
+// case (Figure 10d), where learning tasks take ~1 ms and the task engine's
+// dispatch cost decides who wins. Compares the S-SGD baseline against
+// Crossbow's SMA under identical hyper-parameters.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crossbow"
+)
+
+func main() {
+	for _, algo := range []crossbow.Algorithm{crossbow.SSGD, crossbow.SMA} {
+		res, err := crossbow.Train(crossbow.Config{
+			Model:          crossbow.LeNet,
+			Algo:           algo,
+			GPUs:           1,
+			LearnersPerGPU: 2,
+			Batch:          8,
+			TargetAccuracy: 0.60,
+			MaxEpochs:      30,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-5s: throughput %7.0f img/s, best accuracy %5.1f%%",
+			algo, res.ThroughputImgSec, res.BestAccuracy*100)
+		if res.TTASeconds >= 0 {
+			fmt.Printf(", TTA(60%%) %.1fs (%d epochs)\n", res.TTASeconds, res.EpochsToTarget)
+		} else {
+			fmt.Printf(", target not reached\n")
+		}
+	}
+}

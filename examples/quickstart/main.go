@@ -1,0 +1,44 @@
+// Quickstart: train a ResNet-32-family model with Crossbow's SMA on one
+// simulated GPU, letting the auto-tuner pick the number of learners.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crossbow"
+)
+
+func main() {
+	res, err := crossbow.Train(crossbow.Config{
+		Model:          crossbow.ResNet32,
+		GPUs:           1,
+		LearnersPerGPU: crossbow.AutoTune,
+		Batch:          16,
+		TargetAccuracy: 0.80,
+		MaxEpochs:      20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Auto-tuner (Algorithm 2) decisions:")
+	for _, d := range res.TuneHistory {
+		fmt.Printf("  m=%d -> %.0f images/s\n", d.M, d.Throughput)
+	}
+	fmt.Printf("chose m=%d learners per GPU\n\n", res.LearnersPerGPU)
+
+	fmt.Printf("simulated throughput: %.0f images/s (epoch = %.1fs at CIFAR-10 scale)\n\n",
+		res.ThroughputImgSec, res.EpochSeconds)
+
+	fmt.Println("epoch  time(s)  test accuracy")
+	for _, p := range res.Series {
+		fmt.Printf("%5d %8.1f  %6.2f%%\n", p.Epoch, p.TimeSec, p.TestAcc*100)
+	}
+	if res.TTASeconds >= 0 {
+		fmt.Printf("\nTTA(80%%) = %.1f simulated seconds (%d epochs)\n",
+			res.TTASeconds, res.EpochsToTarget)
+	} else {
+		fmt.Println("\ntarget not reached; try more epochs")
+	}
+}

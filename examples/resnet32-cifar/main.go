@@ -1,0 +1,37 @@
+// ResNet-32 on the CIFAR-10-shaped synthetic benchmark across a simulated
+// 8-GPU server: the paper's main scalability scenario (Figures 10a, 13).
+// Trains with SMA at a small per-learner batch and reports convergence
+// against simulated wall-clock time.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crossbow"
+)
+
+func main() {
+	for _, m := range []int{1, 2} {
+		res, err := crossbow.Train(crossbow.Config{
+			Model:          crossbow.ResNet32,
+			GPUs:           8,
+			LearnersPerGPU: m,
+			Batch:          16,
+			TargetAccuracy: 0.85,
+			MaxEpochs:      25,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("g=8 m=%d (k=%d learners): %.0f img/s\n", m, 8*m, res.ThroughputImgSec)
+		for _, p := range res.Series {
+			fmt.Printf("  epoch %2d  t=%6.1fs  acc=%5.1f%%\n", p.Epoch, p.TimeSec, p.TestAcc*100)
+		}
+		if res.TTASeconds >= 0 {
+			fmt.Printf("  TTA(85%%) = %.1fs\n\n", res.TTASeconds)
+		} else {
+			fmt.Printf("  target not reached in %d epochs\n\n", len(res.Series))
+		}
+	}
+}

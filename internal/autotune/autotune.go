@@ -1,0 +1,143 @@
+// Package autotune implements Crossbow's learner auto-tuning (Algorithm 2,
+// §3.4/§4.4): starting from one learner per GPU, it observes training
+// throughput and adds learners while throughput keeps improving beyond a
+// tolerance threshold, backing off once it decreases — settling on the
+// learner count that saturates the GPU, which the paper shows coincides
+// with the lowest time-to-accuracy (Figure 14).
+//
+// Learner counts are additionally capped by device memory: each learner
+// needs its replica, gradients and the (offline-planned) operator output
+// buffers, so large models admit only a few learners per GPU (§4.5).
+package autotune
+
+import (
+	"crossbow/internal/engine"
+	"crossbow/internal/memplan"
+	"crossbow/internal/nn"
+)
+
+// Config configures a tuning run.
+type Config struct {
+	Model nn.ModelID
+	GPUs  int
+	Batch int
+	// Threshold is Alg 2's τ as a fractional throughput improvement: a
+	// new learner is kept only if throughput grows by more than this
+	// fraction. Zero selects 0.05.
+	Threshold float64
+	// WindowIters is the number of iterations measured per decision.
+	WindowIters int
+	// MemoryBytes is per-GPU memory; zero selects 12 GB (the paper's
+	// Titan X).
+	MemoryBytes int64
+	// MaxLearners bounds the search; zero selects 8.
+	MaxLearners int
+}
+
+func (c *Config) fillDefaults() {
+	if c.GPUs == 0 {
+		c.GPUs = 1
+	}
+	if c.Batch == 0 {
+		c.Batch = 16
+	}
+	if c.Threshold == 0 {
+		c.Threshold = 0.05
+	}
+	if c.WindowIters == 0 {
+		c.WindowIters = 20
+	}
+	if c.MemoryBytes == 0 {
+		c.MemoryBytes = 12 << 30
+	}
+	if c.MaxLearners == 0 {
+		c.MaxLearners = 8
+	}
+}
+
+// Decision records one Alg 2 step: the learner count tried and the
+// throughput observed (images/s).
+type Decision struct {
+	M          int
+	Throughput float64
+}
+
+// Result is the outcome of a tuning run.
+type Result struct {
+	// Chosen is the selected learners-per-GPU.
+	Chosen int
+	// MemoryCap is the maximum learner count device memory admits.
+	MemoryCap int
+	// PerLearnerBytes is the memory footprint of one learner (replica +
+	// gradient + planned output buffers).
+	PerLearnerBytes int64
+	// History lists the decisions in order.
+	History []Decision
+}
+
+// LearnerFootprint returns the per-learner GPU memory demand for a model at
+// a batch size: model weights + gradients (contiguous, §4.4) plus the
+// offline-planned operator output buffers (§4.5).
+func LearnerFootprint(spec *nn.ModelSpec, batch int) int64 {
+	g := memplan.TrainingGraph(spec, batch)
+	plan, err := memplan.PlanOffline(g)
+	if err != nil {
+		panic(err) // TrainingGraph is topologically ordered by construction
+	}
+	return 2*spec.ParamCount()*4 + plan.PlannedBytes()
+}
+
+// MemoryCap returns how many learners fit in memBytes of device memory,
+// reserving one model-sized allocation for the GPU's average model copy.
+func MemoryCap(spec *nn.ModelSpec, batch int, memBytes int64) int {
+	per := LearnerFootprint(spec, batch)
+	avail := memBytes - spec.ParamCount()*4
+	if avail < per {
+		return 1 // the engine cannot run with zero learners
+	}
+	return int(avail / per)
+}
+
+// Tune runs Algorithm 2 to convergence and returns the chosen learner
+// count. Each candidate m is measured over a fresh simulated window (the
+// paper resizes the running system; measuring windows on the simulator is
+// equivalent and keeps runs independent).
+func Tune(cfg Config) *Result {
+	cfg.fillDefaults()
+	spec := nn.FullSpec(cfg.Model)
+	res := &Result{
+		MemoryCap:       MemoryCap(spec, cfg.Batch, cfg.MemoryBytes),
+		PerLearnerBytes: LearnerFootprint(spec, cfg.Batch),
+	}
+	maxM := cfg.MaxLearners
+	if res.MemoryCap < maxM {
+		maxM = res.MemoryCap
+	}
+
+	measure := func(m int) float64 {
+		e := engine.New(engine.Config{
+			Model: cfg.Model, GPUs: cfg.GPUs, LearnersPerGPU: m,
+			Batch: cfg.Batch, Overlap: true,
+		})
+		return e.Throughput(cfg.WindowIters)
+	}
+
+	m := 1
+	prev := measure(m)
+	res.History = append(res.History, Decision{M: m, Throughput: prev})
+	for m < maxM {
+		next := measure(m + 1)
+		res.History = append(res.History, Decision{M: m + 1, Throughput: next})
+		if next-prev > cfg.Threshold*prev {
+			// Significant improvement: keep the extra learner (line 6).
+			m++
+			prev = next
+			continue
+		}
+		// No significant improvement (or a decrease): revert to the
+		// previous count (line 7) and stop at the peak.
+		break
+	}
+	res.Chosen = m
+	return res
+}

@@ -1,0 +1,94 @@
+package autotune
+
+import (
+	"testing"
+
+	"crossbow/internal/nn"
+)
+
+func TestTuneFindsThroughputPeak(t *testing.T) {
+	// ResNet-32 at small batch on one GPU: the sweep in the engine tests
+	// peaks around m≈4; Alg 2 must land near it (within the tolerance
+	// threshold's slack).
+	res := Tune(Config{Model: nn.ResNet32, GPUs: 1, Batch: 16})
+	if res.Chosen < 2 || res.Chosen > 6 {
+		t.Fatalf("chosen m = %d, want the saturation point (2-6); history %v", res.Chosen, res.History)
+	}
+	// The chosen configuration's throughput must be within a whisker of
+	// the best measured.
+	var best, chosen float64
+	for _, d := range res.History {
+		if d.Throughput > best {
+			best = d.Throughput
+		}
+		if d.M == res.Chosen {
+			chosen = d.Throughput
+		}
+	}
+	if chosen < 0.85*best {
+		t.Fatalf("chosen m=%d throughput %v far below best %v", res.Chosen, chosen, best)
+	}
+}
+
+func TestTuneLargerBatchNeedsFewerLearners(t *testing.T) {
+	small := Tune(Config{Model: nn.ResNet32, GPUs: 1, Batch: 8})
+	large := Tune(Config{Model: nn.ResNet32, GPUs: 1, Batch: 128})
+	if large.Chosen > small.Chosen {
+		t.Fatalf("b=128 chose m=%d > b=8 m=%d; bigger batches should saturate with fewer learners",
+			large.Chosen, small.Chosen)
+	}
+}
+
+func TestTuneHistoryStartsAtOne(t *testing.T) {
+	res := Tune(Config{Model: nn.LeNet, GPUs: 1, Batch: 4})
+	if len(res.History) == 0 || res.History[0].M != 1 {
+		t.Fatalf("history must start at m=1: %v", res.History)
+	}
+	if res.Chosen < 1 {
+		t.Fatalf("chosen = %d", res.Chosen)
+	}
+}
+
+func TestMemoryCapsLearners(t *testing.T) {
+	// ResNet-50 at batch 32 needs several GB per learner (§4.5: ~7.5 GB
+	// of outputs before planning); 12 GB fits very few learners.
+	spec := nn.FullSpec(nn.ResNet50)
+	cap32 := MemoryCap(spec, 32, 12<<30)
+	if cap32 > 4 {
+		t.Fatalf("ResNet-50 b=32 memory cap = %d, want ≤ 4", cap32)
+	}
+	cap2 := MemoryCap(spec, 2, 12<<30)
+	if cap2 <= cap32 {
+		t.Fatalf("smaller batches must fit more learners: b=2 cap %d vs b=32 cap %d", cap2, cap32)
+	}
+}
+
+func TestMemoryCapAtLeastOne(t *testing.T) {
+	if c := MemoryCap(nn.FullSpec(nn.ResNet50), 64, 1<<30); c != 1 {
+		t.Fatalf("cap = %d, want 1 (engine cannot run without a learner)", c)
+	}
+}
+
+func TestLearnerFootprintGrowsWithBatch(t *testing.T) {
+	spec := nn.FullSpec(nn.VGG16)
+	f8 := LearnerFootprint(spec, 8)
+	f64 := LearnerFootprint(spec, 64)
+	if f64 <= f8 {
+		t.Fatalf("footprint must grow with batch: %d vs %d", f8, f64)
+	}
+}
+
+func TestTuneRespectsMemoryLimit(t *testing.T) {
+	// With a tiny memory budget the tuner must not exceed the cap even if
+	// throughput would keep improving.
+	spec := nn.FullSpec(nn.ResNet32)
+	per := LearnerFootprint(spec, 16)
+	budget := spec.ParamCount()*4 + 2*per + per/2 // fits exactly 2 learners
+	res := Tune(Config{Model: nn.ResNet32, GPUs: 1, Batch: 16, MemoryBytes: budget})
+	if res.MemoryCap != 2 {
+		t.Fatalf("memory cap = %d, want 2", res.MemoryCap)
+	}
+	if res.Chosen > 2 {
+		t.Fatalf("chosen m = %d exceeds memory cap 2", res.Chosen)
+	}
+}

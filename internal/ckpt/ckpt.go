@@ -1,0 +1,174 @@
+// Package ckpt persists trained models and training state. Checkpoints are
+// a small binary format (magic, version, metadata, raw little-endian
+// float32 parameters) written atomically, so long training runs can resume
+// after interruption and trained central average models can ship to
+// downstream users.
+package ckpt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// Magic identifies a Crossbow checkpoint file.
+const Magic = "CBOWCKPT"
+
+// Version is the current format version.
+const Version = 1
+
+// Checkpoint is a model snapshot with its training context.
+type Checkpoint struct {
+	// Model names the architecture the parameters belong to.
+	Model string
+	// Epoch is the number of completed epochs.
+	Epoch int
+	// BestAccuracy is the best test accuracy observed so far.
+	BestAccuracy float64
+	// Params is the flat model vector (weights, including batch-norm
+	// statistics — a Crossbow model is fully described by it).
+	Params []float32
+}
+
+// Write serialises the checkpoint to w.
+func Write(w io.Writer, c *Checkpoint) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(Magic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(Version)); err != nil {
+		return err
+	}
+	name := []byte(c.Model)
+	if len(name) > 255 {
+		return fmt.Errorf("ckpt: model name too long")
+	}
+	if err := bw.WriteByte(byte(len(name))); err != nil {
+		return err
+	}
+	if _, err := bw.Write(name); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(c.Epoch)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, c.BestAccuracy); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(c.Params))); err != nil {
+		return err
+	}
+	crc := crc32.NewIEEE()
+	buf := make([]byte, 4)
+	for _, v := range c.Params {
+		binary.LittleEndian.PutUint32(buf, floatBits(v))
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+		crc.Write(buf)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, crc.Sum32()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Read parses a checkpoint from r, verifying magic, version and checksum.
+func Read(r io.Reader) (*Checkpoint, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("ckpt: reading magic: %w", err)
+	}
+	if string(magic) != Magic {
+		return nil, fmt.Errorf("ckpt: bad magic %q", magic)
+	}
+	var version uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != Version {
+		return nil, fmt.Errorf("ckpt: unsupported version %d", version)
+	}
+	nameLen, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	c := &Checkpoint{Model: string(name)}
+	var epoch uint64
+	if err := binary.Read(br, binary.LittleEndian, &epoch); err != nil {
+		return nil, err
+	}
+	c.Epoch = int(epoch)
+	if err := binary.Read(br, binary.LittleEndian, &c.BestAccuracy); err != nil {
+		return nil, err
+	}
+	var n uint64
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	const maxParams = 1 << 30
+	if n > maxParams {
+		return nil, fmt.Errorf("ckpt: implausible parameter count %d", n)
+	}
+	c.Params = make([]float32, n)
+	crc := crc32.NewIEEE()
+	buf := make([]byte, 4)
+	for i := range c.Params {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("ckpt: truncated parameters: %w", err)
+		}
+		crc.Write(buf)
+		c.Params[i] = floatFrom(binary.LittleEndian.Uint32(buf))
+	}
+	var sum uint32
+	if err := binary.Read(br, binary.LittleEndian, &sum); err != nil {
+		return nil, fmt.Errorf("ckpt: missing checksum: %w", err)
+	}
+	if sum != crc.Sum32() {
+		return nil, fmt.Errorf("ckpt: checksum mismatch")
+	}
+	return c, nil
+}
+
+// Save writes the checkpoint to path atomically (write to a temporary file
+// in the same directory, then rename).
+func Save(path string, c *Checkpoint) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := Write(tmp, c); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Load reads a checkpoint from path.
+func Load(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+func floatBits(f float32) uint32 { return math.Float32bits(f) }
+
+func floatFrom(u uint32) float32 { return math.Float32frombits(u) }

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"crossbow/internal/tensor"
+)
+
+func TestMomentumKindString(t *testing.T) {
+	if Polyak.String() != "polyak" || Nesterov.String() != "nesterov" {
+		t.Fatal("bad names")
+	}
+}
+
+func TestNesterovMatchesPolyakWithoutMomentum(t *testing.T) {
+	// With µ = 0 the look-ahead equals z, so both steps coincide.
+	k, n := 3, 6
+	ws1, gs := vecs(k, n, 41)
+	ws2 := make([][]float32, k)
+	for j := range ws1 {
+		ws2[j] = append([]float32(nil), ws1[j]...)
+		for i := range gs[j] {
+			gs[j][i] = float32(i) * 0.01
+		}
+	}
+	w0 := make([]float32, n)
+	a := NewSMA(SMAConfig{LearnRate: 0.05}, w0, k)
+	b := NewSMA(SMAConfig{LearnRate: 0.05}, w0, k)
+	for step := 0; step < 5; step++ {
+		a.Step(ws1, gs)
+		b.StepNesterov(ws2, gs)
+	}
+	if tensor.MaxAbsDiff(a.Average(), b.Average()) > 1e-6 {
+		t.Fatal("µ=0 Polyak and Nesterov should coincide")
+	}
+}
+
+func TestNesterovDivergesFromPolyakWithMomentum(t *testing.T) {
+	k, n := 2, 4
+	ws1, gs := vecs(k, n, 43)
+	ws2 := make([][]float32, k)
+	for j := range ws1 {
+		ws2[j] = append([]float32(nil), ws1[j]...)
+		for i := range gs[j] {
+			gs[j][i] = 0.1
+		}
+	}
+	w0 := make([]float32, n)
+	a := NewSMA(SMAConfig{LearnRate: 0.05, Momentum: 0.9}, w0, k)
+	b := NewSMA(SMAConfig{LearnRate: 0.05, Momentum: 0.9}, w0, k)
+	for step := 0; step < 5; step++ {
+		a.Step(ws1, gs)
+		b.StepNesterov(ws2, gs)
+	}
+	if tensor.MaxAbsDiff(a.Average(), b.Average()) == 0 {
+		t.Fatal("µ>0 Polyak and Nesterov should differ")
+	}
+}
+
+func TestNesterovConvergesOnQuadratic(t *testing.T) {
+	target := []float32{2, -1}
+	k := 2
+	ws, gs := vecs(k, 2, 47)
+	s := NewSMA(SMAConfig{LearnRate: 0.1, Momentum: 0.5}, make([]float32, 2), k)
+	for step := 0; step < 400; step++ {
+		for j := range ws {
+			for i := range ws[j] {
+				gs[j][i] = ws[j][i] - target[i]
+			}
+		}
+		s.StepNesterov(ws, gs)
+	}
+	if d := tensor.MaxAbsDiff(s.Average(), target); d > 0.05 {
+		t.Fatalf("Nesterov SMA distance to optimum = %v", d)
+	}
+}

@@ -1,0 +1,197 @@
+// Package core implements the paper's primary contribution: synchronous
+// model averaging (SMA, Algorithm 1) with independent learners, plus the
+// training algorithms Crossbow is evaluated against — parallel synchronous
+// SGD (the TensorFlow baseline), elastic averaging SGD (EA-SGD) and
+// asynchronous SGD — and the trainer that drives them over the benchmark
+// models to measure statistical efficiency.
+//
+// All algorithms operate on flat model vectors (paper §4.4: weights and
+// gradients live in contiguous memory), so one package covers both the
+// scaled trainable models and any other contiguous parameterisation.
+package core
+
+import (
+	"fmt"
+
+	"crossbow/internal/tensor"
+)
+
+// SMAConfig are the hyper-parameters of Algorithm 1.
+type SMAConfig struct {
+	// LearnRate is γ, applied to every learner's gradient.
+	LearnRate float32
+	// Momentum is µ, Polyak's momentum applied to the central average
+	// model's update (§3.2): directions of persistent descent are kept.
+	Momentum float32
+	// LocalMomentum is the momentum each learner applies to its own
+	// gradient steps (Eq. 3), as in the released Crossbow system; the
+	// paper's §5.1 trains both systems with the same momentum setting.
+	// Alg 1's µ concerns the average model only, so this is configured
+	// separately; zero disables local momentum.
+	LocalMomentum float32
+	// Alpha is the correction constant α ≈ 1/k (line 9). Zero selects
+	// 1/k automatically.
+	Alpha float32
+	// Tau synchronises replicas with the central average model every Tau
+	// iterations (τ in §5.5-5.6; the paper shows τ=1 is optimal, but the
+	// sweep needs τ>1 support). Zero means 1.
+	Tau int
+	// StateRanges marks non-learnable state segments (batch-norm running
+	// statistics) inside the model vector. Corrections do not apply to
+	// state — each replica keeps its own statistics — and the central
+	// average model carries the replica average instead, mirroring how
+	// the system treats solver state separately from weights.
+	StateRanges [][2]int
+}
+
+// SMA is the synchronous-model-averaging optimiser: k learners train their
+// own replicas; a central average model z consolidates their corrections
+// and follows the consensus trajectory with momentum (Figure 5).
+type SMA struct {
+	cfg   SMAConfig
+	k     int
+	alpha float32
+
+	z     []float32   // central average model
+	zPrev []float32   // z at the beginning of the previous iteration
+	delta []float32   // scratch: Σ corrections + momentum term
+	vel   [][]float32 // per-learner local momentum velocity
+	state []bool      // state mask: true entries are exempt from corrections
+	iter  int
+}
+
+// NewSMA creates the optimiser for k learners from initial model w0. The
+// central average model starts as a copy of w0 (Alg 1 line 1).
+func NewSMA(cfg SMAConfig, w0 []float32, k int) *SMA {
+	if k < 1 {
+		panic("core: SMA needs at least one learner")
+	}
+	if cfg.Tau < 1 {
+		cfg.Tau = 1
+	}
+	alpha := cfg.Alpha
+	if alpha == 0 {
+		alpha = 1 / float32(k)
+	}
+	s := &SMA{
+		cfg: cfg, k: k, alpha: alpha,
+		z:     append([]float32(nil), w0...),
+		zPrev: append([]float32(nil), w0...),
+		delta: make([]float32, len(w0)),
+		vel:   make([][]float32, k),
+	}
+	for j := range s.vel {
+		s.vel[j] = make([]float32, len(w0))
+	}
+	if len(cfg.StateRanges) > 0 {
+		s.state = make([]bool, len(w0))
+		for _, rg := range cfg.StateRanges {
+			for i := rg[0]; i < rg[1] && i < len(w0); i++ {
+				s.state[i] = true
+			}
+		}
+	}
+	return s
+}
+
+// localStep applies learner j's gradient with local momentum:
+// v ← µL·v − γ·g; w ← w + v. With µL = 0 this is the plain step of Alg 1
+// line 8/10.
+func (s *SMA) localStep(j int, w, g []float32) {
+	lr, mu := s.cfg.LearnRate, s.cfg.LocalMomentum
+	v := s.vel[j]
+	for i := range w {
+		v[i] = mu*v[i] - lr*g[i]
+		w[i] += v[i]
+	}
+}
+
+// K returns the learner count.
+func (s *SMA) K() int { return s.k }
+
+// Alpha returns the effective correction constant.
+func (s *SMA) Alpha() float32 { return s.alpha }
+
+// Average returns the central average model z (the model SMA trains; Alg 1
+// returns it on termination). The returned slice is live — do not modify.
+func (s *SMA) Average() []float32 { return s.z }
+
+// Step performs one iteration of Algorithm 1 (lines 4-13). ws[j] is learner
+// j's replica and gs[j] the raw loss gradient ∇ℓ_Bj(wj) the learner just
+// computed; Step applies the learning rate internally. On non-sync
+// iterations (iter % τ ≠ 0) replicas take pure gradient steps and the
+// average model is left untouched — the τ>1 relaxation of §5.5.
+func (s *SMA) Step(ws, gs [][]float32) {
+	if len(ws) != s.k || len(gs) != s.k {
+		panic(fmt.Sprintf("core: SMA.Step with %d/%d vectors, want %d", len(ws), len(gs), s.k))
+	}
+	s.iter++
+	sync := s.iter%s.cfg.Tau == 0
+	if !sync {
+		for j := range ws {
+			s.localStep(j, ws[j], gs[j])
+		}
+		return
+	}
+	// delta accumulates Σ_j c_j (line 12's first component). Corrections
+	// are computed on the replicas as they stood at the iteration start
+	// (line 9), then the gradient step and correction apply together
+	// (line 10).
+	tensor.ZeroSlice(s.delta)
+	for j := range ws {
+		w := ws[j]
+		if s.state == nil {
+			for i := range w {
+				c := s.alpha * (w[i] - s.z[i])
+				s.delta[i] += c
+				w[i] -= c
+			}
+		} else {
+			for i := range w {
+				if s.state[i] {
+					continue
+				}
+				c := s.alpha * (w[i] - s.z[i])
+				s.delta[i] += c
+				w[i] -= c
+			}
+		}
+		s.localStep(j, w, gs[j])
+	}
+	// Lines 11-13: z ← z + Σ c_j + µ (z − z_prev). State entries carry
+	// the replica average instead of the correction/momentum update.
+	mu := s.cfg.Momentum
+	for i := range s.z {
+		zOld := s.z[i]
+		if s.state != nil && s.state[i] {
+			var sum float32
+			for j := range ws {
+				sum += ws[j][i]
+			}
+			s.z[i] = sum / float32(len(ws))
+			s.zPrev[i] = zOld
+			continue
+		}
+		s.z[i] = zOld + s.delta[i] + mu*(zOld-s.zPrev[i])
+		s.zPrev[i] = zOld
+	}
+}
+
+// Restart re-initialises the averaging process from the current central
+// average model (§3.2: when a learning-rate change does not improve
+// accuracy, Alg 1 is executed again with the latest z as the new w0).
+// Replicas are reset to z and the momentum history is cleared.
+func (s *SMA) Restart(ws [][]float32) {
+	copy(s.zPrev, s.z)
+	for j, w := range ws {
+		tensor.Copy(w, s.z)
+		tensor.ZeroSlice(s.vel[j])
+	}
+	s.iter = 0
+}
+
+// SetLearnRate updates γ (online hyper-parameter adaptation, §3.2).
+func (s *SMA) SetLearnRate(lr float32) { s.cfg.LearnRate = lr }
+
+// LearnRate returns the current γ.
+func (s *SMA) LearnRate() float32 { return s.cfg.LearnRate }

@@ -1,0 +1,355 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"crossbow/internal/data"
+	"crossbow/internal/metrics"
+	"crossbow/internal/nn"
+	"crossbow/internal/tensor"
+)
+
+// Algorithm selects the training/synchronisation algorithm.
+type Algorithm string
+
+// Available algorithms.
+const (
+	AlgoSMA     Algorithm = "sma"      // Algorithm 1 (flat)
+	AlgoSMAHier Algorithm = "sma-hier" // §3.3 two-level SMA
+	AlgoSSGD    Algorithm = "ssgd"     // TensorFlow-style parallel S-SGD
+	AlgoEASGD   Algorithm = "easgd"    // elastic averaging SGD
+	AlgoASGD    Algorithm = "asgd"     // asynchronous SGD
+)
+
+// Schedule maps an epoch (1-based) to the learning rate for that epoch.
+// Nil means the base rate throughout.
+type Schedule func(epoch int, base float32) float32
+
+// DefaultLearnRate returns a stable per-model base learning rate for the
+// scaled benchmarks. The paper likewise uses per-model rates (§5.1,
+// Figure 9: γ=0.1 for the ResNets and VGG, γ=0.001 for LeNet).
+func DefaultLearnRate(id nn.ModelID) float32 {
+	switch id {
+	case nn.LeNet:
+		return 0.02
+	case nn.VGG16:
+		return 0.05
+	default:
+		return 0.1
+	}
+}
+
+// StepDecay returns a schedule multiplying the rate by factor at each of
+// the given epochs (the §5.1 recipes: ResNet-32 ×0.1 at epochs 80 and 120;
+// VGG ×0.5 every 20 epochs is MultiStep with period).
+func StepDecay(factor float32, at ...int) Schedule {
+	return func(epoch int, base float32) float32 {
+		lr := base
+		for _, e := range at {
+			if epoch >= e {
+				lr *= factor
+			}
+		}
+		return lr
+	}
+}
+
+// PeriodicDecay halves-style decay: multiply by factor every period epochs.
+func PeriodicDecay(factor float32, period int) Schedule {
+	return func(epoch int, base float32) float32 {
+		lr := base
+		for e := period; e <= epoch; e += period {
+			lr *= factor
+		}
+		return lr
+	}
+}
+
+// TrainConfig configures a statistical-efficiency training run.
+type TrainConfig struct {
+	Model           nn.ModelID
+	Algo            Algorithm
+	GPUs            int // g
+	LearnersPerGPU  int // m
+	BatchPerLearner int // b
+	LearnRate       float32
+	Momentum        float32 // µ (SMA: on the average model; S-SGD: Eq. 3)
+	// LocalMomentum is momentum inside SMA/EA-SGD learners. Algorithm 1
+	// applies momentum to the central average model only, so the default
+	// is 0; the released system also supports momentum in the solver.
+	LocalMomentum float32
+	Alpha         float32 // SMA/EA-SGD correction constant; 0 → 1/k
+	Tau           int     // synchronisation period; 0 → 1
+	MaxEpochs     int
+	TargetAcc     float64 // stop once the TTA window clears this; 0 → run MaxEpochs
+	Seed          uint64
+	DataNoise     float64 // 0 → benchmark default
+	Schedule      Schedule
+	// RestartOnLRChange applies the §3.2 SMA restart whenever the
+	// schedule changes the learning rate.
+	RestartOnLRChange bool
+	// EpochSeconds, if set, supplies the duration of one epoch (e.g. from
+	// the hardware simulator) so the result's time axis is hardware time;
+	// otherwise epochs are timestamped by index.
+	EpochSeconds float64
+	// TrainSamples/TestSamples override the benchmark dataset sizes
+	// (needed when the aggregate batch k×b approaches the default 2048-
+	// sample training set). Zero keeps the defaults.
+	TrainSamples int
+	TestSamples  int
+}
+
+// K returns the total learner count g×m.
+func (c TrainConfig) K() int { return c.GPUs * c.LearnersPerGPU }
+
+func (c *TrainConfig) fillDefaults() {
+	if c.GPUs == 0 {
+		c.GPUs = 1
+	}
+	if c.LearnersPerGPU == 0 {
+		c.LearnersPerGPU = 1
+	}
+	if c.BatchPerLearner == 0 {
+		c.BatchPerLearner = 16
+	}
+	if c.LearnRate == 0 {
+		c.LearnRate = DefaultLearnRate(c.Model)
+	}
+	if c.Tau == 0 {
+		c.Tau = 1
+	}
+	if c.MaxEpochs == 0 {
+		c.MaxEpochs = 30
+	}
+	if c.Algo == "" {
+		c.Algo = AlgoSMA
+	}
+	if c.EpochSeconds == 0 {
+		c.EpochSeconds = 1
+	}
+}
+
+// Result is the outcome of a training run.
+type Result struct {
+	Series         []metrics.EpochPoint
+	K              int
+	EpochsToTarget int // -1 if the target was not reached
+	FinalAccuracy  float64
+	Model          []float32 // the trained (central/global) model
+}
+
+// stepper abstracts the per-iteration optimiser update.
+type stepper interface {
+	Step(ws, gs [][]float32)
+}
+
+// centralModel returns the model a given optimiser trains.
+func centralModel(s stepper) []float32 {
+	switch o := s.(type) {
+	case *SMA:
+		return o.Average()
+	case *HierarchicalSMA:
+		return o.Average()
+	case *EASGD:
+		return o.Average()
+	case *SSGD:
+		return o.Model()
+	case *ASGD:
+		return o.Model()
+	}
+	panic("core: unknown optimiser")
+}
+
+// Train runs a full training experiment on the scaled benchmark model and
+// synthetic dataset, returning the per-epoch accuracy series. The run is
+// deterministic given the config.
+func Train(cfg TrainConfig) *Result {
+	cfg.fillDefaults()
+	k := cfg.K()
+
+	dataCfg := data.ForModel(cfg.Model, cfg.Seed, cfg.DataNoise)
+	if cfg.TrainSamples > 0 {
+		dataCfg.Train = cfg.TrainSamples
+	}
+	if cfg.TestSamples > 0 {
+		dataCfg.Test = cfg.TestSamples
+	}
+	train, test := data.Synthesize(dataCfg)
+
+	// Learner networks and replicas.
+	masterRNG := tensor.NewRNG(cfg.Seed + 7)
+	nets := make([]*nn.Network, k)
+	ws := make([][]float32, k)
+	gs := make([][]float32, k)
+	for j := 0; j < k; j++ {
+		nets[j] = nn.BuildScaled(cfg.Model, cfg.BatchPerLearner, masterRNG.Split())
+	}
+	w0 := nets[0].Init(tensor.NewRNG(cfg.Seed + 13))
+	for j := 0; j < k; j++ {
+		ws[j] = append([]float32(nil), w0...)
+		gs[j] = make([]float32, len(w0))
+		nets[j].Bind(ws[j], gs[j])
+	}
+
+	var opt stepper
+	smaCfg := SMAConfig{
+		LearnRate: cfg.LearnRate, Momentum: cfg.Momentum,
+		LocalMomentum: cfg.LocalMomentum,
+		Alpha:         cfg.Alpha, Tau: cfg.Tau,
+		StateRanges: nets[0].StateRanges(),
+	}
+	switch cfg.Algo {
+	case AlgoSMA:
+		opt = NewSMA(smaCfg, w0, k)
+	case AlgoSMAHier:
+		opt = NewHierarchicalSMA(smaCfg, w0, GroupsFor(cfg.GPUs, cfg.LearnersPerGPU))
+	case AlgoSSGD:
+		s := NewSSGD(cfg.LearnRate, cfg.Momentum, w0)
+		s.StateRanges = nets[0].StateRanges()
+		opt = s
+	case AlgoEASGD:
+		ea := NewEASGD(cfg.LearnRate, cfg.Alpha, cfg.Tau, k, w0)
+		ea.LocalMomentum = cfg.LocalMomentum
+		opt = ea
+	case AlgoASGD:
+		a := NewASGD(cfg.LearnRate, w0)
+		a.StateRanges = nets[0].StateRanges()
+		opt = a
+	default:
+		panic(fmt.Sprintf("core: unknown algorithm %q", cfg.Algo))
+	}
+
+	// Evaluation network over the central model.
+	evalBatch := 128
+	if test.Len() < evalBatch {
+		evalBatch = test.Len()
+	}
+	evalNet := nn.BuildScaled(cfg.Model, evalBatch, tensor.NewRNG(cfg.Seed+99))
+	evalGrad := make([]float32, len(w0))
+
+	batcher := data.NewBatcher(train.Len(), cfg.BatchPerLearner, cfg.Seed+21)
+	inputs := make([]*tensor.Tensor, k)
+	labels := make([][]int, k)
+	batchIdx := make([][]int, k)
+	for j := 0; j < k; j++ {
+		inputs[j] = tensor.New(append([]int{cfg.BatchPerLearner}, train.Shape...)...)
+		labels[j] = make([]int, cfg.BatchPerLearner)
+		batchIdx[j] = make([]int, cfg.BatchPerLearner)
+	}
+
+	res := &Result{K: k, EpochsToTarget: -1}
+	iterPerEpoch := batcher.BatchesPerEpoch() / k
+	if iterPerEpoch == 0 {
+		iterPerEpoch = 1
+	}
+	lr := cfg.LearnRate
+	var lossSum float64
+	var lossCount int
+
+	for epoch := 1; epoch <= cfg.MaxEpochs; epoch++ {
+		if cfg.Schedule != nil {
+			nlr := cfg.Schedule(epoch, cfg.LearnRate)
+			if nlr != lr {
+				lr = nlr
+				setLearnRate(opt, lr)
+				if cfg.RestartOnLRChange {
+					restart(opt, ws)
+				}
+			}
+		}
+		lossSum, lossCount = 0, 0
+		for it := 0; it < iterPerEpoch; it++ {
+			// Assign batches deterministically before the parallel phase.
+			for j := 0; j < k; j++ {
+				copy(batchIdx[j], batcher.Next())
+			}
+			var wg sync.WaitGroup
+			losses := make([]float64, k)
+			for j := 0; j < k; j++ {
+				wg.Add(1)
+				go func(j int) {
+					defer wg.Done()
+					train.Gather(batchIdx[j], inputs[j], labels[j])
+					tensor.ZeroSlice(gs[j])
+					losses[j] = nets[j].LossAndGrad(inputs[j], labels[j])
+				}(j)
+			}
+			wg.Wait()
+			for _, l := range losses {
+				lossSum += l
+			}
+			lossCount += k
+			opt.Step(ws, gs)
+		}
+
+		acc := evaluate(evalNet, centralModel(opt), evalGrad, test, evalBatch)
+		res.Series = append(res.Series, metrics.EpochPoint{
+			Epoch:   epoch,
+			TimeSec: float64(epoch) * cfg.EpochSeconds,
+			TestAcc: acc,
+			Loss:    lossSum / float64(max(1, lossCount)),
+		})
+		if cfg.TargetAcc > 0 {
+			if e, ok := metrics.EpochsToAccuracy(res.Series, cfg.TargetAcc); ok {
+				res.EpochsToTarget = e
+				break
+			}
+		}
+	}
+	if res.EpochsToTarget < 0 && cfg.TargetAcc > 0 {
+		if e, ok := metrics.EpochsToAccuracy(res.Series, cfg.TargetAcc); ok {
+			res.EpochsToTarget = e
+		}
+	}
+	res.FinalAccuracy = metrics.BestAccuracy(res.Series)
+	res.Model = append([]float32(nil), centralModel(opt)...)
+	return res
+}
+
+func setLearnRate(s stepper, lr float32) {
+	switch o := s.(type) {
+	case *SMA:
+		o.SetLearnRate(lr)
+	case *HierarchicalSMA:
+		o.SetLearnRate(lr)
+	case *EASGD:
+		o.SetLearnRate(lr)
+	case *SSGD:
+		o.LearnRate = lr
+	case *ASGD:
+		o.LearnRate = lr
+	}
+}
+
+func restart(s stepper, ws [][]float32) {
+	switch o := s.(type) {
+	case *SMA:
+		o.Restart(ws)
+	case *HierarchicalSMA:
+		o.Restart(ws)
+	}
+}
+
+// evaluate measures test accuracy of model w using the given evaluation
+// network (whose gradient buffer is scratch). Trailing samples that do not
+// fill a batch are dropped, matching fixed-shape learner evaluation.
+func evaluate(net *nn.Network, w, scratch []float32, test *data.Dataset, batch int) float64 {
+	net.Bind(w, scratch)
+	x := tensor.New(append([]int{batch}, test.Shape...)...)
+	labels := make([]int, batch)
+	idx := make([]int, batch)
+	correct, total := 0, 0
+	for start := 0; start+batch <= test.Len(); start += batch {
+		for i := 0; i < batch; i++ {
+			idx[i] = start + i
+		}
+		test.Gather(idx, x, labels)
+		correct += net.Evaluate(x, labels)
+		total += batch
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}

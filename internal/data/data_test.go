@@ -1,0 +1,265 @@
+package data
+
+import (
+	"testing"
+	"testing/quick"
+
+	"crossbow/internal/nn"
+	"crossbow/internal/tensor"
+)
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	cfg := SynthConfig{Shape: []int{2, 4, 4}, Classes: 3, Train: 30, Test: 9, Noise: 0.5, Seed: 42}
+	a, at := Synthesize(cfg)
+	b, bt := Synthesize(cfg)
+	if tensor.MaxAbsDiff(a.X, b.X) != 0 || tensor.MaxAbsDiff(at.X, bt.X) != 0 {
+		t.Fatal("same seed must give identical datasets")
+	}
+	for i := range a.Y {
+		if a.Y[i] != b.Y[i] {
+			t.Fatal("labels differ")
+		}
+	}
+}
+
+func TestSynthesizeSeedsDiffer(t *testing.T) {
+	cfg := SynthConfig{Shape: []int{4}, Classes: 2, Train: 10, Test: 2, Noise: 0.5, Seed: 1}
+	a, _ := Synthesize(cfg)
+	cfg.Seed = 2
+	b, _ := Synthesize(cfg)
+	if tensor.MaxAbsDiff(a.X, b.X) == 0 {
+		t.Fatal("different seeds should give different data")
+	}
+}
+
+func TestSynthesizeBalancedClasses(t *testing.T) {
+	cfg := SynthConfig{Shape: []int{4}, Classes: 4, Train: 100, Test: 20, Noise: 0.5, Seed: 3}
+	tr, _ := Synthesize(cfg)
+	counts := make([]int, 4)
+	for _, y := range tr.Y {
+		counts[y]++
+	}
+	for c, n := range counts {
+		if n != 25 {
+			t.Fatalf("class %d has %d samples, want 25", c, n)
+		}
+	}
+}
+
+func TestSynthesizeSeparable(t *testing.T) {
+	// With low noise, nearest-prototype classification on the train set
+	// must be far better than chance — the datasets must actually encode
+	// their labels.
+	cfg := SynthConfig{Shape: []int{8}, Classes: 2, Train: 200, Test: 50, Noise: 0.3, Seed: 7}
+	tr, te := Synthesize(cfg)
+	// Estimate prototypes from train means.
+	vol := tr.SampleVol()
+	protos := make([][]float64, cfg.Classes)
+	counts := make([]int, cfg.Classes)
+	for c := range protos {
+		protos[c] = make([]float64, vol)
+	}
+	for i := 0; i < tr.Len(); i++ {
+		c := tr.Y[i]
+		counts[c]++
+		for j, v := range tr.Sample(i) {
+			protos[c][j] += float64(v)
+		}
+	}
+	for c := range protos {
+		for j := range protos[c] {
+			protos[c][j] /= float64(counts[c])
+		}
+	}
+	correct := 0
+	for i := 0; i < te.Len(); i++ {
+		s := te.Sample(i)
+		best, bi := 0.0, -1
+		for c := range protos {
+			var d float64
+			for j, v := range s {
+				diff := float64(v) - protos[c][j]
+				d += diff * diff
+			}
+			if bi < 0 || d < best {
+				best, bi = d, c
+			}
+		}
+		if bi == te.Y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(te.Len()); acc < 0.9 {
+		t.Fatalf("nearest-prototype accuracy = %v, want > 0.9", acc)
+	}
+}
+
+func TestGather(t *testing.T) {
+	cfg := SynthConfig{Shape: []int{3}, Classes: 2, Train: 10, Test: 2, Noise: 0.5, Seed: 5}
+	tr, _ := Synthesize(cfg)
+	x := tensor.New(2, 3)
+	labels := make([]int, 2)
+	tr.Gather([]int{4, 7}, x, labels)
+	if labels[0] != tr.Y[4] || labels[1] != tr.Y[7] {
+		t.Fatal("gathered labels wrong")
+	}
+	for j := 0; j < 3; j++ {
+		if x.At(0, j) != tr.Sample(4)[j] || x.At(1, j) != tr.Sample(7)[j] {
+			t.Fatal("gathered samples wrong")
+		}
+	}
+}
+
+func TestLoadAllBenchmarks(t *testing.T) {
+	for _, id := range nn.AllModels {
+		tr, te := Load(id, 1)
+		cfg := nn.ScaledConfigs[id]
+		if tr.Classes != cfg.Classes || te.Classes != cfg.Classes {
+			t.Fatalf("%s: class mismatch", id)
+		}
+		if tr.Len() == 0 || te.Len() == 0 {
+			t.Fatalf("%s: empty dataset", id)
+		}
+		if tr.SampleVol() != tensor.Volume(cfg.Input) {
+			t.Fatalf("%s: sample shape mismatch", id)
+		}
+	}
+}
+
+func TestBatcherCoversEpochExactly(t *testing.T) {
+	b := NewBatcher(20, 4, 9)
+	seen := map[int]int{}
+	for i := 0; i < b.BatchesPerEpoch(); i++ {
+		for _, idx := range b.Next() {
+			seen[idx]++
+		}
+	}
+	if len(seen) != 20 {
+		t.Fatalf("epoch covered %d distinct samples, want 20", len(seen))
+	}
+	for idx, n := range seen {
+		if n != 1 {
+			t.Fatalf("sample %d seen %d times", idx, n)
+		}
+	}
+	if b.Epoch() != 0 {
+		t.Fatalf("epoch advanced early: %d", b.Epoch())
+	}
+	b.Next()
+	if b.Epoch() != 1 {
+		t.Fatalf("epoch = %d after rollover, want 1", b.Epoch())
+	}
+}
+
+func TestBatcherDropsPartialBatch(t *testing.T) {
+	b := NewBatcher(10, 4, 1)
+	if b.BatchesPerEpoch() != 2 {
+		t.Fatalf("BatchesPerEpoch = %d, want 2", b.BatchesPerEpoch())
+	}
+	b.Next()
+	b.Next()
+	b.Next() // must reshuffle rather than yield a short batch
+	if b.Epoch() != 1 {
+		t.Fatal("expected epoch rollover")
+	}
+}
+
+func TestBatcherDeterminism(t *testing.T) {
+	a, b := NewBatcher(50, 5, 3), NewBatcher(50, 5, 3)
+	for i := 0; i < 30; i++ {
+		x, y := a.Next(), b.Next()
+		for j := range x {
+			if x[j] != y[j] {
+				t.Fatal("batchers with same seed diverged")
+			}
+		}
+	}
+}
+
+// Property: every batch's indices are in range and distinct within an epoch.
+func TestBatcherProperty(t *testing.T) {
+	f := func(seed uint64, nRaw, bRaw uint8) bool {
+		n := int(nRaw%50) + 10
+		batch := int(bRaw%5) + 1
+		b := NewBatcher(n, batch, seed)
+		seen := map[int]bool{}
+		for i := 0; i < b.BatchesPerEpoch(); i++ {
+			for _, idx := range b.Next() {
+				if idx < 0 || idx >= n || seen[idx] {
+					return false
+				}
+				seen[idx] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelineDeliversBatches(t *testing.T) {
+	cfg := SynthConfig{Shape: []int{1, 4, 4}, Classes: 2, Train: 64, Test: 8, Noise: 0.5, Seed: 11}
+	tr, _ := Synthesize(cfg)
+	p := NewPipeline(tr, PipelineConfig{Batch: 8, Slots: 4, Workers: 3, Seed: 13})
+	defer p.Close()
+	for i := 0; i < 32; i++ {
+		s, ok := p.Acquire()
+		if !ok {
+			t.Fatal("pipeline closed early")
+		}
+		if s.X.Dim(0) != 8 || len(s.Labels) != 8 {
+			t.Fatalf("bad slot shape %v / %d labels", s.X.Shape(), len(s.Labels))
+		}
+		for _, y := range s.Labels {
+			if y < 0 || y >= 2 {
+				t.Fatalf("bad label %d", y)
+			}
+		}
+		p.Release(s)
+	}
+}
+
+func TestPipelineCloseUnblocks(t *testing.T) {
+	cfg := SynthConfig{Shape: []int{4}, Classes: 2, Train: 16, Test: 4, Noise: 0.5, Seed: 1}
+	tr, _ := Synthesize(cfg)
+	p := NewPipeline(tr, PipelineConfig{Batch: 4, Slots: 2, Workers: 2, Seed: 1})
+	done := make(chan struct{})
+	go func() {
+		for {
+			s, ok := p.Acquire()
+			if !ok {
+				close(done)
+				return
+			}
+			p.Release(s)
+		}
+	}()
+	p.Close()
+	<-done
+}
+
+func TestAugmentFlipsPreserveValues(t *testing.T) {
+	// Flipping only permutes pixels within a row: multiset of values per
+	// row must be preserved.
+	cfg := SynthConfig{Shape: []int{1, 2, 4}, Classes: 2, Train: 8, Test: 2, Noise: 0.5, Seed: 21}
+	tr, _ := Synthesize(cfg)
+	x := tensor.New(8, 1, 2, 4)
+	labels := make([]int, 8)
+	idx := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	tr.Gather(idx, x, labels)
+	before := x.Clone()
+	augmentBatch(x, tr.Shape, tensor.NewRNG(2))
+	for n := 0; n < 8; n++ {
+		for row := 0; row < 2; row++ {
+			var sumA, sumB float64
+			for col := 0; col < 4; col++ {
+				sumA += float64(before.At(n, 0, row, col))
+				sumB += float64(x.At(n, 0, row, col))
+			}
+			if sumA != sumB {
+				t.Fatalf("augmentation changed row content at sample %d row %d", n, row)
+			}
+		}
+	}
+}

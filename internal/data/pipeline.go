@@ -1,0 +1,170 @@
+package data
+
+import (
+	"sync"
+
+	"crossbow/internal/tensor"
+)
+
+// Slot is one entry of the pipeline's circular input-batch buffer: a staged
+// batch tensor plus its labels (paper §4.5: a page-aligned, page-locked
+// circular buffer written by data pre-processors and read by the GPU; here
+// the buffer is plain memory shared with the simulated devices).
+type Slot struct {
+	X      *tensor.Tensor
+	Labels []int
+	idx    int
+}
+
+// Pipeline is the data pre-processor stage of §4.5: a pool of worker
+// goroutines gathers shuffled samples into the slots of a circular buffer
+// (double buffering by default: capacity ≥ 2 batches per consumer), applying
+// optional augmentation. Consumers acquire filled slots and release them
+// back once the learning task has consumed the batch.
+type Pipeline struct {
+	ds      *Dataset
+	batch   int
+	augment bool
+
+	slots []*Slot
+	free  chan int
+	full  chan int
+	work  chan []int
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// PipelineConfig configures a pre-processor pipeline.
+type PipelineConfig struct {
+	Batch   int
+	Slots   int // circular-buffer capacity in batches; ≥ 2 recommended (double buffering)
+	Workers int // pre-processor threads
+	Augment bool
+	Seed    uint64
+}
+
+// NewPipeline starts the pre-processor workers over ds.
+func NewPipeline(ds *Dataset, cfg PipelineConfig) *Pipeline {
+	if cfg.Slots < 1 {
+		cfg.Slots = 2
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	p := &Pipeline{
+		ds:      ds,
+		batch:   cfg.Batch,
+		augment: cfg.Augment,
+		slots:   make([]*Slot, cfg.Slots),
+		free:    make(chan int, cfg.Slots),
+		full:    make(chan int, cfg.Slots),
+		work:    make(chan []int, cfg.Slots),
+		stop:    make(chan struct{}),
+	}
+	for i := range p.slots {
+		p.slots[i] = &Slot{
+			X:      tensor.New(append([]int{cfg.Batch}, ds.Shape...)...),
+			Labels: make([]int, cfg.Batch),
+			idx:    i,
+		}
+		p.free <- i
+	}
+	// Dispatcher: the batcher is single-threaded, so one goroutine draws
+	// index sets and fans them out to the workers.
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		defer close(p.work)
+		b := NewBatcher(ds.Len(), cfg.Batch, cfg.Seed)
+		for {
+			idx := append([]int(nil), b.Next()...)
+			select {
+			case p.work <- idx:
+			case <-p.stop:
+				return
+			}
+		}
+	}()
+	for w := 0; w < cfg.Workers; w++ {
+		p.wg.Add(1)
+		rng := tensor.NewRNG(cfg.Seed + 1000 + uint64(w))
+		go func(rng *tensor.RNG) {
+			defer p.wg.Done()
+			for idx := range p.work {
+				var si int
+				select {
+				case si = <-p.free:
+				case <-p.stop:
+					return
+				}
+				slot := p.slots[si]
+				p.ds.Gather(idx, slot.X, slot.Labels)
+				if p.augment {
+					augmentBatch(slot.X, p.ds.Shape, rng)
+				}
+				select {
+				case p.full <- si:
+				case <-p.stop:
+					return
+				}
+			}
+		}(rng)
+	}
+	return p
+}
+
+// Acquire blocks until a filled slot is available and returns it. The
+// caller must call Release exactly once when done with the slot. ok is
+// false after Close.
+func (p *Pipeline) Acquire() (s *Slot, ok bool) {
+	select {
+	case si := <-p.full:
+		return p.slots[si], true
+	case <-p.stop:
+		return nil, false
+	}
+}
+
+// Release returns a consumed slot to the free pool.
+func (p *Pipeline) Release(s *Slot) {
+	select {
+	case p.free <- s.idx:
+	case <-p.stop:
+	}
+}
+
+// Close stops the workers and waits for them to exit.
+func (p *Pipeline) Close() {
+	p.stopOnce.Do(func() { close(p.stop) })
+	// Drain work so the dispatcher (blocked on send) can observe stop.
+	p.wg.Wait()
+}
+
+// augmentBatch applies the light augmentation pre-processors perform
+// (standing in for decode/crop/flip): a horizontal flip of each image with
+// probability 1/2. Non-image (flat) samples are left untouched.
+func augmentBatch(x *tensor.Tensor, shape []int, rng *tensor.RNG) {
+	if len(shape) != 3 {
+		return
+	}
+	c, h, w := shape[0], shape[1], shape[2]
+	vol := c * h * w
+	batch := x.Dim(0)
+	xd := x.Data()
+	for n := 0; n < batch; n++ {
+		if rng.Float64() >= 0.5 {
+			continue
+		}
+		img := xd[n*vol : (n+1)*vol]
+		for ch := 0; ch < c; ch++ {
+			for row := 0; row < h; row++ {
+				base := ch*h*w + row*w
+				for a, b := 0, w-1; a < b; a, b = a+1, b-1 {
+					img[base+a], img[base+b] = img[base+b], img[base+a]
+				}
+			}
+		}
+	}
+}

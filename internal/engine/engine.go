@@ -1,0 +1,256 @@
+// Package engine implements Crossbow's concurrent task engine (§4) on top
+// of the GPU simulator: learner streams and synchronisation streams per
+// device, learning / local-synchronisation / global-synchronisation tasks
+// wired by events exactly as in the paper's Figure 8 dataflow, with global
+// synchronisation overlapping the next iteration's learning tasks.
+//
+// The engine is the hardware-efficiency plane of the reproduction: it
+// yields iteration timing and throughput for any (model, g, m, b, τ)
+// configuration, while statistical efficiency comes from internal/core.
+package engine
+
+import (
+	"fmt"
+
+	"crossbow/internal/gpusim"
+	"crossbow/internal/metrics"
+	"crossbow/internal/nn"
+)
+
+// Config describes a simulated training configuration.
+type Config struct {
+	Model          nn.ModelID
+	GPUs           int // g
+	LearnersPerGPU int // m
+	Batch          int // b, per learner
+	// Tau synchronises every Tau iterations; 0 → 1; TauNever disables
+	// synchronisation entirely (the τ=∞ column of Figure 17).
+	Tau int
+	// Overlap lets global synchronisation tasks of iteration N run
+	// concurrently with learning tasks of iteration N+1 (Figure 8 f).
+	// Disabling it inserts the global execution barrier the paper argues
+	// against (§4.2).
+	Overlap bool
+	// Cost and Topo default to the paper-calibrated models when zero.
+	Cost gpusim.CostModel
+	Topo gpusim.Topology
+}
+
+// TauNever disables synchronisation (τ = ∞).
+const TauNever = -1
+
+func (c *Config) fillDefaults() {
+	if c.GPUs == 0 {
+		c.GPUs = 1
+	}
+	if c.LearnersPerGPU == 0 {
+		c.LearnersPerGPU = 1
+	}
+	if c.Batch == 0 {
+		c.Batch = 16
+	}
+	if c.Tau == 0 {
+		c.Tau = 1
+	}
+	if c.Cost == (gpusim.CostModel{}) {
+		c.Cost = gpusim.DefaultCostModel()
+	}
+	if c.Topo == (gpusim.Topology{}) {
+		c.Topo = gpusim.DefaultTopology(c.GPUs)
+	}
+}
+
+// Engine executes SMA iterations on the simulated server.
+type Engine struct {
+	cfg  Config
+	sim  *gpusim.Sim
+	spec *nn.ModelSpec
+	plan *gpusim.LearningTaskPlan
+
+	learnStreams [][]*gpusim.Stream // [gpu][learner]
+	syncStreams  []*gpusim.Stream   // [gpu]
+	copyStreams  []*gpusim.Stream   // [gpu] DMA engine
+
+	// globalSyncDone[g] is the event fired when GPU g's view of the
+	// central average model is consistent for the current iteration.
+	globalSyncDone []*gpusim.Event
+
+	iter       int
+	modelElems int64
+
+	// Completions feeds the auto-tuner's throughput estimator.
+	Completions *metrics.Throughput
+}
+
+// New builds an engine for the configuration.
+func New(cfg Config) *Engine {
+	cfg.fillDefaults()
+	spec := nn.FullSpec(cfg.Model)
+	e := &Engine{
+		cfg:         cfg,
+		sim:         gpusim.NewSim(cfg.GPUs, cfg.Cost.SMsPerDevice),
+		spec:        spec,
+		plan:        cfg.Cost.PlanLearningTask(spec, cfg.Batch),
+		modelElems:  spec.ParamCount(),
+		Completions: metrics.NewThroughput(2e6), // 2-second window (µs)
+	}
+	for g := 0; g < cfg.GPUs; g++ {
+		dev := e.sim.Device(g)
+		var ls []*gpusim.Stream
+		for m := 0; m < cfg.LearnersPerGPU; m++ {
+			ls = append(ls, dev.NewStream(fmt.Sprintf("gpu%d/learn%d", g, m)))
+		}
+		e.learnStreams = append(e.learnStreams, ls)
+		e.syncStreams = append(e.syncStreams, dev.NewStream(fmt.Sprintf("gpu%d/sync", g)))
+		e.copyStreams = append(e.copyStreams, dev.NewStream(fmt.Sprintf("gpu%d/copy", g)))
+	}
+	return e
+}
+
+// Sim exposes the underlying simulator (for utilisation inspection).
+func (e *Engine) Sim() *gpusim.Sim { return e.sim }
+
+// Config returns the engine's effective configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// K returns the total learner count.
+func (e *Engine) K() int { return e.cfg.GPUs * e.cfg.LearnersPerGPU }
+
+// modelBytes returns the model size in bytes (float32).
+func (e *Engine) modelBytes() int64 { return e.modelElems * 4 }
+
+// scheduleIteration wires one SMA iteration's tasks (Figure 8):
+//
+//   - per learner: input-batch DMA, then the learning task's kernels on the
+//     learner stream, then the local synchronisation task (difference with
+//     the GPU-local average model + replica update) on the same stream,
+//     gated on the previous iteration's global synchronisation;
+//   - per GPU: the global synchronisation task on the sync stream — intra-
+//     GPU aggregation once all local syncs complete, then the inter-GPU
+//     ring all-reduce;
+//   - learning tasks of the next iteration start right after their
+//     learner's local sync (overlap), or after global sync when Overlap is
+//     off.
+func (e *Engine) scheduleIteration() {
+	cfg := e.cfg
+	e.iter++
+	syncing := cfg.Tau != TauNever && e.iter%max(1, cfg.Tau) == 0
+
+	prevGlobal := e.globalSyncDone
+	var localDone [][]*gpusim.Event
+	batchBytes := e.spec.SampleBytes() * int64(cfg.Batch)
+
+	for g := 0; g < cfg.GPUs; g++ {
+		var dones []*gpusim.Event
+		for _, st := range e.learnStreams[g] {
+			// Input batch DMA on the copy engine, overlapped with compute
+			// (§2.2); the learning task waits for its own batch only.
+			inReady := e.sim.NewEvent()
+			e.copyStreams[g].Kernel("h2d_batch", 1, e.cfg.Cost.TransferUS(batchBytes))
+			e.copyStreams[g].Record(inReady)
+
+			// Host-side dispatch cost of the task scheduler (§4.3).
+			st.Kernel("dispatch", 1, cfg.Cost.SchedulerOverheadUS)
+			st.Wait(inReady)
+			if !cfg.Overlap && prevGlobal != nil {
+				st.Wait(prevGlobal[g])
+			}
+			gpusim.EnqueueLearningTask(st, e.plan)
+
+			if syncing {
+				// Local synchronisation task (Figure 8 b): reads the
+				// GPU-local average model — consistent only after the
+				// previous iteration's global sync (Figure 8 d).
+				if cfg.Overlap && prevGlobal != nil {
+					st.Wait(prevGlobal[g])
+				}
+				st.Kernel("local_diff", 2, cfg.Cost.VectorKernelUS(e.modelElems))
+				st.Kernel("update_replica", 2, cfg.Cost.VectorKernelUS(e.modelElems))
+				st.Kernel("sync_coordination", 1, cfg.Cost.SyncPerOpUS*float64(e.spec.NumOps()))
+				done := e.sim.NewEvent()
+				st.Record(done)
+				dones = append(dones, done)
+			}
+			// Task-completion event to the task manager: the learning
+			// task's batch is processed (feeds the throughput signal the
+			// auto-tuner consumes, §4.4).
+			b := cfg.Batch
+			st.OnComplete(func(now float64) {
+				e.Completions.Record(now, float64(b))
+			})
+		}
+		localDone = append(localDone, dones)
+	}
+
+	if !syncing {
+		e.globalSyncDone = nil
+		return
+	}
+
+	// Global synchronisation tasks (Figure 8 c): per GPU, aggregate the
+	// local differences once all the GPU's local syncs are done, then the
+	// GPUs jointly all-reduce; each GPU's average model becomes consistent
+	// when its share of the ring completes.
+	newGlobal := make([]*gpusim.Event, cfg.GPUs)
+	// The ring cannot start before every GPU finished local aggregation:
+	// collect per-GPU aggregation-done events and make every sync stream
+	// wait on all of them.
+	aggDone := make([]*gpusim.Event, cfg.GPUs)
+	for g := 0; g < cfg.GPUs; g++ {
+		ss := e.syncStreams[g]
+		for _, ev := range localDone[g] {
+			ss.Wait(ev)
+		}
+		ss.Kernel("intra_gpu_reduce", 2, cfg.Cost.VectorKernelUS(e.modelElems))
+		aggDone[g] = e.sim.NewEvent()
+		ss.Record(aggDone[g])
+	}
+	allReduce := e.cfg.Topo.AllReduceUS(e.modelBytes(), cfg.GPUs, cfg.Cost.TransferLatencyUS)
+	for g := 0; g < cfg.GPUs; g++ {
+		ss := e.syncStreams[g]
+		for _, ev := range aggDone {
+			ss.Wait(ev)
+		}
+		if allReduce > 0 {
+			ss.Kernel("ring_allreduce", 1, allReduce)
+		}
+		ss.Kernel("update_avg_model", 2, cfg.Cost.VectorKernelUS(e.modelElems))
+		newGlobal[g] = e.sim.NewEvent()
+		ss.Record(newGlobal[g])
+	}
+	e.globalSyncDone = newGlobal
+}
+
+// RunIterations schedules and executes n SMA iterations, returning the
+// virtual time in microseconds from the engine's current clock to
+// completion of all scheduled work.
+func (e *Engine) RunIterations(n int) float64 {
+	start := e.sim.Now()
+	for i := 0; i < n; i++ {
+		e.scheduleIteration()
+	}
+	e.sim.Run()
+	return e.sim.Now() - start
+}
+
+// Throughput runs n iterations and returns training throughput in images
+// per second.
+func (e *Engine) Throughput(n int) float64 {
+	us := e.RunIterations(n)
+	if us <= 0 {
+		return 0
+	}
+	images := float64(n * e.K() * e.cfg.Batch)
+	return images / (us / 1e6)
+}
+
+// EpochSeconds returns the virtual duration of one epoch over nSamples
+// training samples at the engine's measured steady-state throughput,
+// composing hardware time with the statistical plane's epoch counts.
+func (e *Engine) EpochSeconds(nSamples int, measureIters int) float64 {
+	tp := e.Throughput(measureIters)
+	if tp <= 0 {
+		return 0
+	}
+	return float64(nSamples) / tp
+}

@@ -1,0 +1,222 @@
+package engine
+
+import (
+	"fmt"
+
+	"crossbow/internal/gpusim"
+	"crossbow/internal/nn"
+	"crossbow/internal/tensor"
+)
+
+// This file implements the *live* task engine of §4.1/§4.3: an explicit
+// task scheduler and task manager operating over resource pools (model
+// replicas, learner streams, input-batch slots). Unlike the iteration-
+// batched Engine, the live engine makes scheduling decisions as tasks
+// complete: the task manager returns a replica and stream to the pool, and
+// the scheduler immediately assigns the next input batch first-come,
+// first-served — the policy the paper credits for higher hardware
+// efficiency than the round-robin assignment of TensorFlow/PyTorch.
+//
+// The components run inside the simulator's event loop (completion
+// callbacks play the role of the task manager's handler threads), keeping
+// the execution deterministic while preserving the paper's structure.
+
+// SchedPolicy selects how the task scheduler binds input batches to model
+// replicas.
+type SchedPolicy int
+
+// Scheduling policies (§4.3).
+const (
+	// FCFS assigns the next batch to whichever replica becomes available
+	// first (Crossbow's policy).
+	FCFS SchedPolicy = iota
+	// RoundRobin pre-assigns batch i to replica i mod k, so a slow
+	// replica stalls its share of the queue (the baseline policy).
+	RoundRobin
+)
+
+func (p SchedPolicy) String() string {
+	if p == FCFS {
+		return "fcfs"
+	}
+	return "round-robin"
+}
+
+// LiveConfig configures a live-engine run.
+type LiveConfig struct {
+	Model          nn.ModelID
+	GPUs           int
+	LearnersPerGPU int
+	Batch          int
+	// Batches is the total number of input batches to process.
+	Batches int
+	// Policy selects the scheduler's batch-to-replica binding.
+	Policy SchedPolicy
+	// JitterPct adds deterministic per-task duration noise (0.2 = ±20%):
+	// data-dependent kernels, augmentation cost and PCIe contention make
+	// real learning tasks non-uniform, which is what separates FCFS from
+	// round-robin.
+	JitterPct float64
+	// Seed drives the jitter.
+	Seed uint64
+	Cost gpusim.CostModel
+}
+
+func (c *LiveConfig) fillDefaults() {
+	if c.GPUs == 0 {
+		c.GPUs = 1
+	}
+	if c.LearnersPerGPU == 0 {
+		c.LearnersPerGPU = 1
+	}
+	if c.Batch == 0 {
+		c.Batch = 16
+	}
+	if c.Batches == 0 {
+		c.Batches = 64
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Cost == (gpusim.CostModel{}) {
+		c.Cost = gpusim.DefaultCostModel()
+	}
+}
+
+// replica is a pooled model replica bound to its learner stream.
+type replica struct {
+	id     int
+	gpu    int
+	stream *gpusim.Stream
+	// tasksDone counts learning tasks this replica processed.
+	tasksDone int
+}
+
+// LiveStats reports a live-engine run.
+type LiveStats struct {
+	// MakespanUS is the virtual time to drain the batch queue.
+	MakespanUS float64
+	// ThroughputImgSec is Batches×Batch over the makespan.
+	ThroughputImgSec float64
+	// TasksPerReplica records load balance; under FCFS with jitter the
+	// counts differ (fast replicas take more), under round-robin they are
+	// equal by construction.
+	TasksPerReplica []int
+	// IdleWaits counts scheduler decisions where the policy forced a
+	// ready batch to wait for a specific busy replica.
+	IdleWaits int
+}
+
+// liveEngine wires scheduler, manager and pools.
+type liveEngine struct {
+	cfg      LiveConfig
+	sim      *gpusim.Sim
+	replicas []*replica
+	freePool []*replica // task manager returns replicas here (§4.1 step 4)
+	plan     *gpusim.LearningTaskPlan
+	rng      *tensor.RNG
+
+	nextBatch int // next batch index to assign
+	inFlight  int
+	stats     LiveStats
+}
+
+// RunLive processes cfg.Batches learning tasks under the configured
+// scheduling policy and returns the run statistics.
+func RunLive(cfg LiveConfig) LiveStats {
+	cfg.fillDefaults()
+	spec := nn.FullSpec(cfg.Model)
+	e := &liveEngine{
+		cfg:  cfg,
+		sim:  gpusim.NewSim(cfg.GPUs, cfg.Cost.SMsPerDevice),
+		plan: cfg.Cost.PlanLearningTask(spec, cfg.Batch),
+		rng:  tensor.NewRNG(cfg.Seed),
+	}
+	id := 0
+	for g := 0; g < cfg.GPUs; g++ {
+		dev := e.sim.Device(g)
+		for m := 0; m < cfg.LearnersPerGPU; m++ {
+			r := &replica{
+				id: id, gpu: g,
+				stream: dev.NewStream(fmt.Sprintf("gpu%d/learner%d", g, m)),
+			}
+			e.replicas = append(e.replicas, r)
+			e.freePool = append(e.freePool, r)
+			id++
+		}
+	}
+	// Initial scheduling wave: one task per replica (§4.3: "the task
+	// scheduler schedules one learning task for each model replica in the
+	// pool").
+	e.schedule()
+	e.sim.Run()
+	e.stats.MakespanUS = e.sim.Now()
+	if e.stats.MakespanUS > 0 {
+		images := float64(cfg.Batches * cfg.Batch)
+		e.stats.ThroughputImgSec = images / (e.stats.MakespanUS / 1e6)
+	}
+	for _, r := range e.replicas {
+		e.stats.TasksPerReplica = append(e.stats.TasksPerReplica, r.tasksDone)
+	}
+	return e.stats
+}
+
+// schedule drains the free pool, binding batches to replicas per policy.
+func (e *liveEngine) schedule() {
+	for e.nextBatch < e.cfg.Batches && len(e.freePool) > 0 {
+		var r *replica
+		switch e.cfg.Policy {
+		case FCFS:
+			// Any free replica takes the next batch; pool order is
+			// completion order, i.e. first-come, first-served.
+			r = e.freePool[0]
+			e.freePool = e.freePool[1:]
+		case RoundRobin:
+			// Batch i is bound to replica i mod k; if that replica is
+			// busy, the queue head waits even though others are free.
+			want := e.nextBatch % len(e.replicas)
+			idx := -1
+			for i, fr := range e.freePool {
+				if fr.id == want {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				e.stats.IdleWaits++
+				return // head-of-line blocking until `want` completes
+			}
+			r = e.freePool[idx]
+			e.freePool = append(e.freePool[:idx], e.freePool[idx+1:]...)
+		}
+		e.issue(r, e.nextBatch)
+		e.nextBatch++
+		e.inFlight++
+	}
+}
+
+// issue enqueues one learning task (plus its local synchronisation) on the
+// replica's stream and registers the task-manager completion handler.
+func (e *liveEngine) issue(r *replica, batchIdx int) {
+	// Deterministic per-task jitter (hash of seed, replica, batch).
+	jit := 1.0
+	if e.cfg.JitterPct > 0 {
+		h := tensor.NewRNG(e.cfg.Seed ^ (uint64(batchIdx+1) * 0x9e37) ^ (uint64(r.id+1) << 32))
+		jit = 1 + e.cfg.JitterPct*(2*h.Float64()-1)
+	}
+	r.stream.Kernel("dispatch", 1, e.cfg.Cost.SchedulerOverheadUS)
+	for _, k := range e.plan.Kernels {
+		r.stream.Kernel(k.Name, k.SMs, k.DurUS*jit)
+	}
+	// Local synchronisation on the same stream (Figure 8 b).
+	modelElems := nn.FullSpec(e.cfg.Model).ParamCount()
+	r.stream.Kernel("local_sync", 2, e.cfg.Cost.VectorKernelUS(modelElems))
+	r.stream.OnComplete(func(now float64) {
+		// Task manager (§4.1 step 4): return the replica and stream to
+		// the pool, free the input slot, and let the scheduler run.
+		r.tasksDone++
+		e.inFlight--
+		e.freePool = append(e.freePool, r)
+		e.schedule()
+	})
+}

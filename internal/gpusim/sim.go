@@ -1,0 +1,108 @@
+// Package gpusim is a discrete-event simulator of a single-server multi-GPU
+// machine: devices with a fixed pool of streaming multiprocessors (SMs),
+// in-order streams, cross-stream events, DMA copy transfers and a PCIe
+// interconnect with ring all-reduce.
+//
+// It stands in for the CUDA substrate the paper runs on (see DESIGN.md §1).
+// The simulator models the three quantities hardware efficiency depends on:
+// occupancy (kernels request SMs; a device runs concurrent kernels only
+// while SMs remain), serialisation (ops on one stream run in order; ops on
+// different streams may overlap) and transfer cost (bytes over PCIe links).
+// Virtual time is in microseconds.
+package gpusim
+
+import "container/heap"
+
+// completion is a scheduled future event in virtual time.
+type completion struct {
+	t     float64
+	seq   uint64 // tie-breaker for determinism
+	apply func()
+}
+
+type completionHeap []completion
+
+func (h completionHeap) Len() int { return len(h) }
+func (h completionHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x interface{}) { *h = append(*h, x.(completion)) }
+func (h *completionHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Sim is a deterministic discrete-event simulation of a multi-GPU server.
+type Sim struct {
+	now     float64
+	seq     uint64
+	heap    completionHeap
+	devices []*Device
+}
+
+// NewSim creates a simulator with n identical devices of smsPerDevice
+// streaming multiprocessors each.
+func NewSim(n, smsPerDevice int) *Sim {
+	s := &Sim{}
+	for i := 0; i < n; i++ {
+		s.devices = append(s.devices, &Device{
+			sim: s, ID: i, SMs: smsPerDevice, freeSMs: smsPerDevice,
+		})
+	}
+	return s
+}
+
+// Now returns the current virtual time in microseconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// NumDevices returns the device count.
+func (s *Sim) NumDevices() int { return len(s.devices) }
+
+// Device returns device i.
+func (s *Sim) Device(i int) *Device { return s.devices[i] }
+
+// NewEvent creates an unfired cross-stream synchronisation event.
+func (s *Sim) NewEvent() *Event { return &Event{} }
+
+// after schedules fn at now+d.
+func (s *Sim) after(d float64, fn func()) {
+	s.seq++
+	heap.Push(&s.heap, completion{t: s.now + d, seq: s.seq, apply: fn})
+}
+
+// Run executes queued work until the simulation is quiescent (no stream can
+// make progress and no completion is pending) and returns the virtual time.
+func (s *Sim) Run() float64 {
+	s.drain()
+	for s.heap.Len() > 0 {
+		c := heap.Pop(&s.heap).(completion)
+		s.now = c.t
+		c.apply()
+		s.drain()
+	}
+	return s.now
+}
+
+// drain starts every op that can start at the current instant, looping
+// until no further progress is possible (zero-duration ops such as event
+// records and waits retire inline).
+func (s *Sim) drain() {
+	for {
+		progress := false
+		for _, d := range s.devices {
+			if d.drain() {
+				progress = true
+			}
+		}
+		if !progress {
+			return
+		}
+	}
+}

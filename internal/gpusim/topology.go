@@ -1,0 +1,58 @@
+package gpusim
+
+// Topology models the PCIe interconnect of the paper's testbed (§2.2): GPU
+// pairs hang off PCIe switches, two switches per host bridge, one bridge
+// per CPU socket. Transfers crossing higher levels of the tree contend for
+// shared links, so effective all-reduce bandwidth degrades as the ring
+// spans more of the tree.
+type Topology struct {
+	// NumGPUs in the server.
+	NumGPUs int
+	// SwitchBytesPerUS is pair-local bandwidth (two GPUs on one switch).
+	SwitchBytesPerUS float64
+	// BridgeBytesPerUS is bandwidth through a host bridge (shared by the
+	// two switches below it).
+	BridgeBytesPerUS float64
+	// SocketBytesPerUS is cross-socket bandwidth (QPI).
+	SocketBytesPerUS float64
+}
+
+// DefaultTopology returns the 8-GPU, two-socket tree of the paper's server.
+func DefaultTopology(numGPUs int) Topology {
+	return Topology{
+		NumGPUs:          numGPUs,
+		SwitchBytesPerUS: 12_000,
+		BridgeBytesPerUS: 10_000,
+		SocketBytesPerUS: 8_000,
+	}
+}
+
+// ringStepBandwidth returns the effective per-step bandwidth of a ring
+// all-reduce over k GPUs laid out in tree order: the tightest link the ring
+// must cross, accounting for sharing.
+func (t Topology) ringStepBandwidth(k int) float64 {
+	switch {
+	case k <= 1:
+		return t.SwitchBytesPerUS
+	case k == 2:
+		return t.SwitchBytesPerUS
+	case k <= 4:
+		return t.BridgeBytesPerUS
+	default:
+		return t.SocketBytesPerUS
+	}
+}
+
+// AllReduceUS returns the duration of a ring all-reduce of n bytes across k
+// GPUs: 2(k−1) pipeline steps of n/k bytes each (§4.2: "all-reduce creates
+// a ring topology … evenly distributes the computation"), plus a fixed
+// per-step latency.
+func (t Topology) AllReduceUS(bytes int64, k int, stepLatencyUS float64) float64 {
+	if k <= 1 {
+		return 0
+	}
+	steps := 2 * (k - 1)
+	chunk := float64(bytes) / float64(k)
+	bw := t.ringStepBandwidth(k)
+	return float64(steps) * (stepLatencyUS + chunk/bw)
+}

@@ -1,0 +1,134 @@
+package gpusim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// TraceEvent records one kernel execution on a simulated stream.
+type TraceEvent struct {
+	Device  int
+	Stream  string
+	Name    string
+	StartUS float64
+	EndUS   float64
+	SMs     int
+}
+
+// Tracer collects kernel-level execution events for timeline inspection —
+// the simulator's analogue of nvprof. Attach with Sim.SetTracer before
+// enqueueing work.
+type Tracer struct {
+	Events []TraceEvent
+}
+
+// SetTracer attaches (or, with nil, detaches) a tracer.
+func (s *Sim) SetTracer(t *Tracer) {
+	for _, d := range s.devices {
+		d.tracer = t
+	}
+}
+
+// record appends an event.
+func (t *Tracer) record(ev TraceEvent) {
+	if t == nil {
+		return
+	}
+	t.Events = append(t.Events, ev)
+}
+
+// TotalKernelUS sums kernel wall time (not SM time).
+func (t *Tracer) TotalKernelUS() float64 {
+	var sum float64
+	for _, ev := range t.Events {
+		sum += ev.EndUS - ev.StartUS
+	}
+	return sum
+}
+
+// ByName aggregates total duration per kernel name, sorted descending.
+func (t *Tracer) ByName() []struct {
+	Name  string
+	DurUS float64
+	Count int
+} {
+	agg := map[string]*struct {
+		dur   float64
+		count int
+	}{}
+	for _, ev := range t.Events {
+		a := agg[ev.Name]
+		if a == nil {
+			a = &struct {
+				dur   float64
+				count int
+			}{}
+			agg[ev.Name] = a
+		}
+		a.dur += ev.EndUS - ev.StartUS
+		a.count++
+	}
+	var out []struct {
+		Name  string
+		DurUS float64
+		Count int
+	}
+	for name, a := range agg {
+		out = append(out, struct {
+			Name  string
+			DurUS float64
+			Count int
+		}{name, a.dur, a.count})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].DurUS != out[j].DurUS {
+			return out[i].DurUS > out[j].DurUS
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// chromeEvent is one entry of the Chrome trace-event format ("X" complete
+// events with microsecond timestamps), loadable in chrome://tracing or
+// Perfetto.
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Pid  int     `json:"pid"`
+	Tid  string  `json:"tid"`
+	Args any     `json:"args,omitempty"`
+}
+
+// WriteChromeTrace serialises the timeline in the Chrome trace-event JSON
+// format: devices map to processes, streams to threads.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	evs := make([]chromeEvent, 0, len(t.Events))
+	for _, ev := range t.Events {
+		evs = append(evs, chromeEvent{
+			Name: ev.Name,
+			Cat:  "kernel",
+			Ph:   "X",
+			Ts:   ev.StartUS,
+			Dur:  ev.EndUS - ev.StartUS,
+			Pid:  ev.Device,
+			Tid:  ev.Stream,
+			Args: map[string]any{"sms": ev.SMs},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": evs})
+}
+
+// Summary renders a per-kernel aggregate table.
+func (t *Tracer) Summary(w io.Writer) {
+	fmt.Fprintf(w, "%-24s %10s %8s\n", "kernel", "total(us)", "count")
+	for _, row := range t.ByName() {
+		fmt.Fprintf(w, "%-24s %10.1f %8d\n", row.Name, row.DurUS, row.Count)
+	}
+}

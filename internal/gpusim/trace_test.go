@@ -1,0 +1,95 @@
+package gpusim
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTracerRecordsKernels(t *testing.T) {
+	s := NewSim(1, 24)
+	tr := &Tracer{}
+	s.SetTracer(tr)
+	st := s.Device(0).NewStream("s0")
+	st.Kernel("a", 4, 10)
+	st.Kernel("b", 4, 20)
+	s.Run()
+	if len(tr.Events) != 2 {
+		t.Fatalf("%d events, want 2", len(tr.Events))
+	}
+	if tr.Events[0].Name != "a" || tr.Events[0].StartUS != 0 || tr.Events[0].EndUS != 10 {
+		t.Fatalf("event 0: %+v", tr.Events[0])
+	}
+	if tr.Events[1].StartUS != 10 || tr.Events[1].EndUS != 30 {
+		t.Fatalf("event 1: %+v", tr.Events[1])
+	}
+	if tr.TotalKernelUS() != 30 {
+		t.Fatalf("total = %v", tr.TotalKernelUS())
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	s := NewSim(1, 24)
+	st := s.Device(0).NewStream("s0")
+	st.Kernel("a", 1, 5)
+	s.Run() // must not panic without a tracer
+}
+
+func TestTracerByName(t *testing.T) {
+	s := NewSim(1, 24)
+	tr := &Tracer{}
+	s.SetTracer(tr)
+	st := s.Device(0).NewStream("s0")
+	st.Kernel("conv", 4, 50)
+	st.Kernel("relu", 4, 5)
+	st.Kernel("conv", 4, 60)
+	s.Run()
+	rows := tr.ByName()
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[0].Name != "conv" || rows[0].DurUS != 110 || rows[0].Count != 2 {
+		t.Fatalf("rows[0] = %+v", rows[0])
+	}
+}
+
+func TestChromeTraceValidJSON(t *testing.T) {
+	s := NewSim(2, 24)
+	tr := &Tracer{}
+	s.SetTracer(tr)
+	s.Device(0).NewStream("a").Kernel("k0", 2, 10)
+	s.Device(1).NewStream("b").Kernel("k1", 2, 15)
+	s.Run()
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("%d trace events", len(doc.TraceEvents))
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] != "X" {
+			t.Fatalf("phase %v", ev["ph"])
+		}
+	}
+}
+
+func TestTracerSummary(t *testing.T) {
+	s := NewSim(1, 24)
+	tr := &Tracer{}
+	s.SetTracer(tr)
+	s.Device(0).NewStream("a").Kernel("gemm", 2, 100)
+	s.Run()
+	var buf bytes.Buffer
+	tr.Summary(&buf)
+	if !strings.Contains(buf.String(), "gemm") {
+		t.Fatal("summary missing kernel name")
+	}
+}

@@ -1,0 +1,103 @@
+package memplan
+
+import (
+	"sync"
+)
+
+// Buffer is one GPU output buffer managed by the online planner.
+type Buffer struct {
+	Size int64
+	pool *opPool
+	refs int
+}
+
+// opPool is the per-operator pool of output buffers (§4.5: "for each
+// operator, the task scheduler maintains a pool of output buffer pointers
+// to GPU memory; pools are shared by all learners on the same GPU").
+type opPool struct {
+	free []*Buffer
+}
+
+// OnlinePlanner manages shared per-operator buffer pools for all learners
+// on one GPU. Because in practice not all instances of the same operator
+// execute concurrently, learners can share output buffers instead of each
+// replicating the offline plan — the over-allocation §4.5 avoids.
+//
+// All methods are safe for concurrent use by learner goroutines.
+type OnlinePlanner struct {
+	mu    sync.Mutex
+	pools map[string]*opPool
+
+	// Stats.
+	allocated int64 // total bytes ever allocated
+	allocs    int   // number of fresh allocations
+	reuses    int   // number of pool hits
+}
+
+// NewOnlinePlanner creates an empty planner.
+func NewOnlinePlanner() *OnlinePlanner {
+	return &OnlinePlanner{pools: map[string]*opPool{}}
+}
+
+// Acquire returns an output buffer for the given operator, reusing the
+// first available pooled buffer or allocating a new one (growing a pooled
+// buffer counts as reuse of its slot). The buffer starts with the given
+// reference count (its consumer count in the dataflow).
+func (p *OnlinePlanner) Acquire(opID string, size int64, refs int) *Buffer {
+	if refs < 1 {
+		refs = 1
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pool, ok := p.pools[opID]
+	if !ok {
+		pool = &opPool{}
+		p.pools[opID] = pool
+	}
+	if n := len(pool.free); n > 0 {
+		b := pool.free[n-1]
+		pool.free = pool.free[:n-1]
+		if b.Size < size {
+			p.allocated += size - b.Size
+			b.Size = size
+		}
+		b.refs = refs
+		p.reuses++
+		return b
+	}
+	p.allocated += size
+	p.allocs++
+	b := &Buffer{Size: size, pool: pool, refs: refs}
+	return b
+}
+
+// Release decrements a buffer's reference count (the task manager does this
+// as operators complete); at zero the buffer returns to its pool.
+func (p *OnlinePlanner) Release(b *Buffer) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if b.refs <= 0 {
+		panic("memplan: Release of buffer with no references")
+	}
+	b.refs--
+	if b.refs == 0 {
+		b.pool.free = append(b.pool.free, b)
+	}
+}
+
+// AddRef adds an extra reference (a newly discovered consumer).
+func (p *OnlinePlanner) AddRef(b *Buffer) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if b.refs <= 0 {
+		panic("memplan: AddRef on a released buffer")
+	}
+	b.refs++
+}
+
+// Stats returns (bytes allocated, fresh allocations, pool reuses).
+func (p *OnlinePlanner) Stats() (bytes int64, allocs, reuses int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.allocated, p.allocs, p.reuses
+}

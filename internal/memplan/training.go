@@ -1,0 +1,51 @@
+package memplan
+
+import "crossbow/internal/nn"
+
+// TrainingGraph lowers a full-scale model spec into the operator graph of
+// one learning task: the forward pass followed by the backward pass.
+//
+// Dependency structure: forward op i reads forward op i−1's output; the
+// backward op of layer i reads (a) the incoming gradient — the previous
+// backward op's output — and (b) layer i's forward activation. This is why
+// forward outputs stay live across the whole forward pass but are released
+// one by one as the backward pass retires them — the effect §4.5 exploits
+// ("outputs are mostly reused during the backwards phase", up to 50%
+// footprint reduction).
+func TrainingGraph(spec *nn.ModelSpec, batch int) *Graph {
+	n := len(spec.Ops)
+	g := &Graph{Ops: make([]Op, 0, 2*n)}
+	b := int64(batch)
+	for i, op := range spec.Ops {
+		var in []int
+		if i > 0 {
+			in = []int{i - 1}
+		}
+		g.Ops = append(g.Ops, Op{
+			Name:     op.Kind + "_fwd",
+			OutBytes: op.OutElems * 4 * b,
+			Inputs:   in,
+		})
+	}
+	for j := 0; j < n; j++ {
+		layer := n - 1 - j // backward visits layers in reverse
+		idx := n + j
+		in := []int{idx - 1} // incoming gradient (for j==0 this is the loss output)
+		if layer > 0 {
+			in = append(in, layer-1) // the layer's forward input activation
+		}
+		// The gradient w.r.t. a layer's input has the shape of that input.
+		var outBytes int64
+		if layer > 0 {
+			outBytes = spec.Ops[layer-1].OutElems * 4 * b
+		} else {
+			outBytes = spec.SampleBytes() * b
+		}
+		g.Ops = append(g.Ops, Op{
+			Name:     spec.Ops[layer].Kind + "_bwd",
+			OutBytes: outBytes,
+			Inputs:   in,
+		})
+	}
+	return g
+}

@@ -1,0 +1,137 @@
+// Package metrics implements the evaluation metrics of the paper: test
+// accuracy series, epochs-to-accuracy (ETA, statistical efficiency),
+// time-to-accuracy (TTA, §5.1), and the windowed throughput estimator the
+// auto-tuner consumes.
+package metrics
+
+import "sort"
+
+// EpochPoint is one epoch's outcome: the (virtual or real) time at which
+// the epoch completed and the test accuracy measured there.
+type EpochPoint struct {
+	Epoch   int
+	TimeSec float64
+	TestAcc float64 // in [0, 1]
+	Loss    float64
+}
+
+// medianOfWindow returns the median of accs (len ≥ 1).
+func medianOfWindow(accs []float64) float64 {
+	s := append([]float64(nil), accs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// TTAWindow is the smoothing window of the TTA metric (§5.1: "the median
+// test accuracy of the last 5 epochs").
+const TTAWindow = 5
+
+// TTA returns the time at which the median test accuracy over the trailing
+// TTAWindow epochs first reaches target, per the paper's TTA(x) definition.
+// Early epochs use the shorter prefix window. ok is false if the target was
+// never reached.
+func TTA(series []EpochPoint, target float64) (timeSec float64, ok bool) {
+	for i := range series {
+		lo := i - TTAWindow + 1
+		if lo < 0 {
+			lo = 0
+		}
+		accs := make([]float64, 0, TTAWindow)
+		for _, p := range series[lo : i+1] {
+			accs = append(accs, p.TestAcc)
+		}
+		if medianOfWindow(accs) >= target {
+			return series[i].TimeSec, true
+		}
+	}
+	return 0, false
+}
+
+// EpochsToAccuracy returns the 1-based epoch count needed for the median-
+// windowed test accuracy to reach target (the statistical-efficiency metric
+// of Figures 3, 12b, 13b). ok is false if never reached.
+func EpochsToAccuracy(series []EpochPoint, target float64) (epochs int, ok bool) {
+	for i := range series {
+		lo := i - TTAWindow + 1
+		if lo < 0 {
+			lo = 0
+		}
+		accs := make([]float64, 0, TTAWindow)
+		for _, p := range series[lo : i+1] {
+			accs = append(accs, p.TestAcc)
+		}
+		if medianOfWindow(accs) >= target {
+			return i + 1, true
+		}
+	}
+	return 0, false
+}
+
+// BestAccuracy returns the highest test accuracy in the series.
+func BestAccuracy(series []EpochPoint) float64 {
+	best := 0.0
+	for _, p := range series {
+		if p.TestAcc > best {
+			best = p.TestAcc
+		}
+	}
+	return best
+}
+
+// Throughput measures a processing rate over a sliding window of
+// completion timestamps — the auto-tuner's input signal (§4.4: "the rate
+// at which learning tasks complete, as recorded by the task manager").
+// Times are arbitrary but monotone units (the engine feeds virtual
+// microseconds).
+type Throughput struct {
+	window  float64
+	stamps  []float64
+	weights []float64 // items per completion (e.g. batch size)
+}
+
+// NewThroughput creates an estimator with the given window span.
+func NewThroughput(window float64) *Throughput {
+	return &Throughput{window: window}
+}
+
+// Record notes a completion of weight items (e.g. images) at time t.
+func (t *Throughput) Record(now float64, weight float64) {
+	t.stamps = append(t.stamps, now)
+	t.weights = append(t.weights, weight)
+	t.evict(now)
+}
+
+func (t *Throughput) evict(now float64) {
+	cut := 0
+	for cut < len(t.stamps) && t.stamps[cut] < now-t.window {
+		cut++
+	}
+	if cut > 0 {
+		t.stamps = t.stamps[cut:]
+		t.weights = t.weights[cut:]
+	}
+}
+
+// Rate returns items per time unit over the window ending at now.
+func (t *Throughput) Rate(now float64) float64 {
+	t.evict(now)
+	if len(t.stamps) == 0 {
+		return 0
+	}
+	var total float64
+	for _, w := range t.weights {
+		total += w
+	}
+	span := t.window
+	if now-t.stamps[0] < span {
+		span = now - t.stamps[0]
+	}
+	if span <= 0 {
+		return 0
+	}
+	return total / span
+}

@@ -1,0 +1,141 @@
+package nn
+
+import "crossbow/internal/tensor"
+
+// ReLU applies max(0, x) element-wise.
+type ReLU struct {
+	stateless
+	shape []int // per-sample shape
+	batch int
+
+	mask []bool
+	y    *tensor.Tensor
+	dx   *tensor.Tensor
+}
+
+// NewReLU constructs a ReLU over per-sample shape inShape.
+func NewReLU(batch int, inShape []int) *ReLU {
+	full := append([]int{batch}, inShape...)
+	n := tensor.Volume(full)
+	return &ReLU{
+		shape: append([]int(nil), inShape...),
+		batch: batch,
+		mask:  make([]bool, n),
+		y:     tensor.New(full...),
+		dx:    tensor.New(full...),
+	}
+}
+
+func (r *ReLU) Name() string    { return "relu" }
+func (r *ReLU) OutShape() []int { return r.shape }
+
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	xd, yd := x.Data(), r.y.Data()
+	for i, v := range xd {
+		if v > 0 {
+			yd[i] = v
+			r.mask[i] = true
+		} else {
+			yd[i] = 0
+			r.mask[i] = false
+		}
+	}
+	return r.y
+}
+
+func (r *ReLU) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	dyd, dxd := dy.Data(), r.dx.Data()
+	for i, m := range r.mask {
+		if m {
+			dxd[i] = dyd[i]
+		} else {
+			dxd[i] = 0
+		}
+	}
+	return r.dx
+}
+
+// Dropout zeroes activations with probability P during training and scales
+// the survivors by 1/(1-P) (inverted dropout); it is the identity at
+// evaluation time. VGG-16's classifier head uses it.
+type Dropout struct {
+	stateless
+	P     float64
+	shape []int
+	batch int
+	rng   *tensor.RNG
+
+	keep []float32
+	y    *tensor.Tensor
+	dx   *tensor.Tensor
+}
+
+// NewDropout constructs a dropout layer with drop probability p.
+func NewDropout(batch int, inShape []int, p float64, rng *tensor.RNG) *Dropout {
+	full := append([]int{batch}, inShape...)
+	n := tensor.Volume(full)
+	return &Dropout{
+		P: p, shape: append([]int(nil), inShape...), batch: batch, rng: rng,
+		keep: make([]float32, n),
+		y:    tensor.New(full...),
+		dx:   tensor.New(full...),
+	}
+}
+
+func (d *Dropout) Name() string    { return "dropout" }
+func (d *Dropout) OutShape() []int { return d.shape }
+
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	xd, yd := x.Data(), d.y.Data()
+	if !train || d.P <= 0 {
+		copy(yd, xd)
+		for i := range d.keep {
+			d.keep[i] = 1
+		}
+		return d.y
+	}
+	scale := float32(1 / (1 - d.P))
+	for i, v := range xd {
+		if d.rng.Float64() < d.P {
+			d.keep[i] = 0
+			yd[i] = 0
+		} else {
+			d.keep[i] = scale
+			yd[i] = v * scale
+		}
+	}
+	return d.y
+}
+
+func (d *Dropout) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	dyd, dxd := dy.Data(), d.dx.Data()
+	for i, k := range d.keep {
+		dxd[i] = dyd[i] * k
+	}
+	return d.dx
+}
+
+// Flatten reshapes [B, ...] to [B, V]. It shares data with its input, so
+// Backward likewise just reshapes.
+type Flatten struct {
+	stateless
+	in    []int
+	vol   int
+	batch int
+}
+
+// NewFlatten constructs a flatten layer.
+func NewFlatten(batch int, inShape []int) *Flatten {
+	return &Flatten{in: append([]int(nil), inShape...), vol: tensor.Volume(inShape), batch: batch}
+}
+
+func (f *Flatten) Name() string    { return "flatten" }
+func (f *Flatten) OutShape() []int { return []int{f.vol} }
+
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	return x.Reshape(f.batch, f.vol)
+}
+
+func (f *Flatten) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	return dy.Reshape(append([]int{f.batch}, f.in...)...)
+}

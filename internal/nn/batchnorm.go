@@ -1,0 +1,180 @@
+package nn
+
+import (
+	"math"
+
+	"crossbow/internal/tensor"
+)
+
+// BatchNorm normalises each channel over the batch and spatial dimensions,
+// then applies a learned scale (gamma) and shift (beta).
+//
+// Parameter layout (all inside the model's contiguous vector, paper §4.4):
+// [gamma | beta | runMean | runVar]. The running statistics are
+// non-learnable — their gradients stay zero — but keeping them in the model
+// vector makes every replica fully self-contained: averaging replicas (SMA)
+// averages their statistics too, and binding the central average model to a
+// network for evaluation needs no side state.
+type BatchNorm struct {
+	C     int // channels
+	batch int
+	h, w  int // spatial dims (1×1 for dense inputs)
+	// Momentum for the running statistics update.
+	Momentum float32
+	Eps      float32
+
+	gamma, beta     []float32
+	runMean, runVar []float32
+	gGamma, gBeta   []float32
+
+	x      *tensor.Tensor
+	xhat   []float32
+	mean   []float32
+	invStd []float32
+	y      *tensor.Tensor
+	dx     *tensor.Tensor
+	train  bool
+}
+
+// NewBatchNorm constructs a batch-norm layer over inShape = [C, H, W] or [C].
+func NewBatchNorm(batch int, inShape []int) *BatchNorm {
+	c := inShape[0]
+	h, w := 1, 1
+	if len(inShape) == 3 {
+		h, w = inShape[1], inShape[2]
+	}
+	full := []int{batch, c, h, w}
+	if len(inShape) == 1 {
+		full = []int{batch, c}
+	}
+	n := tensor.Volume(full)
+	return &BatchNorm{
+		C: c, batch: batch, h: h, w: w,
+		Momentum: 0.9, Eps: 1e-5,
+		xhat:   make([]float32, n),
+		mean:   make([]float32, c),
+		invStd: make([]float32, c),
+		y:      tensor.New(full...),
+		dx:     tensor.New(full...),
+	}
+}
+
+func (b *BatchNorm) Name() string { return "batchnorm" }
+
+func (b *BatchNorm) OutShape() []int {
+	if b.h == 1 && b.w == 1 && b.y.Rank() == 2 {
+		return []int{b.C}
+	}
+	return []int{b.C, b.h, b.w}
+}
+
+func (b *BatchNorm) NumParams() int { return 4 * b.C }
+
+func (b *BatchNorm) Bind(w, g []float32) {
+	c := b.C
+	b.gamma, b.beta = w[:c], w[c:2*c]
+	b.runMean, b.runVar = w[2*c:3*c], w[3*c:4*c]
+	b.gGamma, b.gBeta = g[:c], g[c:2*c]
+}
+
+func (b *BatchNorm) InitParams(r *tensor.RNG, w []float32) {
+	c := b.C
+	tensor.InitConst(w[:c], 1)      // gamma
+	tensor.InitConst(w[c:2*c], 0)   // beta
+	tensor.InitConst(w[2*c:3*c], 0) // running mean
+	tensor.InitConst(w[3*c:4*c], 1) // running var
+}
+
+// channelAt returns the flat offset of (n, c) and the per-channel plane size.
+func (b *BatchNorm) plane() int { return b.h * b.w }
+
+func (b *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	b.x = x
+	b.train = train
+	xd, yd := x.Data(), b.y.Data()
+	plane := b.plane()
+	count := b.batch * plane
+
+	for c := 0; c < b.C; c++ {
+		var mean, invStd float32
+		if train {
+			var s float64
+			for n := 0; n < b.batch; n++ {
+				off := (n*b.C + c) * plane
+				for _, v := range xd[off : off+plane] {
+					s += float64(v)
+				}
+			}
+			mean = float32(s / float64(count))
+			var sq float64
+			for n := 0; n < b.batch; n++ {
+				off := (n*b.C + c) * plane
+				for _, v := range xd[off : off+plane] {
+					d := float64(v - mean)
+					sq += d * d
+				}
+			}
+			variance := float32(sq / float64(count))
+			invStd = 1 / float32(math.Sqrt(float64(variance)+float64(b.Eps)))
+			// Update running statistics in the model vector.
+			b.runMean[c] = b.Momentum*b.runMean[c] + (1-b.Momentum)*mean
+			b.runVar[c] = b.Momentum*b.runVar[c] + (1-b.Momentum)*variance
+		} else {
+			mean = b.runMean[c]
+			invStd = 1 / float32(math.Sqrt(float64(b.runVar[c])+float64(b.Eps)))
+		}
+		b.mean[c], b.invStd[c] = mean, invStd
+		g, bt := b.gamma[c], b.beta[c]
+		for n := 0; n < b.batch; n++ {
+			off := (n*b.C + c) * plane
+			for i := off; i < off+plane; i++ {
+				xh := (xd[i] - mean) * invStd
+				b.xhat[i] = xh
+				yd[i] = g*xh + bt
+			}
+		}
+	}
+	return b.y
+}
+
+func (b *BatchNorm) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	dyd, dxd := dy.Data(), b.dx.Data()
+	plane := b.plane()
+	count := float32(b.batch * plane)
+
+	for c := 0; c < b.C; c++ {
+		var sumDy, sumDyXhat float64
+		for n := 0; n < b.batch; n++ {
+			off := (n*b.C + c) * plane
+			for i := off; i < off+plane; i++ {
+				sumDy += float64(dyd[i])
+				sumDyXhat += float64(dyd[i]) * float64(b.xhat[i])
+			}
+		}
+		b.gBeta[c] += float32(sumDy)
+		b.gGamma[c] += float32(sumDyXhat)
+
+		g := b.gamma[c]
+		invStd := b.invStd[c]
+		if !b.train {
+			// Evaluation-mode backward (used only in gradient tests):
+			// statistics are constants.
+			for n := 0; n < b.batch; n++ {
+				off := (n*b.C + c) * plane
+				for i := off; i < off+plane; i++ {
+					dxd[i] = dyd[i] * g * invStd
+				}
+			}
+			continue
+		}
+		mDy := float32(sumDy) / count
+		mDyXhat := float32(sumDyXhat) / count
+		for n := 0; n < b.batch; n++ {
+			off := (n*b.C + c) * plane
+			for i := off; i < off+plane; i++ {
+				dxd[i] = g * invStd * (dyd[i] - mDy - b.xhat[i]*mDyXhat)
+			}
+		}
+	}
+	return b.dx
+}

@@ -1,0 +1,112 @@
+package nn
+
+import "crossbow/internal/tensor"
+
+// Conv2D is a 2-D convolution over NCHW inputs with OIHW filters, lowered to
+// GEMM via im2col. Padding and stride are symmetric per axis.
+type Conv2D struct {
+	Geom  tensor.ConvGeom
+	batch int
+
+	w, b   []float32
+	gw, gb []float32
+
+	x    *tensor.Tensor
+	y    *tensor.Tensor
+	dx   *tensor.Tensor
+	col  []float32 // im2col scratch, reused across samples
+	dcol []float32
+}
+
+// NewConv2D constructs a convolution layer. inShape is [C, H, W].
+func NewConv2D(batch int, inShape []int, outC, k, stride, pad int) *Conv2D {
+	g := tensor.ConvGeom{
+		InC: inShape[0], InH: inShape[1], InW: inShape[2],
+		OutC: outC, KH: k, KW: k,
+		StrideH: stride, StrideW: stride,
+		PadH: pad, PadW: pad,
+	}
+	return &Conv2D{
+		Geom:  g,
+		batch: batch,
+		y:     tensor.New(batch, outC, g.OutH(), g.OutW()),
+		dx:    tensor.New(batch, g.InC, g.InH, g.InW),
+		col:   make([]float32, g.ColRows()*g.ColCols()),
+		dcol:  make([]float32, g.ColRows()*g.ColCols()),
+	}
+}
+
+func (c *Conv2D) Name() string { return "conv2d" }
+
+func (c *Conv2D) OutShape() []int {
+	return []int{c.Geom.OutC, c.Geom.OutH(), c.Geom.OutW()}
+}
+
+func (c *Conv2D) NumParams() int {
+	g := c.Geom
+	return g.OutC*g.InC*g.KH*g.KW + g.OutC
+}
+
+func (c *Conv2D) Bind(w, g []float32) {
+	nw := c.Geom.OutC * c.Geom.InC * c.Geom.KH * c.Geom.KW
+	c.w, c.b = w[:nw], w[nw:nw+c.Geom.OutC]
+	c.gw, c.gb = g[:nw], g[nw:nw+c.Geom.OutC]
+}
+
+func (c *Conv2D) InitParams(r *tensor.RNG, w []float32) {
+	nw := c.Geom.OutC * c.Geom.InC * c.Geom.KH * c.Geom.KW
+	fanIn := c.Geom.InC * c.Geom.KH * c.Geom.KW
+	tensor.InitHe(r, w[:nw], fanIn)
+	tensor.InitConst(w[nw:nw+c.Geom.OutC], 0)
+}
+
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	g := c.Geom
+	checkIn("conv2d", x, c.batch, []int{g.InC, g.InH, g.InW})
+	c.x = x
+	inVol := g.InC * g.InH * g.InW
+	outSpatial := g.ColCols()
+	outVol := g.OutC * outSpatial
+	xd, yd := x.Data(), c.y.Data()
+	for n := 0; n < c.batch; n++ {
+		tensor.Im2col(g, xd[n*inVol:(n+1)*inVol], c.col)
+		out := yd[n*outVol : (n+1)*outVol]
+		tensor.Gemm(1, c.w, g.OutC, g.ColRows(), c.col, outSpatial, 0, out)
+		for oc := 0; oc < g.OutC; oc++ {
+			bias := c.b[oc]
+			row := out[oc*outSpatial : (oc+1)*outSpatial]
+			for i := range row {
+				row[i] += bias
+			}
+		}
+	}
+	return c.y
+}
+
+func (c *Conv2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	g := c.Geom
+	inVol := g.InC * g.InH * g.InW
+	outSpatial := g.ColCols()
+	outVol := g.OutC * outSpatial
+	xd, dyd, dxd := c.x.Data(), dy.Data(), c.dx.Data()
+	c.dx.Zero()
+	for n := 0; n < c.batch; n++ {
+		dout := dyd[n*outVol : (n+1)*outVol]
+		// Bias gradient: per-channel sums.
+		for oc := 0; oc < g.OutC; oc++ {
+			row := dout[oc*outSpatial : (oc+1)*outSpatial]
+			var s float32
+			for _, v := range row {
+				s += v
+			}
+			c.gb[oc] += s
+		}
+		// Weight gradient: dW += dout (OutC×S) * colᵀ (S×ColRows).
+		tensor.Im2col(g, xd[n*inVol:(n+1)*inVol], c.col)
+		tensor.GemmTB(1, dout, g.OutC, outSpatial, c.col, g.ColRows(), 1, c.gw)
+		// Input gradient: dcol = Wᵀ (ColRows×OutC) * dout (OutC×S).
+		tensor.GemmTA(1, c.w, g.OutC, g.ColRows(), dout, outSpatial, 0, c.dcol)
+		tensor.Col2im(g, c.dcol, dxd[n*inVol:(n+1)*inVol])
+	}
+	return c.dx
+}

@@ -1,0 +1,70 @@
+// Package nn implements the neural-network layer library used by Crossbow's
+// learners: convolution, dense, ReLU, pooling, batch normalisation, residual
+// blocks and a softmax cross-entropy loss, together with builders for the
+// four benchmark models of the paper (LeNet, ResNet-32, VGG-16, ResNet-50).
+//
+// A model's weights and gradients live in a single contiguous []float32
+// (paper §4.4), owned by the replica, not by the layers. Layers are bound to
+// a (w, g) vector pair with Bind before use; rebinding is cheap, so one
+// network structure can evaluate any replica or the central average model.
+// Activation buffers are pre-allocated per network for a fixed batch size,
+// making the training loop allocation-free in steady state.
+package nn
+
+import (
+	"fmt"
+
+	"crossbow/internal/tensor"
+)
+
+// Layer is a differentiable operator with optional parameters.
+//
+// Forward consumes a batched input tensor and returns the batched output;
+// Backward consumes dL/d(output) and returns dL/d(input), accumulating
+// parameter gradients into the bound gradient slice. Forward must be called
+// before the matching Backward (layers cache the inputs they need).
+type Layer interface {
+	// Name identifies the layer for debugging and operator inventories.
+	Name() string
+	// OutShape returns the per-sample output shape.
+	OutShape() []int
+	// NumParams returns the layer's parameter count (0 for stateless layers).
+	NumParams() int
+	// Bind attaches the layer to parameter and gradient storage. Both
+	// slices have length NumParams. Stateless layers ignore the call.
+	Bind(w, g []float32)
+	// InitParams writes initial parameter values into w (length NumParams).
+	InitParams(r *tensor.RNG, w []float32)
+	// Forward computes the layer output for a batch. train selects
+	// training-mode behaviour (batch statistics, dropout).
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward computes the input gradient from the output gradient and
+	// accumulates parameter gradients into the bound gradient slice.
+	Backward(dy *tensor.Tensor) *tensor.Tensor
+}
+
+// stateless is embedded by layers without parameters.
+type stateless struct{}
+
+func (stateless) NumParams() int                        { return 0 }
+func (stateless) Bind(w, g []float32)                   {}
+func (stateless) InitParams(r *tensor.RNG, w []float32) {}
+
+func shapeEq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func checkIn(name string, x *tensor.Tensor, batch int, inShape []int) {
+	want := append([]int{batch}, inShape...)
+	if !shapeEq(x.Shape(), want) {
+		panic(fmt.Sprintf("nn: %s: input shape %v, want %v", name, x.Shape(), want))
+	}
+}

@@ -1,0 +1,94 @@
+package nn
+
+import (
+	"math"
+
+	"crossbow/internal/tensor"
+)
+
+// SoftmaxCE is the softmax cross-entropy loss head used by all benchmark
+// models. It consumes logits of shape [B, Classes] and integer labels.
+type SoftmaxCE struct {
+	Classes int
+	batch   int
+
+	probs *tensor.Tensor
+	dx    *tensor.Tensor
+}
+
+// NewSoftmaxCE constructs the loss for a fixed batch size.
+func NewSoftmaxCE(batch, classes int) *SoftmaxCE {
+	return &SoftmaxCE{
+		Classes: classes, batch: batch,
+		probs: tensor.New(batch, classes),
+		dx:    tensor.New(batch, classes),
+	}
+}
+
+// Loss computes the mean cross-entropy over the batch and the gradient with
+// respect to the logits (already divided by the batch size, matching
+// Eq. (2) of the paper: the gradient is averaged over batch samples).
+func (s *SoftmaxCE) Loss(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	if len(labels) != s.batch {
+		panic("nn: label count does not match batch size")
+	}
+	ld, pd, dd := logits.Data(), s.probs.Data(), s.dx.Data()
+	var total float64
+	invB := float32(1) / float32(s.batch)
+	for n := 0; n < s.batch; n++ {
+		row := ld[n*s.Classes : (n+1)*s.Classes]
+		prow := pd[n*s.Classes : (n+1)*s.Classes]
+		drow := dd[n*s.Classes : (n+1)*s.Classes]
+		// Numerically stable softmax.
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(float64(v - maxv))
+			prow[j] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for j := range prow {
+			prow[j] *= inv
+		}
+		y := labels[n]
+		if y < 0 || y >= s.Classes {
+			panic("nn: label out of range")
+		}
+		p := float64(prow[y])
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		total += -math.Log(p)
+		for j := range drow {
+			drow[j] = prow[j] * invB
+		}
+		drow[y] -= invB
+	}
+	return total / float64(s.batch), s.dx
+}
+
+// Predictions returns the arg-max class of the most recent Loss call's
+// softmax for each sample in the batch.
+func (s *SoftmaxCE) Predictions(out []int) []int {
+	if out == nil {
+		out = make([]int, s.batch)
+	}
+	pd := s.probs.Data()
+	for n := 0; n < s.batch; n++ {
+		row := pd[n*s.Classes : (n+1)*s.Classes]
+		best, bi := row[0], 0
+		for j, v := range row[1:] {
+			if v > best {
+				best, bi = v, j+1
+			}
+		}
+		out[n] = bi
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package nn
+
+import "crossbow/internal/tensor"
+
+// MaxPool is a 2-D max pooling layer over NCHW inputs with square window and
+// stride equal to the window size (the configuration the benchmark models
+// use).
+type MaxPool struct {
+	stateless
+	K             int
+	batch         int
+	inC, inH, inW int
+	outH, outW    int
+
+	argmax []int32 // flat input index of each output's max
+	y      *tensor.Tensor
+	dx     *tensor.Tensor
+}
+
+// NewMaxPool constructs a max-pool layer with window and stride k.
+func NewMaxPool(batch int, inShape []int, k int) *MaxPool {
+	c, h, w := inShape[0], inShape[1], inShape[2]
+	oh, ow := h/k, w/k
+	return &MaxPool{
+		K: k, batch: batch, inC: c, inH: h, inW: w, outH: oh, outW: ow,
+		argmax: make([]int32, batch*c*oh*ow),
+		y:      tensor.New(batch, c, oh, ow),
+		dx:     tensor.New(batch, c, h, w),
+	}
+}
+
+func (p *MaxPool) Name() string    { return "maxpool" }
+func (p *MaxPool) OutShape() []int { return []int{p.inC, p.outH, p.outW} }
+
+func (p *MaxPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkIn("maxpool", x, p.batch, []int{p.inC, p.inH, p.inW})
+	xd, yd := x.Data(), p.y.Data()
+	oi := 0
+	for n := 0; n < p.batch; n++ {
+		for c := 0; c < p.inC; c++ {
+			base := (n*p.inC + c) * p.inH * p.inW
+			for oh := 0; oh < p.outH; oh++ {
+				for ow := 0; ow < p.outW; ow++ {
+					best := float32(0)
+					bi := -1
+					for kh := 0; kh < p.K; kh++ {
+						row := base + (oh*p.K+kh)*p.inW + ow*p.K
+						for kw := 0; kw < p.K; kw++ {
+							if v := xd[row+kw]; bi < 0 || v > best {
+								best, bi = v, row+kw
+							}
+						}
+					}
+					yd[oi] = best
+					p.argmax[oi] = int32(bi)
+					oi++
+				}
+			}
+		}
+	}
+	return p.y
+}
+
+func (p *MaxPool) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	p.dx.Zero()
+	dyd, dxd := dy.Data(), p.dx.Data()
+	for i, src := range p.argmax {
+		dxd[src] += dyd[i]
+	}
+	return p.dx
+}
+
+// GlobalAvgPool averages each channel's spatial plane, producing [B, C].
+// ResNet uses it before the classifier.
+type GlobalAvgPool struct {
+	stateless
+	batch, c, h, w int
+	y              *tensor.Tensor
+	dx             *tensor.Tensor
+}
+
+// NewGlobalAvgPool constructs a global average pooling layer.
+func NewGlobalAvgPool(batch int, inShape []int) *GlobalAvgPool {
+	c, h, w := inShape[0], inShape[1], inShape[2]
+	return &GlobalAvgPool{
+		batch: batch, c: c, h: h, w: w,
+		y:  tensor.New(batch, c),
+		dx: tensor.New(batch, c, h, w),
+	}
+}
+
+func (p *GlobalAvgPool) Name() string    { return "gavgpool" }
+func (p *GlobalAvgPool) OutShape() []int { return []int{p.c} }
+
+func (p *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkIn("gavgpool", x, p.batch, []int{p.c, p.h, p.w})
+	xd, yd := x.Data(), p.y.Data()
+	plane := p.h * p.w
+	inv := 1 / float32(plane)
+	for i := 0; i < p.batch*p.c; i++ {
+		var s float32
+		for _, v := range xd[i*plane : (i+1)*plane] {
+			s += v
+		}
+		yd[i] = s * inv
+	}
+	return p.y
+}
+
+func (p *GlobalAvgPool) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	dyd, dxd := dy.Data(), p.dx.Data()
+	plane := p.h * p.w
+	inv := 1 / float32(plane)
+	for i := 0; i < p.batch*p.c; i++ {
+		g := dyd[i] * inv
+		row := dxd[i*plane : (i+1)*plane]
+		for j := range row {
+			row[j] = g
+		}
+	}
+	return p.dx
+}

@@ -1,0 +1,159 @@
+package nn
+
+import (
+	"fmt"
+
+	"crossbow/internal/tensor"
+)
+
+// Residual implements a residual block: y = ReLU(F(x) + S(x)), where F is
+// the main branch (a sequence of layers) and S is either the identity or a
+// projection shortcut (1×1 convolution, optionally batch-normalised) when
+// the branch changes shape. ResNet-32 uses two-conv basic blocks; ResNet-50
+// uses three-conv bottleneck blocks; both are expressed with this type.
+type Residual struct {
+	branch   []Layer
+	shortcut []Layer // empty => identity
+	batch    int
+	outShape []int
+
+	sum  *tensor.Tensor
+	mask []bool
+	y    *tensor.Tensor
+	dsum *tensor.Tensor
+	dx   *tensor.Tensor
+}
+
+// NewResidual builds a residual block. branch must be non-empty; shortcut
+// may be nil for an identity skip, in which case the branch's output shape
+// must equal inShape.
+func NewResidual(batch int, inShape []int, branch, shortcut []Layer) *Residual {
+	if len(branch) == 0 {
+		panic("nn: residual block needs a non-empty branch")
+	}
+	out := branch[len(branch)-1].OutShape()
+	if len(shortcut) == 0 && !shapeEq(out, inShape) {
+		panic(fmt.Sprintf("nn: identity residual with shape change %v -> %v", inShape, out))
+	}
+	if len(shortcut) > 0 {
+		sOut := shortcut[len(shortcut)-1].OutShape()
+		if !shapeEq(sOut, out) {
+			panic(fmt.Sprintf("nn: residual branch %v vs shortcut %v shape mismatch", out, sOut))
+		}
+	}
+	full := append([]int{batch}, out...)
+	n := tensor.Volume(full)
+	return &Residual{
+		branch: branch, shortcut: shortcut, batch: batch,
+		outShape: append([]int(nil), out...),
+		sum:      tensor.New(full...),
+		mask:     make([]bool, n),
+		y:        tensor.New(full...),
+		dsum:     tensor.New(full...),
+		dx:       tensor.New(append([]int{batch}, inShape...)...),
+	}
+}
+
+func (r *Residual) Name() string    { return "residual" }
+func (r *Residual) OutShape() []int { return r.outShape }
+
+func (r *Residual) NumParams() int {
+	n := 0
+	for _, l := range r.branch {
+		n += l.NumParams()
+	}
+	for _, l := range r.shortcut {
+		n += l.NumParams()
+	}
+	return n
+}
+
+func (r *Residual) Bind(w, g []float32) {
+	off := 0
+	for _, l := range r.branch {
+		n := l.NumParams()
+		l.Bind(w[off:off+n], g[off:off+n])
+		off += n
+	}
+	for _, l := range r.shortcut {
+		n := l.NumParams()
+		l.Bind(w[off:off+n], g[off:off+n])
+		off += n
+	}
+}
+
+func (r *Residual) InitParams(rng *tensor.RNG, w []float32) {
+	off := 0
+	for _, l := range r.branch {
+		n := l.NumParams()
+		l.InitParams(rng, w[off:off+n])
+		off += n
+	}
+	for _, l := range r.shortcut {
+		n := l.NumParams()
+		l.InitParams(rng, w[off:off+n])
+		off += n
+	}
+}
+
+func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	f := x
+	for _, l := range r.branch {
+		f = l.Forward(f, train)
+	}
+	s := x
+	for _, l := range r.shortcut {
+		s = l.Forward(s, train)
+	}
+	sd, fd, sumd, yd := s.Data(), f.Data(), r.sum.Data(), r.y.Data()
+	for i := range sumd {
+		v := fd[i] + sd[i]
+		sumd[i] = v
+		if v > 0 {
+			yd[i] = v
+			r.mask[i] = true
+		} else {
+			yd[i] = 0
+			r.mask[i] = false
+		}
+	}
+	return r.y
+}
+
+func (r *Residual) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	dyd, dsumd := dy.Data(), r.dsum.Data()
+	for i, m := range r.mask {
+		if m {
+			dsumd[i] = dyd[i]
+		} else {
+			dsumd[i] = 0
+		}
+	}
+	// Branch path.
+	db := r.dsum
+	for i := len(r.branch) - 1; i >= 0; i-- {
+		db = r.branch[i].Backward(db)
+	}
+	// Shortcut path.
+	ds := r.dsum
+	for i := len(r.shortcut) - 1; i >= 0; i-- {
+		ds = r.shortcut[i].Backward(ds)
+	}
+	dbd, dsd, dxd := db.Data(), ds.Data(), r.dx.Data()
+	if len(r.shortcut) == 0 {
+		// Identity skip: ds is dsum itself, shaped like the output, which
+		// equals the input shape in this case.
+		dsd = r.dsum.Data()
+	}
+	for i := range dxd {
+		dxd[i] = dbd[i] + dsd[i]
+	}
+	return r.dx
+}
+
+// Operators returns the layers inside the block, branch first, for operator
+// inventories.
+func (r *Residual) Operators() []Layer {
+	ops := append([]Layer(nil), r.branch...)
+	return append(ops, r.shortcut...)
+}

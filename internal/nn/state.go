@@ -1,0 +1,55 @@
+package nn
+
+// Layer state vs learnable weights: batch-norm running statistics live in
+// the model's contiguous parameter vector (see BatchNorm), but they are not
+// driven by gradients — the layer writes them during training-mode forward
+// passes. Optimisers that overwrite replicas with a separately maintained
+// global model (S-SGD, A-SGD) must carry this state across explicitly, or
+// the global model evaluates with stale initial statistics.
+
+// stateful is implemented by layers holding non-learnable state inside
+// their parameter block; ranges are [start, end) offsets relative to the
+// layer's own block.
+type stateful interface {
+	stateRanges() [][2]int
+}
+
+func (b *BatchNorm) stateRanges() [][2]int {
+	// [gamma | beta | runMean | runVar] — the trailing half is state.
+	return [][2]int{{2 * b.C, 4 * b.C}}
+}
+
+func (r *Residual) stateRanges() [][2]int {
+	var out [][2]int
+	off := 0
+	collect := func(layers []Layer) {
+		for _, l := range layers {
+			if s, ok := l.(stateful); ok {
+				for _, rg := range s.stateRanges() {
+					out = append(out, [2]int{off + rg[0], off + rg[1]})
+				}
+			}
+			off += l.NumParams()
+		}
+	}
+	collect(r.branch)
+	collect(r.shortcut)
+	return out
+}
+
+// StateRanges returns the [start, end) ranges of the network's parameter
+// vector that hold layer state (batch-norm running statistics) rather than
+// gradient-trained weights.
+func (n *Network) StateRanges() [][2]int {
+	var out [][2]int
+	off := 0
+	for _, l := range n.layers {
+		if s, ok := l.(stateful); ok {
+			for _, rg := range s.stateRanges() {
+				out = append(out, [2]int{off + rg[0], off + rg[1]})
+			}
+		}
+		off += l.NumParams()
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package tensor
+
+// Convolution support: im2col/col2im lowering so that Conv2D forward and
+// both backward passes reduce to GEMM. Layout conventions are NCHW for
+// activations and OIHW for filters, matching the paper's cuDNN substrate.
+
+// ConvGeom describes a 2-D convolution's geometry.
+type ConvGeom struct {
+	InC, InH, InW    int // input channels, height, width
+	OutC             int // output channels
+	KH, KW           int // kernel height, width
+	StrideH, StrideW int
+	PadH, PadW       int
+}
+
+// OutH returns the output height.
+func (g ConvGeom) OutH() int { return (g.InH+2*g.PadH-g.KH)/g.StrideH + 1 }
+
+// OutW returns the output width.
+func (g ConvGeom) OutW() int { return (g.InW+2*g.PadW-g.KW)/g.StrideW + 1 }
+
+// ColRows returns the number of rows of the im2col matrix (one per input
+// patch element): InC*KH*KW.
+func (g ConvGeom) ColRows() int { return g.InC * g.KH * g.KW }
+
+// ColCols returns the number of columns of the im2col matrix (one per output
+// spatial position): OutH*OutW.
+func (g ConvGeom) ColCols() int { return g.OutH() * g.OutW() }
+
+// Im2col expands one image (InC×InH×InW, flat) into the column matrix col
+// (ColRows×ColCols, flat) so that filterMatrix(OutC×ColRows) * col yields the
+// convolution output (OutC×OutH*OutW).
+func Im2col(g ConvGeom, img, col []float32) {
+	outH, outW := g.OutH(), g.OutW()
+	if len(img) < g.InC*g.InH*g.InW || len(col) < g.ColRows()*g.ColCols() {
+		panic("tensor: Im2col buffer too small")
+	}
+	cols := outH * outW
+	row := 0
+	for c := 0; c < g.InC; c++ {
+		chOff := c * g.InH * g.InW
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				dst := col[row*cols : row*cols+cols]
+				row++
+				di := 0
+				for oh := 0; oh < outH; oh++ {
+					ih := oh*g.StrideH - g.PadH + kh
+					if ih < 0 || ih >= g.InH {
+						for ow := 0; ow < outW; ow++ {
+							dst[di] = 0
+							di++
+						}
+						continue
+					}
+					rowOff := chOff + ih*g.InW
+					for ow := 0; ow < outW; ow++ {
+						iw := ow*g.StrideW - g.PadW + kw
+						if iw < 0 || iw >= g.InW {
+							dst[di] = 0
+						} else {
+							dst[di] = img[rowOff+iw]
+						}
+						di++
+					}
+				}
+			}
+		}
+	}
+}
+
+// Col2im scatters the column matrix back into an image, accumulating
+// overlapping patch contributions. It is the adjoint of Im2col and is used
+// to propagate gradients to the convolution input. img must be zeroed (or
+// hold a partial accumulation) on entry.
+func Col2im(g ConvGeom, col, img []float32) {
+	outH, outW := g.OutH(), g.OutW()
+	if len(img) < g.InC*g.InH*g.InW || len(col) < g.ColRows()*g.ColCols() {
+		panic("tensor: Col2im buffer too small")
+	}
+	cols := outH * outW
+	row := 0
+	for c := 0; c < g.InC; c++ {
+		chOff := c * g.InH * g.InW
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				src := col[row*cols : row*cols+cols]
+				row++
+				si := 0
+				for oh := 0; oh < outH; oh++ {
+					ih := oh*g.StrideH - g.PadH + kh
+					if ih < 0 || ih >= g.InH {
+						si += outW
+						continue
+					}
+					rowOff := chOff + ih*g.InW
+					for ow := 0; ow < outW; ow++ {
+						iw := ow*g.StrideW - g.PadW + kw
+						if iw >= 0 && iw < g.InW {
+							img[rowOff+iw] += src[si]
+						}
+						si++
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package tensor
+
+// Gemm computes C = alpha*A*B + beta*C for row-major matrices, where A is
+// m×k, B is k×n and C is m×n. It is the single hot kernel behind dense
+// layers and im2col convolution. The loop order (i,p,j) streams B and C rows
+// sequentially, which is the cache-friendly order for row-major data.
+func Gemm(alpha float32, a []float32, m, k int, b []float32, n int, beta float32, c []float32) {
+	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
+		panic("tensor: Gemm buffer too small")
+	}
+	if beta == 0 {
+		for i := range c[:m*n] {
+			c[i] = 0
+		}
+	} else if beta != 1 {
+		for i := range c[:m*n] {
+			c[i] *= beta
+		}
+	}
+	if alpha == 0 {
+		return
+	}
+	for i := 0; i < m; i++ {
+		arow := a[i*k : i*k+k]
+		crow := c[i*n : i*n+n]
+		for p := 0; p < k; p++ {
+			av := alpha * arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b[p*n : p*n+n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// GemmTA computes C = alpha*Aᵀ*B + beta*C where A is k×m (so Aᵀ is m×k),
+// B is k×n and C is m×n. Used for weight-gradient accumulation.
+func GemmTA(alpha float32, a []float32, k, m int, b []float32, n int, beta float32, c []float32) {
+	if len(a) < k*m || len(b) < k*n || len(c) < m*n {
+		panic("tensor: GemmTA buffer too small")
+	}
+	if beta == 0 {
+		for i := range c[:m*n] {
+			c[i] = 0
+		}
+	} else if beta != 1 {
+		for i := range c[:m*n] {
+			c[i] *= beta
+		}
+	}
+	if alpha == 0 {
+		return
+	}
+	for p := 0; p < k; p++ {
+		arow := a[p*m : p*m+m]
+		brow := b[p*n : p*n+n]
+		for i, av := range arow {
+			av *= alpha
+			if av == 0 {
+				continue
+			}
+			crow := c[i*n : i*n+n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// GemmTB computes C = alpha*A*Bᵀ + beta*C where A is m×k, B is n×k (so Bᵀ
+// is k×n) and C is m×n. Used for input-gradient propagation.
+func GemmTB(alpha float32, a []float32, m, k int, b []float32, n int, beta float32, c []float32) {
+	if len(a) < m*k || len(b) < n*k || len(c) < m*n {
+		panic("tensor: GemmTB buffer too small")
+	}
+	if beta == 0 {
+		for i := range c[:m*n] {
+			c[i] = 0
+		}
+	} else if beta != 1 {
+		for i := range c[:m*n] {
+			c[i] *= beta
+		}
+	}
+	if alpha == 0 {
+		return
+	}
+	for i := 0; i < m; i++ {
+		arow := a[i*k : i*k+k]
+		crow := c[i*n : i*n+n]
+		for j := 0; j < n; j++ {
+			brow := b[j*k : j*k+k]
+			var s float32
+			for p := range arow {
+				s += arow[p] * brow[p]
+			}
+			crow[j] += alpha * s
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package tensor
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator (SplitMix64
+// seeded xorshift128+). Every stochastic choice in the repository — dataset
+// synthesis, weight initialisation, shuffling, dropout — draws from an RNG
+// constructed with an explicit seed so experiments replay bit-for-bit.
+type RNG struct {
+	s0, s1 uint64
+	// cached second Box-Muller variate
+	hasGauss bool
+	gauss    float64
+}
+
+// NewRNG returns a generator seeded deterministically from seed.
+func NewRNG(seed uint64) *RNG {
+	// SplitMix64 expansion of the seed into two non-zero state words.
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	r := &RNG{s0: next(), s1: next()}
+	if r.s0 == 0 && r.s1 == 0 {
+		r.s0 = 1
+	}
+	return r
+}
+
+// Uint64 returns the next 64 random bits (xorshift128+).
+func (r *RNG) Uint64() uint64 {
+	x, y := r.s0, r.s1
+	r.s0 = y
+	x ^= x << 23
+	x ^= x >> 17
+	x ^= y ^ (y >> 26)
+	r.s1 = x
+	return x + y
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Float32 returns a uniform value in [0, 1).
+func (r *RNG) Float32() float32 {
+	return float32(r.Uint64()>>40) / (1 << 24)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("tensor: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// NormFloat64 returns a standard normal variate (Box-Muller).
+func (r *RNG) NormFloat64() float64 {
+	if r.hasGauss {
+		r.hasGauss = false
+		return r.gauss
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	f := math.Sqrt(-2 * math.Log(s) / s)
+	r.gauss = v * f
+	r.hasGauss = true
+	return u * f
+}
+
+// Perm fills out with a random permutation of [0, len(out)) using the
+// Fisher-Yates shuffle.
+func (r *RNG) Perm(out []int) {
+	for i := range out {
+		out[i] = i
+	}
+	for i := len(out) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+}
+
+// Split derives an independent generator from r. Sequential Split calls
+// yield distinct streams, so one master seed can fan out to per-worker RNGs.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64())
+}

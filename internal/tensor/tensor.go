@@ -1,0 +1,169 @@
+// Package tensor provides the dense float32 tensor type and the numeric
+// kernels (GEMM, im2col convolution, pooling, element-wise vector ops) that
+// the neural-network layer library in internal/nn is built on.
+//
+// Tensors are row-major and backed by a flat []float32. The package is
+// deliberately small and allocation-conscious: layers pre-allocate their
+// output tensors once and the kernels write into caller-provided buffers, so
+// the steady-state training loop performs no per-iteration allocation.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense, row-major float32 tensor. The zero value is an empty
+// tensor; use New or FromSlice to construct a usable one.
+type Tensor struct {
+	shape []int
+	data  []float32
+}
+
+// New returns a zero-filled tensor with the given shape.
+func New(shape ...int) *Tensor {
+	n := Volume(shape)
+	return &Tensor{shape: cloneShape(shape), data: make([]float32, n)}
+}
+
+// FromSlice wraps data in a tensor with the given shape. The slice is used
+// directly (not copied); its length must equal the shape volume.
+func FromSlice(data []float32, shape ...int) *Tensor {
+	if len(data) != Volume(shape) {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (volume %d)",
+			len(data), shape, Volume(shape)))
+	}
+	return &Tensor{shape: cloneShape(shape), data: data}
+}
+
+// Volume returns the number of elements implied by shape. An empty shape has
+// volume 0.
+func Volume(shape []int) int {
+	if len(shape) == 0 {
+		return 0
+	}
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension in shape %v", shape))
+		}
+		n *= d
+	}
+	return n
+}
+
+func cloneShape(s []int) []int {
+	c := make([]int, len(s))
+	copy(c, s)
+	return c
+}
+
+// Shape returns the tensor's shape. The returned slice must not be modified.
+func (t *Tensor) Shape() []int { return t.shape }
+
+// Data returns the backing slice. Mutating it mutates the tensor.
+func (t *Tensor) Data() []float32 { return t.data }
+
+// Len returns the number of elements.
+func (t *Tensor) Len() int { return len(t.data) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.shape) }
+
+// At returns the element at the given multi-dimensional index.
+func (t *Tensor) At(idx ...int) float32 { return t.data[t.offset(idx)] }
+
+// Set writes v at the given multi-dimensional index.
+func (t *Tensor) Set(v float32, idx ...int) { t.data[t.offset(idx)] = v }
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index rank %d does not match tensor rank %d", len(idx), len(t.shape)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of bounds for shape %v", idx, t.shape))
+		}
+		off = off*t.shape[i] + x
+	}
+	return off
+}
+
+// Reshape returns a tensor sharing t's data with a new shape of equal volume.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	if Volume(shape) != len(t.data) {
+		panic(fmt.Sprintf("tensor: cannot reshape volume %d to %v", len(t.data), shape))
+	}
+	return &Tensor{shape: cloneShape(shape), data: t.data}
+}
+
+// Clone returns a deep copy of t.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.shape...)
+	copy(c.data, t.data)
+	return c
+}
+
+// CopyFrom copies src's data into t. Shapes must have equal volume.
+func (t *Tensor) CopyFrom(src *Tensor) {
+	if len(src.data) != len(t.data) {
+		panic(fmt.Sprintf("tensor: copy volume mismatch %d != %d", len(src.data), len(t.data)))
+	}
+	copy(t.data, src.data)
+}
+
+// Zero sets all elements to 0.
+func (t *Tensor) Zero() {
+	for i := range t.data {
+		t.data[i] = 0
+	}
+}
+
+// Fill sets all elements to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// SameShape reports whether t and o have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	if len(t.shape) != len(o.shape) {
+		return false
+	}
+	for i := range t.shape {
+		if t.shape[i] != o.shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a short description, not the full contents.
+func (t *Tensor) String() string {
+	return fmt.Sprintf("Tensor%v", t.shape)
+}
+
+// MaxAbs returns the largest absolute element value, or 0 for empty tensors.
+func (t *Tensor) MaxAbs() float32 {
+	var m float32
+	for _, v := range t.data {
+		if a := float32(math.Abs(float64(v))); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// L2Norm returns the Euclidean norm of the tensor's elements.
+func (t *Tensor) L2Norm() float64 {
+	var s float64
+	for _, v := range t.data {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}

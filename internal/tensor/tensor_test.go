@@ -1,0 +1,238 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroFilled(t *testing.T) {
+	x := New(2, 3, 4)
+	if x.Len() != 24 {
+		t.Fatalf("Len = %d, want 24", x.Len())
+	}
+	for i, v := range x.Data() {
+		if v != 0 {
+			t.Fatalf("element %d = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	x := New(3, 4)
+	x.Set(7.5, 1, 2)
+	if got := x.At(1, 2); got != 7.5 {
+		t.Fatalf("At(1,2) = %v, want 7.5", got)
+	}
+	if got := x.Data()[1*4+2]; got != 7.5 {
+		t.Fatalf("flat offset = %v, want 7.5", got)
+	}
+}
+
+func TestAtOutOfBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-bounds index")
+		}
+	}()
+	New(2, 2).At(2, 0)
+}
+
+func TestFromSliceLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	FromSlice([]float32{1, 2, 3}, 2, 2)
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	x := New(2, 6)
+	y := x.Reshape(3, 4)
+	y.Set(9, 2, 3)
+	if x.Data()[11] != 9 {
+		t.Fatal("reshape must alias the original data")
+	}
+	if y.Dim(0) != 3 || y.Dim(1) != 4 {
+		t.Fatalf("reshaped dims = %v", y.Shape())
+	}
+}
+
+func TestReshapeBadVolumePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, 3).Reshape(4)
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	x := New(4)
+	x.Fill(1)
+	y := x.Clone()
+	y.Data()[0] = 5
+	if x.Data()[0] != 1 {
+		t.Fatal("clone must not alias")
+	}
+}
+
+func TestSameShape(t *testing.T) {
+	if !New(2, 3).SameShape(New(2, 3)) {
+		t.Fatal("equal shapes reported different")
+	}
+	if New(2, 3).SameShape(New(3, 2)) {
+		t.Fatal("different shapes reported equal")
+	}
+	if New(2, 3).SameShape(New(2, 3, 1)) {
+		t.Fatal("different ranks reported equal")
+	}
+}
+
+func TestVolume(t *testing.T) {
+	cases := []struct {
+		shape []int
+		want  int
+	}{
+		{nil, 0},
+		{[]int{5}, 5},
+		{[]int{2, 3}, 6},
+		{[]int{2, 0, 4}, 0},
+	}
+	for _, c := range cases {
+		if got := Volume(c.shape); got != c.want {
+			t.Errorf("Volume(%v) = %d, want %d", c.shape, got, c.want)
+		}
+	}
+}
+
+func TestMaxAbsAndL2(t *testing.T) {
+	x := FromSlice([]float32{3, -4}, 2)
+	if x.MaxAbs() != 4 {
+		t.Fatalf("MaxAbs = %v", x.MaxAbs())
+	}
+	if math.Abs(x.L2Norm()-5) > 1e-9 {
+		t.Fatalf("L2Norm = %v, want 5", x.L2Norm())
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must yield identical streams")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a2 := NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should diverge")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestRNGNormalMoments(t *testing.T) {
+	r := NewRNG(11)
+	const n = 200000
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sq += v * v
+	}
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	r := NewRNG(5)
+	p := make([]int, 257)
+	r.Perm(p)
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			t.Fatalf("not a permutation at value %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	r := NewRNG(99)
+	a := r.Split()
+	b := r.Split()
+	if a.Uint64() == b.Uint64() && a.Uint64() == b.Uint64() && a.Uint64() == b.Uint64() {
+		t.Fatal("split streams should differ")
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+	}
+}
+
+// Property: Intn always lands in range for arbitrary positive n.
+func TestRNGIntnProperty(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		bound := int(n%1000) + 1
+		r := NewRNG(seed)
+		v := r.Intn(bound)
+		return v >= 0 && v < bound
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInitHeVariance(t *testing.T) {
+	r := NewRNG(3)
+	w := make([]float32, 100000)
+	InitHe(r, w, 50)
+	var sq float64
+	for _, v := range w {
+		sq += float64(v) * float64(v)
+	}
+	variance := sq / float64(len(w))
+	want := 2.0 / 50.0
+	if math.Abs(variance-want)/want > 0.05 {
+		t.Fatalf("He variance = %v, want ~%v", variance, want)
+	}
+}
+
+func TestInitXavierBounds(t *testing.T) {
+	r := NewRNG(3)
+	w := make([]float32, 10000)
+	InitXavier(r, w, 30, 70)
+	limit := float32(math.Sqrt(6.0 / 100.0))
+	for _, v := range w {
+		if v < -limit || v > limit {
+			t.Fatalf("Xavier value %v outside ±%v", v, limit)
+		}
+	}
+}
