@@ -2,13 +2,15 @@ package crossbow
 
 import (
 	"fmt"
+	"strconv"
 
 	"crossbow/internal/ckpt"
 )
 
 // SaveModel writes a training result's model (the central average model for
 // SMA/EA-SGD, the global model for S-SGD) to path as an atomic, checksummed
-// checkpoint.
+// checkpoint. Cluster runs record their server count and interconnect in
+// the checkpoint metadata.
 func SaveModel(path string, model Model, res *Result) error {
 	if res == nil || len(res.Series) == 0 {
 		return fmt.Errorf("crossbow: empty result")
@@ -16,12 +18,19 @@ func SaveModel(path string, model Model, res *Result) error {
 	if res.Params == nil {
 		return fmt.Errorf("crossbow: result carries no model parameters")
 	}
-	return ckpt.Save(path, &ckpt.Checkpoint{
+	c := &ckpt.Checkpoint{
 		Model:        string(model),
 		Epoch:        res.Series[len(res.Series)-1].Epoch,
 		BestAccuracy: res.BestAccuracy,
 		Params:       res.Params,
-	})
+	}
+	if res.Servers > 1 {
+		c.Meta = map[string]string{
+			"servers":      strconv.Itoa(res.Servers),
+			"interconnect": res.Interconnect.Name,
+		}
+	}
+	return ckpt.Save(path, c)
 }
 
 // LoadModel reads a checkpoint from path, returning the model identity,
@@ -32,4 +41,38 @@ func LoadModel(path string) (Model, []float32, int, float64, error) {
 		return "", nil, 0, 0, err
 	}
 	return Model(c.Model), c.Params, c.Epoch, c.BestAccuracy, nil
+}
+
+// Checkpoint is a loaded model snapshot with its recorded training
+// context.
+type Checkpoint struct {
+	// Model names the architecture the parameters belong to.
+	Model Model
+	// Epoch is the number of completed epochs.
+	Epoch int
+	// BestAccuracy is the best test accuracy observed so far.
+	BestAccuracy float64
+	// Meta carries optional training context: cluster runs record
+	// "servers" and "interconnect". Empty for single-server checkpoints
+	// and files written by older versions.
+	Meta map[string]string
+	// Params is the flat model vector.
+	Params []float32
+}
+
+// LoadCheckpoint reads a checkpoint with its full metadata (including the
+// cluster context SaveModel records for multi-server runs). Checkpoints
+// written by older versions load with empty metadata.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	c, err := ckpt.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Checkpoint{
+		Model:        Model(c.Model),
+		Epoch:        c.Epoch,
+		BestAccuracy: c.BestAccuracy,
+		Meta:         c.Meta,
+		Params:       c.Params,
+	}, nil
 }

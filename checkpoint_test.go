@@ -42,3 +42,61 @@ func TestSaveModelRejectsEmptyResult(t *testing.T) {
 		t.Fatal("expected error")
 	}
 }
+
+// TestSaveLoadClusterModelRoundTrip covers checkpoints written under the
+// cluster config fields: the trained model round-trips bit-exactly and the
+// cluster context (server count, interconnect) is recorded as metadata.
+func TestSaveLoadClusterModelRoundTrip(t *testing.T) {
+	res, err := Train(Config{
+		Model: LeNet, Servers: 2, GPUs: 1, LearnersPerGPU: 2,
+		Batch: 8, MaxEpochs: 2, Interconnect: InfiniBand(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "lenet-cluster.ckpt")
+	if err := SaveModel(path, LeNet, res); err != nil {
+		t.Fatal(err)
+	}
+
+	// The plain loader still works on cluster checkpoints.
+	model, params, epoch, best, err := LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model != LeNet || epoch != 2 || best != res.BestAccuracy {
+		t.Fatalf("context mismatch: %s epoch=%d best=%v", model, epoch, best)
+	}
+	if tensor.MaxAbsDiff(params, res.Params) != 0 {
+		t.Fatal("parameters corrupted")
+	}
+
+	// The full loader surfaces the cluster metadata.
+	c, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Meta["servers"] != "2" || c.Meta["interconnect"] != "IB-EDR" {
+		t.Fatalf("cluster metadata missing: %v", c.Meta)
+	}
+}
+
+// TestSingleServerCheckpointHasNoClusterMeta: single-server results write
+// checkpoints indistinguishable in shape from pre-cluster ones.
+func TestSingleServerCheckpointHasNoClusterMeta(t *testing.T) {
+	res, err := Train(Config{Model: LeNet, GPUs: 1, LearnersPerGPU: 1, Batch: 8, MaxEpochs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "lenet.ckpt")
+	if err := SaveModel(path, LeNet, res); err != nil {
+		t.Fatal(err)
+	}
+	c, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Meta) != 0 {
+		t.Fatalf("unexpected metadata on single-server checkpoint: %v", c.Meta)
+	}
+}

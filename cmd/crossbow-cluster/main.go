@@ -1,0 +1,120 @@
+// Command crossbow-cluster drives the scale-out plane: it sweeps the
+// simulated cluster size and reports throughput and scaling efficiency, or
+// trains one cluster configuration end to end (both planes) when -train is
+// set.
+//
+// Usage:
+//
+//	crossbow-cluster -model resnet32 -gpus 8 -m 2 -servers 1,2,4,8
+//	crossbow-cluster -model resnet32 -net infiniband -tau-global 4
+//	crossbow-cluster -train -model lenet -servers 2 -epochs 10 -target 0.9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"crossbow"
+)
+
+func main() {
+	model := flag.String("model", "resnet32", "benchmark model (lenet, resnet32, vgg16, resnet50)")
+	gpus := flag.Int("gpus", 8, "GPUs per server")
+	m := flag.String("m", "1", "learners per GPU, or 'auto' for Algorithm 2")
+	batch := flag.Int("batch", 16, "batch size per learner")
+	servers := flag.String("servers", "1,2,4,8", "comma-separated cluster sizes to sweep, or a single size with -train")
+	net := flag.String("net", "ethernet", "interconnect: ethernet, ethernet25, infiniband")
+	tauLocal := flag.Int("tau", 1, "intra-server synchronisation period")
+	tauGlobal := flag.Int("tau-global", 1, "cross-server averaging period (in intra-server syncs)")
+	train := flag.Bool("train", false, "train end to end instead of sweeping throughput")
+	epochs := flag.Int("epochs", 30, "maximum epochs (with -train)")
+	target := flag.Float64("target", 0, "TTA target accuracy (with -train)")
+	seed := flag.Uint64("seed", 1, "random seed (with -train)")
+	flag.Parse()
+
+	learners := 1
+	if *m == "auto" {
+		learners = crossbow.AutoTune
+	} else if _, err := fmt.Sscanf(*m, "%d", &learners); err != nil {
+		fmt.Fprintf(os.Stderr, "bad -m %q\n", *m)
+		os.Exit(2)
+	}
+
+	var ic crossbow.Interconnect
+	switch *net {
+	case "ethernet":
+		ic = crossbow.Ethernet()
+	case "ethernet25":
+		ic = crossbow.Ethernet25G()
+	case "infiniband":
+		ic = crossbow.InfiniBand()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown interconnect %q\n", *net)
+		os.Exit(2)
+	}
+
+	var sizes []int
+	for _, s := range strings.Split(*servers, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "bad -servers entry %q\n", s)
+			os.Exit(2)
+		}
+		sizes = append(sizes, n)
+	}
+
+	cfg := crossbow.Config{
+		Model:          crossbow.Model(*model),
+		GPUs:           *gpus,
+		LearnersPerGPU: learners,
+		Batch:          *batch,
+		Tau:            *tauLocal,
+		TauGlobal:      *tauGlobal,
+		Interconnect:   ic,
+		MaxEpochs:      *epochs,
+		TargetAccuracy: *target,
+		Seed:           *seed,
+	}
+
+	if *train {
+		cfg.Servers = sizes[0]
+		res, err := crossbow.Train(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("model=%s servers=%d gpus=%d m=%d batch=%d net=%s\n",
+			*model, res.Servers, *gpus, res.LearnersPerGPU, *batch, ic.Name)
+		fmt.Printf("simulated throughput: %.0f images/s, epoch: %.1f s\n",
+			res.ThroughputImgSec, res.EpochSeconds)
+		fmt.Printf("%6s %10s %10s %8s\n", "epoch", "time(s)", "loss", "acc(%)")
+		for _, p := range res.Series {
+			fmt.Printf("%6d %10.1f %10.4f %8.2f\n", p.Epoch, p.TimeSec, p.Loss, p.TestAcc*100)
+		}
+		fmt.Printf("best accuracy: %.2f%%\n", res.BestAccuracy*100)
+		if *target > 0 {
+			if res.TTASeconds >= 0 {
+				fmt.Printf("TTA(%.0f%%): %.1f s (%d epochs)\n", *target*100, res.TTASeconds, res.EpochsToTarget)
+			} else {
+				fmt.Printf("target %.0f%% not reached in %d epochs\n", *target*100, *epochs)
+			}
+		}
+		return
+	}
+
+	pts, err := crossbow.ClusterSweep(cfg, sizes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("Scale-out sweep: %s, %d GPUs/server, m=%s, b=%d, %s, tau=%d/%d\n",
+		*model, *gpus, *m, *batch, ic.Name, *tauLocal, *tauGlobal)
+	fmt.Printf("%8s %14s %10s %12s\n", "servers", "images/s", "epoch(s)", "efficiency")
+	for _, p := range pts {
+		fmt.Printf("%8d %14.0f %10.1f %11.0f%%\n",
+			p.Servers, p.ThroughputImgSec, p.EpochSeconds, p.Efficiency*100)
+	}
+}

@@ -10,7 +10,10 @@
 // benchmark models measures statistical efficiency, while a discrete-event
 // simulator of the paper's 8-GPU server measures hardware efficiency.
 // Time-to-accuracy — the paper's headline metric — multiplies epochs-to-
-// accuracy from the first plane by epoch duration from the second.
+// accuracy from the first plane by epoch duration from the second. A third
+// plane (internal/cluster) scales the simulation out: Config.Servers > 1
+// trains across N simulated servers connected by Config.Interconnect, with
+// a two-level averaging schedule on top of the paper's hierarchical SMA.
 //
 // Quick start:
 //
@@ -72,7 +75,15 @@ type Config struct {
 	Model Model
 	// Algo defaults to SMA.
 	Algo Algorithm
-	// GPUs is the number of simulated GPUs g (default 1).
+	// Servers is the number of simulated multi-GPU servers (default 1).
+	// Above 1 the cluster plane schedules cross-server average tasks over
+	// Interconnect and trains with the two-level cluster SMA; Servers: 1
+	// is exactly the paper's single-server system.
+	Servers int
+	// Interconnect is the cross-server network cost model (zero value:
+	// 10 Gb/s Ethernet). Only meaningful with Servers > 1.
+	Interconnect Interconnect
+	// GPUs is the number of simulated GPUs g per server (default 1).
 	GPUs int
 	// LearnersPerGPU is m, the model replicas trained per GPU; AutoTune
 	// selects it with Algorithm 2 (default 1).
@@ -85,6 +96,10 @@ type Config struct {
 	Momentum  float32
 	// Tau is the synchronisation period (default 1; see §5.5).
 	Tau int
+	// TauGlobal is the cross-server averaging period in units of
+	// intra-server synchronisations (default 1). Only meaningful with
+	// Servers > 1.
+	TauGlobal int
 	// TargetAccuracy stops training once the median test accuracy of the
 	// last 5 epochs reaches it (TTA's window). Zero trains MaxEpochs.
 	TargetAccuracy float64
@@ -106,6 +121,11 @@ type Result struct {
 	Series []metrics.EpochPoint
 	// LearnersPerGPU is the effective m (after auto-tuning).
 	LearnersPerGPU int
+	// Servers is the effective cluster size (1 on single-server runs).
+	Servers int
+	// Interconnect is the network cost model the cluster run used (zero
+	// value on single-server runs).
+	Interconnect Interconnect
 	// ThroughputImgSec is the simulated training throughput.
 	ThroughputImgSec float64
 	// EpochSeconds is the simulated duration of one paper-scale epoch.
@@ -134,6 +154,9 @@ func (c *Config) fillDefaults() error {
 	if c.Algo == "" {
 		c.Algo = SMA
 	}
+	if c.Servers <= 0 {
+		c.Servers = 1
+	}
 	if c.GPUs <= 0 {
 		c.GPUs = 1
 	}
@@ -159,7 +182,10 @@ func Train(cfg Config) (*Result, error) {
 	if err := cfg.fillDefaults(); err != nil {
 		return nil, err
 	}
-	res := &Result{LearnersPerGPU: cfg.LearnersPerGPU}
+	if cfg.Servers > 1 {
+		return trainCluster(cfg)
+	}
+	res := &Result{LearnersPerGPU: cfg.LearnersPerGPU, Servers: 1}
 
 	if cfg.LearnersPerGPU == AutoTune {
 		tuned := autotune.Tune(autotune.Config{Model: cfg.Model, GPUs: cfg.GPUs, Batch: cfg.Batch})
@@ -236,9 +262,18 @@ func Throughput(cfg Config) (float64, error) {
 	}
 	m := cfg.LearnersPerGPU
 	if m == AutoTune {
-		m = autotune.Tune(autotune.Config{Model: cfg.Model, GPUs: cfg.GPUs, Batch: cfg.Batch}).Chosen
+		m = autotune.Tune(autotune.Config{
+			Model: cfg.Model, GPUs: cfg.GPUs, Batch: cfg.Batch,
+			Servers: cfg.Servers, TauGlobal: cfg.TauGlobal, Net: cfg.Interconnect,
+		}).Chosen
 	} else if m <= 0 {
 		m = 1
+	}
+	if cfg.Servers > 1 {
+		if _, err := clusterAlgo(cfg.Algo); err != nil {
+			return 0, err
+		}
+		return clusterThroughput(cfg, m, 30), nil
 	}
 	if cfg.Algo == SSGD {
 		return engine.NewSSGD(engine.SSGDConfig{

@@ -1,0 +1,3 @@
+module crossbow
+
+go 1.21

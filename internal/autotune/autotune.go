@@ -11,6 +11,7 @@
 package autotune
 
 import (
+	"crossbow/internal/cluster"
 	"crossbow/internal/engine"
 	"crossbow/internal/memplan"
 	"crossbow/internal/nn"
@@ -19,8 +20,20 @@ import (
 // Config configures a tuning run.
 type Config struct {
 	Model nn.ModelID
-	GPUs  int
+	GPUs  int // per server
 	Batch int
+	// Servers extends tuning to the cluster plane: above 1, candidate
+	// learner counts are measured on the cluster engine, so the chosen m
+	// accounts for cross-server synchronisation pressure — a slow
+	// interconnect lengthens the synchronised iteration and shifts where
+	// the marginal learner stops paying off. Zero or 1 tunes the paper's
+	// single-server setting.
+	Servers int
+	// TauGlobal is the cluster's inter-server averaging period (0 → 1).
+	TauGlobal int
+	// Net is the cross-server interconnect cost model (zero value selects
+	// the cluster default).
+	Net cluster.Interconnect
 	// Threshold is Alg 2's τ as a fractional throughput improvement: a
 	// new learner is kept only if throughput grows by more than this
 	// fraction. Zero selects 0.05.
@@ -115,6 +128,14 @@ func Tune(cfg Config) *Result {
 	}
 
 	measure := func(m int) float64 {
+		if cfg.Servers > 1 {
+			return cluster.New(cluster.Config{
+				Model: cfg.Model, Servers: cfg.Servers,
+				GPUsPerServer: cfg.GPUs, LearnersPerGPU: m,
+				Batch: cfg.Batch, TauGlobal: cfg.TauGlobal,
+				Overlap: true, Net: cfg.Net,
+			}).Throughput(cfg.WindowIters)
+		}
 		e := engine.New(engine.Config{
 			Model: cfg.Model, GPUs: cfg.GPUs, LearnersPerGPU: m,
 			Batch: cfg.Batch, Overlap: true,

@@ -92,3 +92,35 @@ func TestTuneRespectsMemoryLimit(t *testing.T) {
 		t.Fatalf("chosen m = %d exceeds memory cap 2", res.Chosen)
 	}
 }
+
+func TestTuneUnderClusterSyncPressure(t *testing.T) {
+	// Tuning on a 4-server cluster must run the cluster engine and still
+	// land on a valid peak; the single-server and cluster measurements are
+	// different schedules, so the histories must differ.
+	single := Tune(Config{Model: nn.ResNet32, GPUs: 1, Batch: 16})
+	clustered := Tune(Config{Model: nn.ResNet32, GPUs: 1, Batch: 16, Servers: 4})
+	if clustered.Chosen < 1 || clustered.Chosen > clustered.MemoryCap {
+		t.Fatalf("cluster-tuned m = %d outside [1, %d]", clustered.Chosen, clustered.MemoryCap)
+	}
+	if len(clustered.History) == 0 || clustered.History[0].M != 1 {
+		t.Fatalf("cluster history must start at m=1: %v", clustered.History)
+	}
+	// A 4-server cluster processes ~4× the images of one server per
+	// iteration; the measured throughputs cannot coincide.
+	if clustered.History[0].Throughput == single.History[0].Throughput {
+		t.Fatal("cluster tuning measured single-server throughput")
+	}
+}
+
+func TestTuneClusterDeterministic(t *testing.T) {
+	cfg := Config{Model: nn.ResNet32, GPUs: 2, Batch: 16, Servers: 2}
+	a, b := Tune(cfg), Tune(cfg)
+	if a.Chosen != b.Chosen || len(a.History) != len(b.History) {
+		t.Fatalf("cluster tuning not deterministic: %+v vs %+v", a, b)
+	}
+	for i := range a.History {
+		if a.History[i] != b.History[i] {
+			t.Fatalf("decision %d differs: %+v vs %+v", i, a.History[i], b.History[i])
+		}
+	}
+}

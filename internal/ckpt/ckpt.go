@@ -14,13 +14,16 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sort"
 )
 
 // Magic identifies a Crossbow checkpoint file.
 const Magic = "CBOWCKPT"
 
-// Version is the current format version.
-const Version = 1
+// Version is the current format version. Version 2 adds the Meta section
+// (the cluster plane's configuration context); version-1 files — which
+// predate it — still load, with an empty Meta.
+const Version = 2
 
 // Checkpoint is a model snapshot with its training context.
 type Checkpoint struct {
@@ -30,6 +33,11 @@ type Checkpoint struct {
 	Epoch int
 	// BestAccuracy is the best test accuracy observed so far.
 	BestAccuracy float64
+	// Meta carries optional training-context strings (e.g. the cluster
+	// plane's server count and interconnect). Nil and empty are
+	// equivalent; entries are written sorted by key, so serialisation is
+	// deterministic.
+	Meta map[string]string
 	// Params is the flat model vector (weights, including batch-norm
 	// statistics — a Crossbow model is fully described by it).
 	Params []float32
@@ -59,6 +67,22 @@ func Write(w io.Writer, c *Checkpoint) error {
 	}
 	if err := binary.Write(bw, binary.LittleEndian, c.BestAccuracy); err != nil {
 		return err
+	}
+	keys := make([]string, 0, len(c.Meta))
+	for k := range c.Meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(keys))); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		if err := writeString(bw, k); err != nil {
+			return err
+		}
+		if err := writeString(bw, c.Meta[k]); err != nil {
+			return err
+		}
 	}
 	if err := binary.Write(bw, binary.LittleEndian, uint64(len(c.Params))); err != nil {
 		return err
@@ -92,7 +116,7 @@ func Read(r io.Reader) (*Checkpoint, error) {
 	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
 		return nil, err
 	}
-	if version != Version {
+	if version < 1 || version > Version {
 		return nil, fmt.Errorf("ckpt: unsupported version %d", version)
 	}
 	nameLen, err := br.ReadByte()
@@ -111,6 +135,30 @@ func Read(r io.Reader) (*Checkpoint, error) {
 	c.Epoch = int(epoch)
 	if err := binary.Read(br, binary.LittleEndian, &c.BestAccuracy); err != nil {
 		return nil, err
+	}
+	if version >= 2 {
+		var metaCount uint32
+		if err := binary.Read(br, binary.LittleEndian, &metaCount); err != nil {
+			return nil, err
+		}
+		const maxMeta = 1 << 16
+		if metaCount > maxMeta {
+			return nil, fmt.Errorf("ckpt: implausible metadata count %d", metaCount)
+		}
+		if metaCount > 0 {
+			c.Meta = make(map[string]string, metaCount)
+			for i := uint32(0); i < metaCount; i++ {
+				k, err := readString(br)
+				if err != nil {
+					return nil, fmt.Errorf("ckpt: reading metadata: %w", err)
+				}
+				v, err := readString(br)
+				if err != nil {
+					return nil, fmt.Errorf("ckpt: reading metadata: %w", err)
+				}
+				c.Meta[k] = v
+			}
+		}
 	}
 	var n uint64
 	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
@@ -167,6 +215,29 @@ func Load(path string) (*Checkpoint, error) {
 	}
 	defer f.Close()
 	return Read(f)
+}
+
+func writeString(w *bufio.Writer, s string) error {
+	if len(s) > 1<<16-1 {
+		return fmt.Errorf("ckpt: metadata string too long (%d bytes)", len(s))
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint16(len(s))); err != nil {
+		return err
+	}
+	_, err := w.WriteString(s)
+	return err
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	var n uint16
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
 }
 
 func floatBits(f float32) uint32 { return math.Float32bits(f) }

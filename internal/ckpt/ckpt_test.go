@@ -2,6 +2,8 @@ package ckpt
 
 import (
 	"bytes"
+	"encoding/binary"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"testing"
@@ -139,5 +141,86 @@ func TestRoundTripProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRoundTripMeta(t *testing.T) {
+	c := sample()
+	c.Meta = map[string]string{"servers": "8", "interconnect": "10GbE"}
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Meta) != 2 || got.Meta["servers"] != "8" || got.Meta["interconnect"] != "10GbE" {
+		t.Fatalf("meta mismatch: %v", got.Meta)
+	}
+}
+
+func TestMetaWriteDeterministic(t *testing.T) {
+	c := sample()
+	c.Meta = map[string]string{"b": "2", "a": "1", "c": "3"}
+	var one, two bytes.Buffer
+	if err := Write(&one, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&two, c); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(one.Bytes(), two.Bytes()) {
+		t.Fatal("meta serialisation not deterministic")
+	}
+}
+
+// writeV1 serialises a checkpoint in the pre-cluster version-1 layout (no
+// metadata section), byte for byte as the old writer produced it.
+func writeV1(c *Checkpoint) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(Magic)
+	binary.Write(&buf, binary.LittleEndian, uint32(1))
+	buf.WriteByte(byte(len(c.Model)))
+	buf.WriteString(c.Model)
+	binary.Write(&buf, binary.LittleEndian, uint64(c.Epoch))
+	binary.Write(&buf, binary.LittleEndian, c.BestAccuracy)
+	binary.Write(&buf, binary.LittleEndian, uint64(len(c.Params)))
+	crc := crc32.NewIEEE()
+	b4 := make([]byte, 4)
+	for _, v := range c.Params {
+		binary.LittleEndian.PutUint32(b4, floatBits(v))
+		buf.Write(b4)
+		crc.Write(b4)
+	}
+	binary.Write(&buf, binary.LittleEndian, crc.Sum32())
+	return buf.Bytes()
+}
+
+// TestLegacyV1Loads pins backward compatibility: checkpoints written
+// before the cluster config fields existed must still load.
+func TestLegacyV1Loads(t *testing.T) {
+	want := sample()
+	got, err := Read(bytes.NewReader(writeV1(want)))
+	if err != nil {
+		t.Fatalf("v1 checkpoint rejected: %v", err)
+	}
+	if got.Model != want.Model || got.Epoch != want.Epoch || got.BestAccuracy != want.BestAccuracy {
+		t.Fatalf("v1 metadata mismatch: %+v", got)
+	}
+	if got.Meta != nil {
+		t.Fatalf("v1 checkpoint has meta %v, want none", got.Meta)
+	}
+	if tensor.MaxAbsDiff(got.Params, want.Params) != 0 {
+		t.Fatalf("v1 params mismatch: %v", got.Params)
+	}
+}
+
+func TestFutureVersionRejected(t *testing.T) {
+	data := writeV1(sample())
+	// Patch the version field (right after the magic) to a future version.
+	binary.LittleEndian.PutUint32(data[len(Magic):], Version+1)
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Fatal("future version accepted")
 	}
 }

@@ -1,0 +1,71 @@
+// Package cluster is the scale-out plane of the reproduction: a
+// discrete-event simulation of N multi-GPU servers — each an
+// internal/engine instance over its own slice of a shared internal/gpusim
+// simulator — connected by a configurable network interconnect. It extends
+// the paper's two-tier synchronisation (intra-GPU, inter-GPU; §3.3) with a
+// third tier: cross-server average tasks that exchange each server's
+// reference model over the network, overlapping the next iteration's
+// intra-server work exactly as Figure 8 overlaps global synchronisation
+// with the next iteration's learning tasks.
+//
+// The paper scopes Crossbow to a single server, where communication rides
+// PCIe/NVLink; across servers the interconnect is orders of magnitude
+// slower, so the cluster plane models it explicitly (latency + bandwidth +
+// collective algorithm) rather than treating communication as free — the
+// modelling stance that makes scale-out claims credible.
+package cluster
+
+import "math"
+
+// Interconnect is the cost model of the cross-server network: a flat
+// latency/bandwidth link model plus the collective algorithm used for the
+// cross-server average.
+type Interconnect struct {
+	// Name labels the preset (for reports).
+	Name string
+	// LatencyUS is the one-way message latency per collective step.
+	LatencyUS float64
+	// BytesPerUS is effective point-to-point bandwidth per server NIC.
+	BytesPerUS float64
+	// Tree selects a binomial-tree reduce+broadcast instead of the default
+	// bandwidth-optimal ring all-reduce: fewer, larger steps — better on
+	// high-latency links with small models, worse on large models.
+	Tree bool
+}
+
+// Ethernet10G returns the commodity-cluster default: 10 Gb/s Ethernet
+// (~1.25 GB/s) with kernel-stack latency.
+func Ethernet10G() Interconnect {
+	return Interconnect{Name: "10GbE", LatencyUS: 50, BytesPerUS: 1_250}
+}
+
+// Ethernet25G returns a 25 Gb/s Ethernet model with lighter (DPDK-class)
+// latency.
+func Ethernet25G() Interconnect {
+	return Interconnect{Name: "25GbE", LatencyUS: 20, BytesPerUS: 3_125}
+}
+
+// InfiniBandEDR returns a 100 Gb/s EDR InfiniBand model with RDMA latency.
+func InfiniBandEDR() Interconnect {
+	return Interconnect{Name: "IB-EDR", LatencyUS: 2, BytesPerUS: 12_500}
+}
+
+// AllReduceUS returns the duration of all-reducing n bytes across servers
+// server nodes.
+//
+// Ring: 2(k−1) pipeline steps of n/k bytes each — the same collective the
+// paper uses across GPUs (§4.2), bandwidth-optimal but latency-heavy.
+// Tree: reduce then broadcast over a binomial tree, 2⌈log2 k⌉ steps of the
+// full n bytes.
+func (ic Interconnect) AllReduceUS(bytes int64, servers int) float64 {
+	if servers <= 1 || bytes <= 0 {
+		return 0
+	}
+	if ic.Tree {
+		steps := 2 * int(math.Ceil(math.Log2(float64(servers))))
+		return float64(steps) * (ic.LatencyUS + float64(bytes)/ic.BytesPerUS)
+	}
+	steps := 2 * (servers - 1)
+	chunk := float64(bytes) / float64(servers)
+	return float64(steps) * (ic.LatencyUS + chunk/ic.BytesPerUS)
+}

@@ -1,0 +1,49 @@
+package cluster
+
+import "testing"
+
+func TestAllReduceDegenerate(t *testing.T) {
+	for _, ic := range []Interconnect{Ethernet10G(), Ethernet25G(), InfiniBandEDR()} {
+		if d := ic.AllReduceUS(1<<20, 1); d != 0 {
+			t.Errorf("%s: all-reduce over 1 server costs %v µs, want 0", ic.Name, d)
+		}
+		if d := ic.AllReduceUS(0, 8); d != 0 {
+			t.Errorf("%s: all-reduce of 0 bytes costs %v µs, want 0", ic.Name, d)
+		}
+	}
+}
+
+func TestAllReduceGrowsWithBytesAndServers(t *testing.T) {
+	ic := Ethernet10G()
+	if ic.AllReduceUS(2<<20, 4) <= ic.AllReduceUS(1<<20, 4) {
+		t.Error("all-reduce duration not monotone in bytes")
+	}
+	if ic.AllReduceUS(1<<20, 8) <= ic.AllReduceUS(1<<20, 2) {
+		t.Error("ring all-reduce duration not monotone in server count")
+	}
+}
+
+func TestBandwidthOrdering(t *testing.T) {
+	// For a large model the faster links must win regardless of algorithm.
+	bytes := int64(64 << 20)
+	eth10 := Ethernet10G().AllReduceUS(bytes, 4)
+	eth25 := Ethernet25G().AllReduceUS(bytes, 4)
+	ib := InfiniBandEDR().AllReduceUS(bytes, 4)
+	if !(ib < eth25 && eth25 < eth10) {
+		t.Errorf("want IB < 25GbE < 10GbE, got %v, %v, %v", ib, eth25, eth10)
+	}
+}
+
+func TestTreeBeatsRingOnLatencyBoundTransfers(t *testing.T) {
+	// Tiny model on a high-latency link: the ring's 2(k−1) latency charges
+	// dominate, so the tree's 2·log2(k) steps must be cheaper.
+	ring := Interconnect{LatencyUS: 500, BytesPerUS: 1_250}
+	tree := Interconnect{LatencyUS: 500, BytesPerUS: 1_250, Tree: true}
+	if tree.AllReduceUS(1024, 8) >= ring.AllReduceUS(1024, 8) {
+		t.Error("tree all-reduce should beat ring on latency-bound transfers")
+	}
+	// Large model on the same link: ring's bandwidth-optimality wins.
+	if ring.AllReduceUS(256<<20, 8) >= tree.AllReduceUS(256<<20, 8) {
+		t.Error("ring all-reduce should beat tree on bandwidth-bound transfers")
+	}
+}

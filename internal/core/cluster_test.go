@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"crossbow/internal/nn"
+	"crossbow/internal/tensor"
+)
+
+// fakeGrads fills gs with deterministic pseudo-gradients that differ per
+// learner and per iteration.
+func fakeGrads(gs [][]float32, iter int) {
+	for j := range gs {
+		for i := range gs[j] {
+			gs[j][i] = float32(math.Sin(float64(iter)*0.7+float64(j)*1.3+float64(i)*0.11)) * 0.1
+		}
+	}
+}
+
+func makeReplicas(k, dim int) (ws, gs [][]float32, w0 []float32) {
+	w0 = make([]float32, dim)
+	for i := range w0 {
+		w0[i] = float32(math.Cos(float64(i) * 0.3))
+	}
+	for j := 0; j < k; j++ {
+		ws = append(ws, append([]float32(nil), w0...))
+		gs = append(gs, make([]float32, dim))
+	}
+	return ws, gs, w0
+}
+
+// TestClusterSMASingleServerEqualsSMA pins the statistical-plane degenerate
+// case: with one server the two-level schedule is exactly Algorithm 1,
+// step for step, including τ>1, local momentum, state ranges and restarts.
+func TestClusterSMASingleServerEqualsSMA(t *testing.T) {
+	const k, dim = 4, 32
+	cfg := SMAConfig{
+		LearnRate: 0.05, Momentum: 0.9, LocalMomentum: 0.6,
+		Tau: 2, StateRanges: [][2]int{{28, 32}},
+	}
+	wsA, gsA, w0 := makeReplicas(k, dim)
+	wsB, gsB, _ := makeReplicas(k, dim)
+	flat := NewSMA(cfg, w0, k)
+	clustered := NewClusterSMA(ClusterSMAConfig{SMAConfig: cfg, TauGlobal: 3}, w0, GroupsFor(1, k))
+
+	for iter := 1; iter <= 12; iter++ {
+		fakeGrads(gsA, iter)
+		fakeGrads(gsB, iter)
+		flat.Step(wsA, gsA)
+		clustered.Step(wsB, gsB)
+		if iter == 7 {
+			flat.Restart(wsA)
+			clustered.Restart(wsB)
+		}
+		for j := 0; j < k; j++ {
+			if d := tensor.MaxAbsDiff(wsA[j], wsB[j]); d != 0 {
+				t.Fatalf("iter %d: replica %d diverges by %v", iter, j, d)
+			}
+		}
+		if d := tensor.MaxAbsDiff(flat.Average(), clustered.Average()); d != 0 {
+			t.Fatalf("iter %d: average models diverge by %v", iter, d)
+		}
+	}
+}
+
+// TestClusterSMAGlobalTierPullsServersTogether: servers receiving opposing
+// gradients drift apart; a tighter τ_global must keep their reference
+// models closer.
+func TestClusterSMAGlobalTierPullsServersTogether(t *testing.T) {
+	const dim = 16
+	run := func(tauGlobal int) float64 {
+		ws, gs, w0 := makeReplicas(4, dim) // 2 servers × 2 learners
+		c := NewClusterSMA(ClusterSMAConfig{
+			SMAConfig: SMAConfig{LearnRate: 0.1, Momentum: 0.5},
+			TauGlobal: tauGlobal,
+		}, w0, GroupsFor(2, 2))
+		for iter := 1; iter <= 8; iter++ {
+			for j := range gs {
+				sign := float32(1)
+				if j >= 2 {
+					sign = -1
+				}
+				for i := range gs[j] {
+					gs[j][i] = sign
+				}
+			}
+			c.Step(ws, gs)
+		}
+		return float64(tensor.MaxAbsDiff(c.smas[0].Average(), c.smas[1].Average()))
+	}
+	tight, loose := run(1), run(8)
+	if tight >= loose {
+		t.Errorf("server drift with tau_global=1 (%v) not below tau_global=8 (%v)", tight, loose)
+	}
+	if loose == 0 {
+		t.Error("opposing gradients should make unsynchronised servers drift")
+	}
+}
+
+// TestClusterSMAStateCarriesServerMean: state entries (batch-norm
+// statistics) are exempt from corrections; the cluster average model must
+// carry the mean of the server reference models there.
+func TestClusterSMAStateCarriesServerMean(t *testing.T) {
+	const dim = 8
+	ws, gs, w0 := makeReplicas(2, dim)
+	cfg := ClusterSMAConfig{
+		SMAConfig: SMAConfig{LearnRate: 0.1, StateRanges: [][2]int{{6, 8}}},
+	}
+	c := NewClusterSMA(cfg, w0, GroupsFor(2, 1))
+	fakeGrads(gs, 1)
+	c.Step(ws, gs)
+	for i := 6; i < 8; i++ {
+		want := (c.smas[0].Average()[i] + c.smas[1].Average()[i]) / 2
+		if got := c.Average()[i]; got != want {
+			t.Errorf("state entry %d: cluster average %v, want server mean %v", i, got, want)
+		}
+	}
+}
+
+// TestTrainClusterSMA exercises the full trainer loop on the cluster
+// algorithm: it must learn, stay deterministic, and report the right K.
+func TestTrainClusterSMA(t *testing.T) {
+	cfg := TrainConfig{
+		Model: nn.LeNet, Algo: AlgoSMACluster,
+		Servers: 2, GPUs: 1, LearnersPerGPU: 2, BatchPerLearner: 8,
+		Momentum: 0.9, MaxEpochs: 4, Seed: 1,
+	}
+	res := Train(cfg)
+	if res.K != 4 {
+		t.Fatalf("K = %d, want 4 (2 servers × 1 GPU × 2 learners)", res.K)
+	}
+	if res.FinalAccuracy <= 0.12 {
+		t.Fatalf("accuracy %.3f barely above chance", res.FinalAccuracy)
+	}
+	again := Train(cfg)
+	if tensor.MaxAbsDiff(res.Model, again.Model) != 0 {
+		t.Fatal("cluster training not deterministic")
+	}
+}

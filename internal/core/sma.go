@@ -133,47 +133,57 @@ func (s *SMA) Step(ws, gs [][]float32) {
 		}
 		return
 	}
-	// delta accumulates Σ_j c_j (line 12's first component). Corrections
-	// are computed on the replicas as they stood at the iteration start
-	// (line 9), then the gradient step and correction apply together
+	// Corrections are computed on the replicas as they stood at the
+	// iteration start (line 9), so the exchange runs before the gradient
+	// steps; each replica takes correction and gradient in one iteration
 	// (line 10).
-	tensor.ZeroSlice(s.delta)
+	smaExchange(ws, s.z, s.zPrev, s.delta, s.state, s.alpha, s.cfg.Momentum)
 	for j := range ws {
-		w := ws[j]
-		if s.state == nil {
+		s.localStep(j, ws[j], gs[j])
+	}
+}
+
+// smaExchange is the SMA consensus update of Alg 1 lines 8-13, shared by
+// every averaging tier (learner replicas against an average model, server
+// reference models against the cluster average model): each replica's
+// correction c_j = α(w_j − z) accumulates into delta (line 12's first
+// component) and applies to the replica, then z follows the summed
+// corrections with momentum, z ← z + Σ c_j + µ (z − z_prev) (lines
+// 11-13). State entries (batch-norm statistics) are exempt from
+// corrections and carry the replica average instead.
+func smaExchange(ws [][]float32, z, zPrev, delta []float32, state []bool, alpha, mu float32) {
+	tensor.ZeroSlice(delta)
+	for _, w := range ws {
+		if state == nil {
 			for i := range w {
-				c := s.alpha * (w[i] - s.z[i])
-				s.delta[i] += c
+				c := alpha * (w[i] - z[i])
+				delta[i] += c
 				w[i] -= c
 			}
 		} else {
 			for i := range w {
-				if s.state[i] {
+				if state[i] {
 					continue
 				}
-				c := s.alpha * (w[i] - s.z[i])
-				s.delta[i] += c
+				c := alpha * (w[i] - z[i])
+				delta[i] += c
 				w[i] -= c
 			}
 		}
-		s.localStep(j, w, gs[j])
 	}
-	// Lines 11-13: z ← z + Σ c_j + µ (z − z_prev). State entries carry
-	// the replica average instead of the correction/momentum update.
-	mu := s.cfg.Momentum
-	for i := range s.z {
-		zOld := s.z[i]
-		if s.state != nil && s.state[i] {
+	for i := range z {
+		zOld := z[i]
+		if state != nil && state[i] {
 			var sum float32
 			for j := range ws {
 				sum += ws[j][i]
 			}
-			s.z[i] = sum / float32(len(ws))
-			s.zPrev[i] = zOld
+			z[i] = sum / float32(len(ws))
+			zPrev[i] = zOld
 			continue
 		}
-		s.z[i] = zOld + s.delta[i] + mu*(zOld-s.zPrev[i])
-		s.zPrev[i] = zOld
+		z[i] = zOld + delta[i] + mu*(zOld-zPrev[i])
+		zPrev[i] = zOld
 	}
 }
 

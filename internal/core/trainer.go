@@ -15,11 +15,12 @@ type Algorithm string
 
 // Available algorithms.
 const (
-	AlgoSMA     Algorithm = "sma"      // Algorithm 1 (flat)
-	AlgoSMAHier Algorithm = "sma-hier" // §3.3 two-level SMA
-	AlgoSSGD    Algorithm = "ssgd"     // TensorFlow-style parallel S-SGD
-	AlgoEASGD   Algorithm = "easgd"    // elastic averaging SGD
-	AlgoASGD    Algorithm = "asgd"     // asynchronous SGD
+	AlgoSMA        Algorithm = "sma"         // Algorithm 1 (flat)
+	AlgoSMAHier    Algorithm = "sma-hier"    // §3.3 two-level SMA
+	AlgoSMACluster Algorithm = "sma-cluster" // cluster plane: intra-/inter-server SMA
+	AlgoSSGD       Algorithm = "ssgd"        // TensorFlow-style parallel S-SGD
+	AlgoEASGD      Algorithm = "easgd"       // elastic averaging SGD
+	AlgoASGD       Algorithm = "asgd"        // asynchronous SGD
 )
 
 // Schedule maps an epoch (1-based) to the learning rate for that epoch.
@@ -68,9 +69,13 @@ func PeriodicDecay(factor float32, period int) Schedule {
 
 // TrainConfig configures a statistical-efficiency training run.
 type TrainConfig struct {
-	Model           nn.ModelID
-	Algo            Algorithm
-	GPUs            int // g
+	Model nn.ModelID
+	Algo  Algorithm
+	// Servers is the number of servers n for AlgoSMACluster; each server
+	// holds GPUs×LearnersPerGPU learners. Zero or one keeps the paper's
+	// single-server setting.
+	Servers         int
+	GPUs            int // g, per server
 	LearnersPerGPU  int // m
 	BatchPerLearner int // b
 	LearnRate       float32
@@ -81,6 +86,9 @@ type TrainConfig struct {
 	LocalMomentum float32
 	Alpha         float32 // SMA/EA-SGD correction constant; 0 → 1/k
 	Tau           int     // synchronisation period; 0 → 1
+	// TauGlobal is the cluster plane's inter-server averaging period in
+	// units of intra-server synchronisations (AlgoSMACluster only; 0 → 1).
+	TauGlobal int
 	MaxEpochs     int
 	TargetAcc     float64 // stop once the TTA window clears this; 0 → run MaxEpochs
 	Seed          uint64
@@ -100,10 +108,13 @@ type TrainConfig struct {
 	TestSamples  int
 }
 
-// K returns the total learner count g×m.
-func (c TrainConfig) K() int { return c.GPUs * c.LearnersPerGPU }
+// K returns the total learner count n×g×m.
+func (c TrainConfig) K() int { return max(1, c.Servers) * c.GPUs * c.LearnersPerGPU }
 
 func (c *TrainConfig) fillDefaults() {
+	if c.Servers == 0 {
+		c.Servers = 1
+	}
 	if c.GPUs == 0 {
 		c.GPUs = 1
 	}
@@ -150,6 +161,8 @@ func centralModel(s stepper) []float32 {
 	case *SMA:
 		return o.Average()
 	case *HierarchicalSMA:
+		return o.Average()
+	case *ClusterSMA:
 		return o.Average()
 	case *EASGD:
 		return o.Average()
@@ -204,6 +217,12 @@ func Train(cfg TrainConfig) *Result {
 		opt = NewSMA(smaCfg, w0, k)
 	case AlgoSMAHier:
 		opt = NewHierarchicalSMA(smaCfg, w0, GroupsFor(cfg.GPUs, cfg.LearnersPerGPU))
+	case AlgoSMACluster:
+		// Contiguous learner partition: server s owns g×m learners; within
+		// a server the intra-server tier is flat SMA.
+		opt = NewClusterSMA(ClusterSMAConfig{
+			SMAConfig: smaCfg, TauGlobal: cfg.TauGlobal,
+		}, w0, GroupsFor(cfg.Servers, cfg.GPUs*cfg.LearnersPerGPU))
 	case AlgoSSGD:
 		s := NewSSGD(cfg.LearnRate, cfg.Momentum, w0)
 		s.StateRanges = nets[0].StateRanges()
@@ -313,6 +332,8 @@ func setLearnRate(s stepper, lr float32) {
 		o.SetLearnRate(lr)
 	case *HierarchicalSMA:
 		o.SetLearnRate(lr)
+	case *ClusterSMA:
+		o.SetLearnRate(lr)
 	case *EASGD:
 		o.SetLearnRate(lr)
 	case *SSGD:
@@ -327,6 +348,8 @@ func restart(s stepper, ws [][]float32) {
 	case *SMA:
 		o.Restart(ws)
 	case *HierarchicalSMA:
+		o.Restart(ws)
+	case *ClusterSMA:
 		o.Restart(ws)
 	}
 }

@@ -34,6 +34,14 @@ type Config struct {
 	// Cost and Topo default to the paper-calibrated models when zero.
 	Cost gpusim.CostModel
 	Topo gpusim.Topology
+	// Sim optionally supplies an external simulator to schedule on. The
+	// cluster plane (internal/cluster) builds one simulator spanning every
+	// server's devices and constructs one engine per server on it, so all
+	// servers share a single virtual clock. Nil creates a private simulator.
+	Sim *gpusim.Sim
+	// DeviceOffset is the index of this engine's first device within Sim
+	// (only meaningful with an external Sim).
+	DeviceOffset int
 }
 
 // TauNever disables synchronisation (τ = ∞).
@@ -75,6 +83,11 @@ type Engine struct {
 	// central average model is consistent for the current iteration.
 	globalSyncDone []*gpusim.Event
 
+	// gate, when set, delays the next read of the average model until the
+	// event fires — the hook the cluster plane uses to chain cross-server
+	// average tasks after this server's global synchronisation.
+	gate *gpusim.Event
+
 	iter       int
 	modelElems int64
 
@@ -86,23 +99,27 @@ type Engine struct {
 func New(cfg Config) *Engine {
 	cfg.fillDefaults()
 	spec := nn.FullSpec(cfg.Model)
+	sim := cfg.Sim
+	if sim == nil {
+		sim = gpusim.NewSim(cfg.GPUs, cfg.Cost.SMsPerDevice)
+	}
 	e := &Engine{
 		cfg:         cfg,
-		sim:         gpusim.NewSim(cfg.GPUs, cfg.Cost.SMsPerDevice),
+		sim:         sim,
 		spec:        spec,
 		plan:        cfg.Cost.PlanLearningTask(spec, cfg.Batch),
 		modelElems:  spec.ParamCount(),
 		Completions: metrics.NewThroughput(2e6), // 2-second window (µs)
 	}
 	for g := 0; g < cfg.GPUs; g++ {
-		dev := e.sim.Device(g)
+		dev := e.sim.Device(cfg.DeviceOffset + g)
 		var ls []*gpusim.Stream
 		for m := 0; m < cfg.LearnersPerGPU; m++ {
-			ls = append(ls, dev.NewStream(fmt.Sprintf("gpu%d/learn%d", g, m)))
+			ls = append(ls, dev.NewStream(fmt.Sprintf("gpu%d/learn%d", cfg.DeviceOffset+g, m)))
 		}
 		e.learnStreams = append(e.learnStreams, ls)
-		e.syncStreams = append(e.syncStreams, dev.NewStream(fmt.Sprintf("gpu%d/sync", g)))
-		e.copyStreams = append(e.copyStreams, dev.NewStream(fmt.Sprintf("gpu%d/copy", g)))
+		e.syncStreams = append(e.syncStreams, dev.NewStream(fmt.Sprintf("gpu%d/sync", cfg.DeviceOffset+g)))
+		e.copyStreams = append(e.copyStreams, dev.NewStream(fmt.Sprintf("gpu%d/copy", cfg.DeviceOffset+g)))
 	}
 	return e
 }
@@ -119,7 +136,7 @@ func (e *Engine) K() int { return e.cfg.GPUs * e.cfg.LearnersPerGPU }
 // modelBytes returns the model size in bytes (float32).
 func (e *Engine) modelBytes() int64 { return e.modelElems * 4 }
 
-// scheduleIteration wires one SMA iteration's tasks (Figure 8):
+// ScheduleIteration wires one SMA iteration's tasks (Figure 8):
 //
 //   - per learner: input-batch DMA, then the learning task's kernels on the
 //     learner stream, then the local synchronisation task (difference with
@@ -131,12 +148,23 @@ func (e *Engine) modelBytes() int64 { return e.modelElems * 4 }
 //   - learning tasks of the next iteration start right after their
 //     learner's local sync (overlap), or after global sync when Overlap is
 //     off.
-func (e *Engine) scheduleIteration() {
+//
+// It reports whether the iteration included global synchronisation, so an
+// outer plane (internal/cluster) can chain cross-server average tasks.
+func (e *Engine) ScheduleIteration() bool {
 	cfg := e.cfg
 	e.iter++
 	syncing := cfg.Tau != TauNever && e.iter%max(1, cfg.Tau) == 0
 
 	prevGlobal := e.globalSyncDone
+	// The cluster gate is consumed by whichever tasks next read the average
+	// model: this iteration's learning tasks without overlap, this
+	// iteration's local synchronisation with overlap (non-sync iterations
+	// never read it, so the gate survives until the next sync).
+	gate := e.gate
+	if !cfg.Overlap || syncing {
+		e.gate = nil
+	}
 	var localDone [][]*gpusim.Event
 	batchBytes := e.spec.SampleBytes() * int64(cfg.Batch)
 
@@ -152,17 +180,28 @@ func (e *Engine) scheduleIteration() {
 			// Host-side dispatch cost of the task scheduler (§4.3).
 			st.Kernel("dispatch", 1, cfg.Cost.SchedulerOverheadUS)
 			st.Wait(inReady)
-			if !cfg.Overlap && prevGlobal != nil {
-				st.Wait(prevGlobal[g])
+			if !cfg.Overlap {
+				if prevGlobal != nil {
+					st.Wait(prevGlobal[g])
+				}
+				if gate != nil {
+					st.Wait(gate)
+				}
 			}
 			gpusim.EnqueueLearningTask(st, e.plan)
 
 			if syncing {
 				// Local synchronisation task (Figure 8 b): reads the
 				// GPU-local average model — consistent only after the
-				// previous iteration's global sync (Figure 8 d).
-				if cfg.Overlap && prevGlobal != nil {
-					st.Wait(prevGlobal[g])
+				// previous iteration's global sync (Figure 8 d) and, on a
+				// cluster, after the cross-server average that follows it.
+				if cfg.Overlap {
+					if prevGlobal != nil {
+						st.Wait(prevGlobal[g])
+					}
+					if gate != nil {
+						st.Wait(gate)
+					}
 				}
 				st.Kernel("local_diff", 2, cfg.Cost.VectorKernelUS(e.modelElems))
 				st.Kernel("update_replica", 2, cfg.Cost.VectorKernelUS(e.modelElems))
@@ -184,7 +223,7 @@ func (e *Engine) scheduleIteration() {
 
 	if !syncing {
 		e.globalSyncDone = nil
-		return
+		return false
 	}
 
 	// Global synchronisation tasks (Figure 8 c): per GPU, aggregate the
@@ -219,7 +258,21 @@ func (e *Engine) scheduleIteration() {
 		ss.Record(newGlobal[g])
 	}
 	e.globalSyncDone = newGlobal
+	return true
 }
+
+// GlobalSyncDone returns the per-GPU events of the most recently scheduled
+// global synchronisation (nil when the last iteration did not synchronise).
+// Each event fires when that GPU's view of the server's average model is
+// consistent.
+func (e *Engine) GlobalSyncDone() []*gpusim.Event { return e.globalSyncDone }
+
+// Gate delays the next read of the average model — the next iteration's
+// learning tasks without overlap, its local synchronisation tasks with
+// overlap — until ev fires. The cluster plane gates each server on the
+// completion of the cross-server average, mirroring at the server tier how
+// learning tasks gate on the previous global synchronisation (Figure 8).
+func (e *Engine) Gate(ev *gpusim.Event) { e.gate = ev }
 
 // RunIterations schedules and executes n SMA iterations, returning the
 // virtual time in microseconds from the engine's current clock to
@@ -227,7 +280,7 @@ func (e *Engine) scheduleIteration() {
 func (e *Engine) RunIterations(n int) float64 {
 	start := e.sim.Now()
 	for i := 0; i < n; i++ {
-		e.scheduleIteration()
+		e.ScheduleIteration()
 	}
 	e.sim.Run()
 	return e.sim.Now() - start

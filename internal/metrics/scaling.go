@@ -1,0 +1,47 @@
+package metrics
+
+// ScalingPoint is one entry of a scale-out sweep: the cluster size, its
+// measured training throughput, and the derived efficiency against perfect
+// linear scaling of the sweep's smallest configuration.
+type ScalingPoint struct {
+	// Servers is the cluster size of this measurement.
+	Servers int
+	// ThroughputImgSec is the aggregate training throughput.
+	ThroughputImgSec float64
+	// Efficiency is ThroughputImgSec relative to linear scaling of the
+	// baseline point: 1 means perfect scaling, below 1 sub-linear.
+	Efficiency float64
+	// EpochSeconds is the simulated duration of one paper-scale epoch.
+	EpochSeconds float64
+}
+
+// FillScalingEfficiency derives each point's Efficiency from the point
+// with the smallest server count (the baseline, efficiency 1 by
+// definition). Points with a non-positive baseline are left at zero.
+func FillScalingEfficiency(points []ScalingPoint) {
+	if len(points) == 0 {
+		return
+	}
+	base := points[0]
+	for _, p := range points[1:] {
+		if p.Servers < base.Servers {
+			base = p
+		}
+	}
+	if base.Servers <= 0 || base.ThroughputImgSec <= 0 {
+		return
+	}
+	perServer := base.ThroughputImgSec / float64(base.Servers)
+	for i := range points {
+		points[i].Efficiency = points[i].ThroughputImgSec / (perServer * float64(points[i].Servers))
+	}
+}
+
+// Speedup returns the throughput ratio of p over base (0 when base is not
+// positive).
+func (p ScalingPoint) Speedup(base ScalingPoint) float64 {
+	if base.ThroughputImgSec <= 0 {
+		return 0
+	}
+	return p.ThroughputImgSec / base.ThroughputImgSec
+}

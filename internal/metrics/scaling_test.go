@@ -1,0 +1,56 @@
+package metrics
+
+import "testing"
+
+func TestFillScalingEfficiency(t *testing.T) {
+	pts := []ScalingPoint{
+		{Servers: 1, ThroughputImgSec: 100},
+		{Servers: 2, ThroughputImgSec: 190},
+		{Servers: 4, ThroughputImgSec: 360},
+	}
+	FillScalingEfficiency(pts)
+	if pts[0].Efficiency != 1 {
+		t.Errorf("baseline efficiency %v, want 1", pts[0].Efficiency)
+	}
+	if got := pts[1].Efficiency; got != 0.95 {
+		t.Errorf("2-server efficiency %v, want 0.95", got)
+	}
+	if got := pts[2].Efficiency; got != 0.9 {
+		t.Errorf("4-server efficiency %v, want 0.9", got)
+	}
+}
+
+func TestFillScalingEfficiencyUnordered(t *testing.T) {
+	pts := []ScalingPoint{
+		{Servers: 4, ThroughputImgSec: 300},
+		{Servers: 2, ThroughputImgSec: 150},
+	}
+	FillScalingEfficiency(pts)
+	// Baseline is the smallest cluster (2 servers, 75/server).
+	if pts[1].Efficiency != 1 {
+		t.Errorf("baseline efficiency %v, want 1", pts[1].Efficiency)
+	}
+	if pts[0].Efficiency != 1 {
+		t.Errorf("4-server efficiency %v, want 1 (linear here)", pts[0].Efficiency)
+	}
+}
+
+func TestFillScalingEfficiencyDegenerate(t *testing.T) {
+	FillScalingEfficiency(nil) // must not panic
+	pts := []ScalingPoint{{Servers: 1, ThroughputImgSec: 0}}
+	FillScalingEfficiency(pts)
+	if pts[0].Efficiency != 0 {
+		t.Errorf("efficiency with zero baseline = %v, want 0", pts[0].Efficiency)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	base := ScalingPoint{Servers: 1, ThroughputImgSec: 100}
+	p := ScalingPoint{Servers: 4, ThroughputImgSec: 350}
+	if got := p.Speedup(base); got != 3.5 {
+		t.Errorf("speedup %v, want 3.5", got)
+	}
+	if got := p.Speedup(ScalingPoint{}); got != 0 {
+		t.Errorf("speedup over zero baseline %v, want 0", got)
+	}
+}
