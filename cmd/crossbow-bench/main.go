@@ -7,23 +7,69 @@
 //	crossbow-bench -exp all            # quick pass over every experiment
 //	crossbow-bench -exp fig10 -model resnet32 -full
 //	crossbow-bench -exp fig14 -model vgg16 -gpus 8
+//	crossbow-bench -exp kernels        # kernel microbench -> BENCH_kernels.json
+//	crossbow-bench -exp fig10 -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"crossbow"
+	"crossbow/internal/tensor"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig2, fig3, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, autotune, all")
+	// All work happens in run, so deferred profile finalizers execute even
+	// on error exits (os.Exit would skip them).
+	os.Exit(benchMain())
+}
+
+func benchMain() int {
+	exp := flag.String("exp", "all", "experiment: table1, fig2, fig3, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, autotune, kernels, all")
 	model := flag.String("model", "resnet32", "benchmark model (lenet, resnet32, vgg16, resnet50)")
 	gpus := flag.Int("gpus", 8, "GPU count for per-g experiments")
 	full := flag.Bool("full", false, "paper-scale parameter sweeps (slow); default is a quick pass")
+	threads := flag.Int("threads", 0, "kernel worker pool size (0: NumCPU or $CROSSBOW_PARALLELISM)")
+	kernelsOut := flag.String("out", "BENCH_kernels.json", "output path for the kernels experiment's JSON record")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *threads > 0 {
+		tensor.SetParallelism(*threads)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	quick := !*full
 	id := crossbow.Model(*model)
@@ -35,7 +81,7 @@ func main() {
 	}
 	if !known {
 		fmt.Fprintf(os.Stderr, "unknown model %q\n", *model)
-		os.Exit(2)
+		return 2
 	}
 
 	run := func(name string, fn func()) {
@@ -71,6 +117,18 @@ func main() {
 	run("fig15", func() { crossbow.PrintFigure15(os.Stdout, crossbow.Figure15(quick)) })
 	run("fig16", func() { crossbow.PrintFigure16(os.Stdout, crossbow.Figure16(quick)) })
 	run("fig17", func() { crossbow.PrintFigure17(os.Stdout, crossbow.Figure17()) })
+	// Kernel microbenchmarks run only on explicit request (not under
+	// -exp all) so figure replays don't overwrite the committed baseline.
+	if *exp == "kernels" {
+		start := time.Now()
+		rows := crossbow.KernelBench(quick)
+		crossbow.PrintKernelBench(os.Stdout, rows)
+		if err := crossbow.WriteKernelBenchJSON(*kernelsOut, rows); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *kernelsOut, err)
+			return 1
+		}
+		fmt.Printf("recorded %s\n[kernels took %v]\n", *kernelsOut, time.Since(start).Round(time.Millisecond))
+	}
 	run("autotune", func() {
 		m, hist := crossbow.TuneLearners(id, *gpus, 16)
 		fmt.Printf("Auto-tuner (Alg 2) for %s on %d GPUs, b=16\n", id, *gpus)
@@ -79,4 +137,5 @@ func main() {
 		}
 		fmt.Printf("chosen: m=%d\n", m)
 	})
+	return 0
 }

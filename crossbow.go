@@ -34,6 +34,7 @@ import (
 	"crossbow/internal/engine"
 	"crossbow/internal/metrics"
 	"crossbow/internal/nn"
+	"crossbow/internal/tensor"
 )
 
 // Model identifies a benchmark model (paper Table 1).
@@ -113,6 +114,11 @@ type Config struct {
 	Restart  bool
 	// TrainSamples/TestSamples override the synthetic dataset sizes.
 	TrainSamples, TestSamples int
+	// KernelThreads bounds the compute kernels' worker pool (process-wide;
+	// see tensor.SetParallelism). Zero keeps the current setting — by
+	// default runtime.NumCPU(), overridable with CROSSBOW_PARALLELISM.
+	// Results are bit-identical at any value.
+	KernelThreads int
 }
 
 // Result is the outcome of a training run.
@@ -171,6 +177,9 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.KernelThreads > 0 {
+		tensor.SetParallelism(c.KernelThreads)
 	}
 	return nil
 }

@@ -48,8 +48,9 @@ func (s *SMA) StepNesterov(ws, gs [][]float32) {
 	for i := range s.z {
 		la[i] = s.z[i] + mu*(s.z[i]-s.zPrev[i])
 	}
-	// Corrections against the look-ahead; replicas updated as usual.
-	zNew := make([]float32, len(s.z))
+	// Corrections against the look-ahead; replicas updated as usual. zNew
+	// is struct-owned scratch so the steady-state loop does not allocate.
+	zNew := s.zNew
 	copy(zNew, la)
 	for j := range ws {
 		w := ws[j]

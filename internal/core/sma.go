@@ -55,6 +55,7 @@ type SMA struct {
 	z     []float32   // central average model
 	zPrev []float32   // z at the beginning of the previous iteration
 	delta []float32   // scratch: Σ corrections + momentum term
+	zNew  []float32   // scratch: next z during Nesterov steps
 	vel   [][]float32 // per-learner local momentum velocity
 	state []bool      // state mask: true entries are exempt from corrections
 	iter  int
@@ -78,6 +79,7 @@ func NewSMA(cfg SMAConfig, w0 []float32, k int) *SMA {
 		z:     append([]float32(nil), w0...),
 		zPrev: append([]float32(nil), w0...),
 		delta: make([]float32, len(w0)),
+		zNew:  make([]float32, len(w0)),
 		vel:   make([][]float32, k),
 	}
 	for j := range s.vel {
@@ -100,10 +102,12 @@ func NewSMA(cfg SMAConfig, w0 []float32, k int) *SMA {
 func (s *SMA) localStep(j int, w, g []float32) {
 	lr, mu := s.cfg.LearnRate, s.cfg.LocalMomentum
 	v := s.vel[j]
-	for i := range w {
-		v[i] = mu*v[i] - lr*g[i]
-		w[i] += v[i]
-	}
+	tensor.ParallelFor(len(w), 16384, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v[i] = mu*v[i] - lr*g[i]
+			w[i] += v[i]
+		}
+	})
 }
 
 // K returns the learner count.
@@ -152,39 +156,47 @@ func (s *SMA) Step(ws, gs [][]float32) {
 // 11-13). State entries (batch-norm statistics) are exempt from
 // corrections and carry the replica average instead.
 func smaExchange(ws [][]float32, z, zPrev, delta []float32, state []bool, alpha, mu float32) {
-	tensor.ZeroSlice(delta)
-	for _, w := range ws {
-		if state == nil {
-			for i := range w {
-				c := alpha * (w[i] - z[i])
-				delta[i] += c
-				w[i] -= c
-			}
-		} else {
-			for i := range w {
-				if state[i] {
-					continue
+	// Every index is independent of the others, so the exchange is
+	// partitioned over disjoint index ranges: per-index operations keep
+	// their replica-order (j) accumulation, making the result bit-identical
+	// at any worker count.
+	tensor.ParallelFor(len(z), 16384, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			delta[i] = 0
+		}
+		for _, w := range ws {
+			if state == nil {
+				for i := lo; i < hi; i++ {
+					c := alpha * (w[i] - z[i])
+					delta[i] += c
+					w[i] -= c
 				}
-				c := alpha * (w[i] - z[i])
-				delta[i] += c
-				w[i] -= c
+			} else {
+				for i := lo; i < hi; i++ {
+					if state[i] {
+						continue
+					}
+					c := alpha * (w[i] - z[i])
+					delta[i] += c
+					w[i] -= c
+				}
 			}
 		}
-	}
-	for i := range z {
-		zOld := z[i]
-		if state != nil && state[i] {
-			var sum float32
-			for j := range ws {
-				sum += ws[j][i]
+		for i := lo; i < hi; i++ {
+			zOld := z[i]
+			if state != nil && state[i] {
+				var sum float32
+				for j := range ws {
+					sum += ws[j][i]
+				}
+				z[i] = sum / float32(len(ws))
+				zPrev[i] = zOld
+				continue
 			}
-			z[i] = sum / float32(len(ws))
+			z[i] = zOld + delta[i] + mu*(zOld-zPrev[i])
 			zPrev[i] = zOld
-			continue
 		}
-		z[i] = zOld + delta[i] + mu*(zOld-zPrev[i])
-		zPrev[i] = zOld
-	}
+	})
 }
 
 // Restart re-initialises the averaging process from the current central

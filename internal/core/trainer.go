@@ -89,11 +89,11 @@ type TrainConfig struct {
 	// TauGlobal is the cluster plane's inter-server averaging period in
 	// units of intra-server synchronisations (AlgoSMACluster only; 0 → 1).
 	TauGlobal int
-	MaxEpochs     int
-	TargetAcc     float64 // stop once the TTA window clears this; 0 → run MaxEpochs
-	Seed          uint64
-	DataNoise     float64 // 0 → benchmark default
-	Schedule      Schedule
+	MaxEpochs int
+	TargetAcc float64 // stop once the TTA window clears this; 0 → run MaxEpochs
+	Seed      uint64
+	DataNoise float64 // 0 → benchmark default
+	Schedule  Schedule
 	// RestartOnLRChange applies the §3.2 SMA restart whenever the
 	// schedule changes the learning rate.
 	RestartOnLRChange bool
@@ -246,6 +246,7 @@ func Train(cfg TrainConfig) *Result {
 	}
 	evalNet := nn.BuildScaled(cfg.Model, evalBatch, tensor.NewRNG(cfg.Seed+99))
 	evalGrad := make([]float32, len(w0))
+	evalScratch := newEvalScratch(evalBatch, test.Shape)
 
 	batcher := data.NewBatcher(train.Len(), cfg.BatchPerLearner, cfg.Seed+21)
 	inputs := make([]*tensor.Tensor, k)
@@ -265,6 +266,7 @@ func Train(cfg TrainConfig) *Result {
 	lr := cfg.LearnRate
 	var lossSum float64
 	var lossCount int
+	losses := make([]float64, k) // per-learner losses, reused every iteration
 
 	for epoch := 1; epoch <= cfg.MaxEpochs; epoch++ {
 		if cfg.Schedule != nil {
@@ -284,7 +286,6 @@ func Train(cfg TrainConfig) *Result {
 				copy(batchIdx[j], batcher.Next())
 			}
 			var wg sync.WaitGroup
-			losses := make([]float64, k)
 			for j := 0; j < k; j++ {
 				wg.Add(1)
 				go func(j int) {
@@ -302,7 +303,7 @@ func Train(cfg TrainConfig) *Result {
 			opt.Step(ws, gs)
 		}
 
-		acc := evaluate(evalNet, centralModel(opt), evalGrad, test, evalBatch)
+		acc := evaluate(evalNet, centralModel(opt), evalGrad, test, evalBatch, evalScratch)
 		res.Series = append(res.Series, metrics.EpochPoint{
 			Epoch:   epoch,
 			TimeSec: float64(epoch) * cfg.EpochSeconds,
@@ -354,21 +355,34 @@ func restart(s stepper, ws [][]float32) {
 	}
 }
 
+// evalScratch holds the evaluation input buffers, allocated once per run
+// instead of once per epoch.
+type evalScratch struct {
+	x      *tensor.Tensor
+	labels []int
+	idx    []int
+}
+
+func newEvalScratch(batch int, shape []int) *evalScratch {
+	return &evalScratch{
+		x:      tensor.New(append([]int{batch}, shape...)...),
+		labels: make([]int, batch),
+		idx:    make([]int, batch),
+	}
+}
+
 // evaluate measures test accuracy of model w using the given evaluation
 // network (whose gradient buffer is scratch). Trailing samples that do not
 // fill a batch are dropped, matching fixed-shape learner evaluation.
-func evaluate(net *nn.Network, w, scratch []float32, test *data.Dataset, batch int) float64 {
+func evaluate(net *nn.Network, w, scratch []float32, test *data.Dataset, batch int, es *evalScratch) float64 {
 	net.Bind(w, scratch)
-	x := tensor.New(append([]int{batch}, test.Shape...)...)
-	labels := make([]int, batch)
-	idx := make([]int, batch)
 	correct, total := 0, 0
 	for start := 0; start+batch <= test.Len(); start += batch {
 		for i := 0; i < batch; i++ {
-			idx[i] = start + i
+			es.idx[i] = start + i
 		}
-		test.Gather(idx, x, labels)
-		correct += net.Evaluate(x, labels)
+		test.Gather(es.idx, es.x, es.labels)
+		correct += net.Evaluate(es.x, es.labels)
 		total += batch
 	}
 	if total == 0 {

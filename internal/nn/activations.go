@@ -8,19 +8,16 @@ type ReLU struct {
 	shape []int // per-sample shape
 	batch int
 
-	mask []bool
-	y    *tensor.Tensor
-	dx   *tensor.Tensor
+	y  *tensor.Tensor
+	dx *tensor.Tensor
 }
 
 // NewReLU constructs a ReLU over per-sample shape inShape.
 func NewReLU(batch int, inShape []int) *ReLU {
 	full := append([]int{batch}, inShape...)
-	n := tensor.Volume(full)
 	return &ReLU{
 		shape: append([]int(nil), inShape...),
 		batch: batch,
-		mask:  make([]bool, n),
 		y:     tensor.New(full...),
 		dx:    tensor.New(full...),
 	}
@@ -31,27 +28,31 @@ func (r *ReLU) OutShape() []int { return r.shape }
 
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	xd, yd := x.Data(), r.y.Data()
-	for i, v := range xd {
-		if v > 0 {
-			yd[i] = v
-			r.mask[i] = true
-		} else {
-			yd[i] = 0
-			r.mask[i] = false
+	tensor.ParallelFor(len(xd), 8192, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if v := xd[i]; v > 0 {
+				yd[i] = v
+			} else {
+				yd[i] = 0
+			}
 		}
-	}
+	})
 	return r.y
 }
 
 func (r *ReLU) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	dyd, dxd := dy.Data(), r.dx.Data()
-	for i, m := range r.mask {
-		if m {
-			dxd[i] = dyd[i]
-		} else {
-			dxd[i] = 0
+	// y > 0 ⇔ the forward input was positive, so the cached output doubles
+	// as the gradient mask.
+	dyd, dxd, yd := dy.Data(), r.dx.Data(), r.y.Data()
+	tensor.ParallelFor(len(yd), 8192, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if yd[i] > 0 {
+				dxd[i] = dyd[i]
+			} else {
+				dxd[i] = 0
+			}
 		}
-	}
+	})
 	return r.dx
 }
 

@@ -95,7 +95,17 @@ func (b *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	plane := b.plane()
 	count := b.batch * plane
 
-	for c := 0; c < b.C; c++ {
+	// Channels are fully independent (statistics, outputs and the
+	// per-channel parameter entries), so channel-parallel execution is
+	// bit-deterministic at any worker count.
+	tensor.ParallelFor(b.C, 1+(1<<12)/max(1, count), func(cLo, cHi int) {
+		b.forwardChannels(xd, yd, plane, count, train, cLo, cHi)
+	})
+	return b.y
+}
+
+func (b *BatchNorm) forwardChannels(xd, yd []float32, plane, count int, train bool, cLo, cHi int) {
+	for c := cLo; c < cHi; c++ {
 		var mean, invStd float32
 		if train {
 			var s float64
@@ -134,7 +144,6 @@ func (b *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			}
 		}
 	}
-	return b.y
 }
 
 func (b *BatchNorm) Backward(dy *tensor.Tensor) *tensor.Tensor {
@@ -142,7 +151,14 @@ func (b *BatchNorm) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	plane := b.plane()
 	count := float32(b.batch * plane)
 
-	for c := 0; c < b.C; c++ {
+	tensor.ParallelFor(b.C, 1+(1<<12)/max(1, b.batch*plane), func(cLo, cHi int) {
+		b.backwardChannels(dyd, dxd, plane, count, cLo, cHi)
+	})
+	return b.dx
+}
+
+func (b *BatchNorm) backwardChannels(dyd, dxd []float32, plane int, count float32, cLo, cHi int) {
+	for c := cLo; c < cHi; c++ {
 		var sumDy, sumDyXhat float64
 		for n := 0; n < b.batch; n++ {
 			off := (n*b.C + c) * plane
@@ -176,5 +192,4 @@ func (b *BatchNorm) Backward(dy *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 	}
-	return b.dx
 }

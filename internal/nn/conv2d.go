@@ -3,7 +3,16 @@ package nn
 import "crossbow/internal/tensor"
 
 // Conv2D is a 2-D convolution over NCHW inputs with OIHW filters, lowered to
-// GEMM via im2col. Padding and stride are symmetric per axis.
+// GEMM via batched im2col: the whole mini-batch is expanded into one
+// ColRows × batch·S column matrix and each pass (forward, weight gradient,
+// input gradient) runs a single large GEMM per layer instead of batch small
+// ones. Padding and stride are symmetric per axis.
+//
+// The batched lowering keeps the forward activations, input gradients and
+// bias gradients bit-identical to the per-sample reference path (each output
+// element's dot product runs in the same order); only the weight gradient
+// sums the batch in one accumulation instead of batch partial sums, which
+// regroups the reduction — see DESIGN.md §8 and TestConv2DBatchedMatchesReference.
 type Conv2D struct {
 	Geom  tensor.ConvGeom
 	batch int
@@ -11,11 +20,22 @@ type Conv2D struct {
 	w, b   []float32
 	gw, gb []float32
 
-	x    *tensor.Tensor
-	y    *tensor.Tensor
-	dx   *tensor.Tensor
-	col  []float32 // im2col scratch, reused across samples
-	dcol []float32
+	x  *tensor.Tensor
+	y  *tensor.Tensor
+	dx *tensor.Tensor
+
+	// Reusable batched scratch, allocated once for the layer's batch size:
+	// col/dcol hold the ColRows × batch·S column matrices, pack stages the
+	// OutC × batch·S GEMM operand (forward output, then dY in backward).
+	// col still holds im2col(x) from Forward when Backward runs, so the
+	// weight-gradient pass never recomputes it.
+	col      []float32
+	dcol     []float32
+	pack     []float32 // OutC × NS staging (forward output / dY for the input grad)
+	packT    []float32 // NS × OutC staging of dY for the weight-grad GEMM
+	gwT      []float32 // ColRows × OutC staging for the transposed weight-grad GEMM
+	colFresh bool      // col currently holds im2col of c.x
+	colInit  bool      // col's static padding zeros are in place
 }
 
 // NewConv2D constructs a convolution layer. inShape is [C, H, W].
@@ -26,13 +46,17 @@ func NewConv2D(batch int, inShape []int, outC, k, stride, pad int) *Conv2D {
 		StrideH: stride, StrideW: stride,
 		PadH: pad, PadW: pad,
 	}
+	ns := batch * g.ColCols()
 	return &Conv2D{
 		Geom:  g,
 		batch: batch,
 		y:     tensor.New(batch, outC, g.OutH(), g.OutW()),
 		dx:    tensor.New(batch, g.InC, g.InH, g.InW),
-		col:   make([]float32, g.ColRows()*g.ColCols()),
-		dcol:  make([]float32, g.ColRows()*g.ColCols()),
+		col:   make([]float32, g.ColRows()*ns),
+		dcol:  make([]float32, g.ColRows()*ns),
+		pack:  make([]float32, g.OutC*ns),
+		packT: make([]float32, ns*g.OutC),
+		gwT:   make([]float32, g.ColRows()*g.OutC),
 	}
 }
 
@@ -64,49 +88,93 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	g := c.Geom
 	checkIn("conv2d", x, c.batch, []int{g.InC, g.InH, g.InW})
 	c.x = x
-	inVol := g.InC * g.InH * g.InW
-	outSpatial := g.ColCols()
-	outVol := g.OutC * outSpatial
-	xd, yd := x.Data(), c.y.Data()
-	for n := 0; n < c.batch; n++ {
-		tensor.Im2col(g, xd[n*inVol:(n+1)*inVol], c.col)
-		out := yd[n*outVol : (n+1)*outVol]
-		tensor.Gemm(1, c.w, g.OutC, g.ColRows(), c.col, outSpatial, 0, out)
-		for oc := 0; oc < g.OutC; oc++ {
-			bias := c.b[oc]
-			row := out[oc*outSpatial : (oc+1)*outSpatial]
-			for i := range row {
-				row[i] += bias
+	s := g.ColCols()
+	ns := c.batch * s
+	outVol := g.OutC * s
+	// One batched lowering + one GEMM for the whole mini-batch:
+	// pack(OutC × NS) = W(OutC × ColRows) · col(ColRows × NS).
+	tensor.Im2colBatch(g, c.batch, x.Data(), c.col, c.colInit)
+	c.colInit = true
+	c.colFresh = true
+	tensor.Gemm(1, c.w, g.OutC, g.ColRows(), c.col, ns, 0, c.pack)
+	// Un-stage into NCHW and add the bias.
+	yd := c.y.Data()
+	tensor.ParallelFor(c.batch, 1+(1<<14)/max(1, outVol), func(lo, hi int) {
+		for n := lo; n < hi; n++ {
+			for oc := 0; oc < g.OutC; oc++ {
+				src := c.pack[oc*ns+n*s : oc*ns+n*s+s]
+				dst := yd[n*outVol+oc*s : n*outVol+oc*s+s]
+				bias := c.b[oc]
+				for i, v := range src {
+					dst[i] = v + bias
+				}
 			}
 		}
-	}
+	})
 	return c.y
 }
 
 func (c *Conv2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	g := c.Geom
-	inVol := g.InC * g.InH * g.InW
-	outSpatial := g.ColCols()
-	outVol := g.OutC * outSpatial
-	xd, dyd, dxd := c.x.Data(), dy.Data(), c.dx.Data()
-	c.dx.Zero()
+	s := g.ColCols()
+	ns := c.batch * s
+	outVol := g.OutC * s
+	dyd := dy.Data()
+	// Bias gradient: per-channel sums, samples in order (matches the
+	// per-sample reference accumulation order exactly).
 	for n := 0; n < c.batch; n++ {
-		dout := dyd[n*outVol : (n+1)*outVol]
-		// Bias gradient: per-channel sums.
 		for oc := 0; oc < g.OutC; oc++ {
-			row := dout[oc*outSpatial : (oc+1)*outSpatial]
-			var s float32
+			row := dyd[n*outVol+oc*s : n*outVol+oc*s+s]
+			var sum float32
 			for _, v := range row {
-				s += v
+				sum += v
 			}
-			c.gb[oc] += s
+			c.gb[oc] += sum
 		}
-		// Weight gradient: dW += dout (OutC×S) * colᵀ (S×ColRows).
-		tensor.Im2col(g, xd[n*inVol:(n+1)*inVol], c.col)
-		tensor.GemmTB(1, dout, g.OutC, outSpatial, c.col, g.ColRows(), 1, c.gw)
-		// Input gradient: dcol = Wᵀ (ColRows×OutC) * dout (OutC×S).
-		tensor.GemmTA(1, c.w, g.OutC, g.ColRows(), dout, outSpatial, 0, c.dcol)
-		tensor.Col2im(g, c.dcol, dxd[n*inVol:(n+1)*inVol])
 	}
+	// Stage dY twice: pack (OutC × NS) feeds the input-grad GEMM, packT
+	// (NS × OutC) feeds the weight-grad GEMM as a directly streamable
+	// row-major operand.
+	tensor.ParallelFor(c.batch, 1+(1<<14)/max(1, outVol), func(lo, hi int) {
+		for n := lo; n < hi; n++ {
+			for oc := 0; oc < g.OutC; oc++ {
+				dst := c.pack[oc*ns+n*s : oc*ns+n*s+s]
+				src := dyd[n*outVol+oc*s : n*outVol+oc*s+s]
+				if s < 16 {
+					for i := range dst {
+						dst[i] = src[i]
+					}
+				} else {
+					copy(dst, src)
+				}
+				ti := (n*s)*g.OutC + oc
+				for i := range src {
+					c.packT[ti] = src[i]
+					ti += g.OutC
+				}
+			}
+		}
+	})
+	// Weight gradient: dW(OutC × ColRows) += dY(OutC × NS) · colᵀ. The
+	// forward pass already lowered x into col; recompute only if another
+	// forward ran since (shared-layer safety). The GEMM runs transposed —
+	// gwT(ColRows × OutC) = col · dYᵀ with dYᵀ staged as packT — so both
+	// operands stream directly (no panel packing); the transposed add into
+	// gw performs the same single `+= Σ` per element, so bits match the
+	// direct formulation.
+	if !c.colFresh {
+		tensor.Im2colBatch(g, c.batch, c.x.Data(), c.col, c.colInit)
+	}
+	c.colFresh = false
+	tensor.Gemm(1, c.col, g.ColRows(), ns, c.packT, g.OutC, 0, c.gwT)
+	for oc := 0; oc < g.OutC; oc++ {
+		grow := c.gw[oc*g.ColRows() : (oc+1)*g.ColRows()]
+		for r := range grow {
+			grow[r] += c.gwT[r*g.OutC+oc]
+		}
+	}
+	// Input gradient: dcol(ColRows × NS) = Wᵀ · dY, then scatter per sample.
+	tensor.GemmTA(1, c.w, g.OutC, g.ColRows(), c.pack, ns, 0, c.dcol)
+	tensor.Col2imBatch(g, c.batch, c.dcol, c.dx.Data())
 	return c.dx
 }

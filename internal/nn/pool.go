@@ -35,38 +35,55 @@ func (p *MaxPool) OutShape() []int { return []int{p.inC, p.outH, p.outW} }
 func (p *MaxPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	checkIn("maxpool", x, p.batch, []int{p.inC, p.inH, p.inW})
 	xd, yd := x.Data(), p.y.Data()
-	oi := 0
-	for n := 0; n < p.batch; n++ {
-		for c := 0; c < p.inC; c++ {
-			base := (n*p.inC + c) * p.inH * p.inW
-			for oh := 0; oh < p.outH; oh++ {
-				for ow := 0; ow < p.outW; ow++ {
-					best := float32(0)
-					bi := -1
-					for kh := 0; kh < p.K; kh++ {
-						row := base + (oh*p.K+kh)*p.inW + ow*p.K
-						for kw := 0; kw < p.K; kw++ {
-							if v := xd[row+kw]; bi < 0 || v > best {
-								best, bi = v, row+kw
+	planeOut := p.outH * p.outW
+	// Samples write disjoint output ranges, so batch-parallel execution is
+	// bit-deterministic at any worker count.
+	tensor.ParallelFor(p.batch, 1+(1<<13)/max(1, p.inC*planeOut), func(lo, hi int) {
+		for n := lo; n < hi; n++ {
+			oi := n * p.inC * planeOut
+			for c := 0; c < p.inC; c++ {
+				base := (n*p.inC + c) * p.inH * p.inW
+				for oh := 0; oh < p.outH; oh++ {
+					for ow := 0; ow < p.outW; ow++ {
+						best := float32(0)
+						bi := -1
+						for kh := 0; kh < p.K; kh++ {
+							row := base + (oh*p.K+kh)*p.inW + ow*p.K
+							for kw := 0; kw < p.K; kw++ {
+								if v := xd[row+kw]; bi < 0 || v > best {
+									best, bi = v, row+kw
+								}
 							}
 						}
+						yd[oi] = best
+						p.argmax[oi] = int32(bi)
+						oi++
 					}
-					yd[oi] = best
-					p.argmax[oi] = int32(bi)
-					oi++
 				}
 			}
 		}
-	}
+	})
 	return p.y
 }
 
 func (p *MaxPool) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	p.dx.Zero()
 	dyd, dxd := dy.Data(), p.dx.Data()
-	for i, src := range p.argmax {
-		dxd[src] += dyd[i]
-	}
+	planeOut := p.outH * p.outW
+	inVol := p.inC * p.inH * p.inW
+	// Pooling windows are disjoint (stride == window), so each sample's
+	// argmax entries scatter into its own dx block only.
+	tensor.ParallelFor(p.batch, 1+(1<<13)/max(1, inVol), func(lo, hi int) {
+		for n := lo; n < hi; n++ {
+			dst := dxd[n*inVol : (n+1)*inVol]
+			for i := range dst {
+				dst[i] = 0
+			}
+			o0 := n * p.inC * planeOut
+			for i := o0; i < o0+p.inC*planeOut; i++ {
+				dxd[p.argmax[i]] += dyd[i]
+			}
+		}
+	})
 	return p.dx
 }
 
@@ -97,13 +114,15 @@ func (p *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	xd, yd := x.Data(), p.y.Data()
 	plane := p.h * p.w
 	inv := 1 / float32(plane)
-	for i := 0; i < p.batch*p.c; i++ {
-		var s float32
-		for _, v := range xd[i*plane : (i+1)*plane] {
-			s += v
+	tensor.ParallelFor(p.batch*p.c, 1+(1<<13)/max(1, plane), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var s float32
+			for _, v := range xd[i*plane : (i+1)*plane] {
+				s += v
+			}
+			yd[i] = s * inv
 		}
-		yd[i] = s * inv
-	}
+	})
 	return p.y
 }
 
@@ -111,12 +130,14 @@ func (p *GlobalAvgPool) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	dyd, dxd := dy.Data(), p.dx.Data()
 	plane := p.h * p.w
 	inv := 1 / float32(plane)
-	for i := 0; i < p.batch*p.c; i++ {
-		g := dyd[i] * inv
-		row := dxd[i*plane : (i+1)*plane]
-		for j := range row {
-			row[j] = g
+	tensor.ParallelFor(p.batch*p.c, 1+(1<<13)/max(1, plane), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			g := dyd[i] * inv
+			row := dxd[i*plane : (i+1)*plane]
+			for j := range row {
+				row[j] = g
+			}
 		}
-	}
+	})
 	return p.dx
 }

@@ -18,7 +18,6 @@ type Residual struct {
 	outShape []int
 
 	sum  *tensor.Tensor
-	mask []bool
 	y    *tensor.Tensor
 	dsum *tensor.Tensor
 	dx   *tensor.Tensor
@@ -42,12 +41,10 @@ func NewResidual(batch int, inShape []int, branch, shortcut []Layer) *Residual {
 		}
 	}
 	full := append([]int{batch}, out...)
-	n := tensor.Volume(full)
 	return &Residual{
 		branch: branch, shortcut: shortcut, batch: batch,
 		outShape: append([]int(nil), out...),
 		sum:      tensor.New(full...),
-		mask:     make([]bool, n),
 		y:        tensor.New(full...),
 		dsum:     tensor.New(full...),
 		dx:       tensor.New(append([]int{batch}, inShape...)...),
@@ -106,29 +103,33 @@ func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		s = l.Forward(s, train)
 	}
 	sd, fd, sumd, yd := s.Data(), f.Data(), r.sum.Data(), r.y.Data()
-	for i := range sumd {
-		v := fd[i] + sd[i]
-		sumd[i] = v
-		if v > 0 {
-			yd[i] = v
-			r.mask[i] = true
-		} else {
-			yd[i] = 0
-			r.mask[i] = false
+	tensor.ParallelFor(len(sumd), 8192, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v := fd[i] + sd[i]
+			sumd[i] = v
+			if v > 0 {
+				yd[i] = v
+			} else {
+				yd[i] = 0
+			}
 		}
-	}
+	})
 	return r.y
 }
 
 func (r *Residual) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	dyd, dsumd := dy.Data(), r.dsum.Data()
-	for i, m := range r.mask {
-		if m {
-			dsumd[i] = dyd[i]
-		} else {
-			dsumd[i] = 0
+	// y > 0 ⇔ the pre-activation sum was positive: the cached output is the
+	// gradient mask.
+	dyd, dsumd, yd := dy.Data(), r.dsum.Data(), r.y.Data()
+	tensor.ParallelFor(len(dsumd), 8192, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if yd[i] > 0 {
+				dsumd[i] = dyd[i]
+			} else {
+				dsumd[i] = 0
+			}
 		}
-	}
+	})
 	// Branch path.
 	db := r.dsum
 	for i := len(r.branch) - 1; i >= 0; i-- {
@@ -145,9 +146,11 @@ func (r *Residual) Backward(dy *tensor.Tensor) *tensor.Tensor {
 		// equals the input shape in this case.
 		dsd = r.dsum.Data()
 	}
-	for i := range dxd {
-		dxd[i] = dbd[i] + dsd[i]
-	}
+	tensor.ParallelFor(len(dxd), 8192, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dxd[i] = dbd[i] + dsd[i]
+		}
+	})
 	return r.dx
 }
 

@@ -3,6 +3,14 @@ package tensor
 // Convolution support: im2col/col2im lowering so that Conv2D forward and
 // both backward passes reduce to GEMM. Layout conventions are NCHW for
 // activations and OIHW for filters, matching the paper's cuDNN substrate.
+//
+// Two granularities are provided. The per-sample kernels (Im2col, Col2im)
+// are the original reference lowering; the batched kernels (Im2colBatch,
+// Col2imBatch) expand a whole mini-batch into one ColRows × batch·S column
+// matrix so each conv layer runs a single large GEMM per pass instead of
+// batch small ones. Sample n owns columns [n·S, (n+1)·S), so the batched
+// kernels are exactly the per-sample kernels applied at a column offset —
+// bit-identical output, any worker count.
 
 // ConvGeom describes a 2-D convolution's geometry.
 type ConvGeom struct {
@@ -27,42 +35,207 @@ func (g ConvGeom) ColRows() int { return g.InC * g.KH * g.KW }
 // spatial position): OutH*OutW.
 func (g ConvGeom) ColCols() int { return g.OutH() * g.OutW() }
 
+// InVol returns the per-sample input volume InC*InH*InW.
+func (g ConvGeom) InVol() int { return g.InC * g.InH * g.InW }
+
+// OutVol returns the per-sample output volume OutC*OutH*OutW.
+func (g ConvGeom) OutVol() int { return g.OutC * g.OutH() * g.OutW() }
+
 // Im2col expands one image (InC×InH×InW, flat) into the column matrix col
 // (ColRows×ColCols, flat) so that filterMatrix(OutC×ColRows) * col yields the
 // convolution output (OutC×OutH*OutW).
 func Im2col(g ConvGeom, img, col []float32) {
-	outH, outW := g.OutH(), g.OutW()
-	if len(img) < g.InC*g.InH*g.InW || len(col) < g.ColRows()*g.ColCols() {
+	if len(img) < g.InVol() || len(col) < g.ColRows()*g.ColCols() {
 		panic("tensor: Im2col buffer too small")
 	}
-	cols := outH * outW
-	row := 0
+	im2colStrided(g, img, col, g.ColCols(), 0)
+}
+
+// Im2colBatch expands a whole NCHW mini-batch x (batch×InC×InH×InW, flat)
+// into one column matrix col of shape ColRows × batch·ColCols, with sample
+// n occupying columns [n·ColCols, (n+1)·ColCols).
+//
+// skipPad declares that col already holds this geometry's padding zeros
+// (from a previous Im2colBatch over the same buffer): the zero positions
+// are data-independent, so steady-state calls write only the interior
+// spans. Pass false the first time a buffer is used.
+func Im2colBatch(g ConvGeom, batch int, x, col []float32, skipPad bool) {
+	s, inVol := g.ColCols(), g.InVol()
+	if len(x) < batch*inVol || len(col) < g.ColRows()*batch*s {
+		panic("tensor: Im2colBatch buffer too small")
+	}
+	ld := batch * s
+	grain := 1 + (1 << 14 / max(1, g.ColRows()*s))
+	ParallelFor(batch, grain, func(lo, hi int) {
+		for n := lo; n < hi; n++ {
+			if skipPad {
+				im2colInterior(g, x[n*inVol:(n+1)*inVol], col, ld, n*s)
+			} else {
+				im2colStrided(g, x[n*inVol:(n+1)*inVol], col, ld, n*s)
+			}
+		}
+	})
+}
+
+// im2colInterior writes only the in-bounds spans of one sample's column
+// block, assuming the padding zeros are already in place.
+func im2colInterior(g ConvGeom, img, col []float32, ld, off int) {
+	outH, outW := g.OutH(), g.OutW()
+	var owbBuf owBoundsBuf
+	owb := owbBuf[:]
+	if 2*g.KW > len(owb) {
+		owb = make([]int, 2*g.KW)
+	}
+	owBounds(g, owb)
 	for c := 0; c < g.InC; c++ {
 		chOff := c * g.InH * g.InW
 		for kh := 0; kh < g.KH; kh++ {
 			for kw := 0; kw < g.KW; kw++ {
-				dst := col[row*cols : row*cols+cols]
-				row++
+				row := (c*g.KH+kh)*g.KW + kw
+				dst := col[row*ld+off : row*ld+off+outH*outW]
+				owLo, owHi := owb[2*kw], owb[2*kw+1]
+				w := owHi - owLo
+				if w <= 0 {
+					continue
+				}
+				if g.StrideW == 1 && g.StrideH == 1 && owLo == 0 && owHi == outW && outW == g.InW {
+					// Full-width stride-1 rows (kw == PadW): the valid
+					// vertical block is contiguous in src and dst.
+					ohLo, ohHi := 0, outH
+					if g.PadH > kh {
+						ohLo = g.PadH - kh
+					}
+					if t := g.InH + g.PadH - kh; t < ohHi {
+						ohHi = t
+					}
+					if ohLo < ohHi {
+						src0 := chOff + (ohLo+kh-g.PadH)*g.InW
+						copy(dst[ohLo*outW:ohHi*outW], img[src0:src0+(ohHi-ohLo)*outW])
+					}
+					continue
+				}
+				for oh := 0; oh < outH; oh++ {
+					ih := oh*g.StrideH - g.PadH + kh
+					if ih < 0 || ih >= g.InH {
+						continue
+					}
+					rowOff := chOff + ih*g.InW
+					di := oh * outW
+					if g.StrideW == 1 {
+						lo := owLo - g.PadW + kw
+						d := dst[di+owLo : di+owLo+w]
+						s := img[rowOff+lo : rowOff+lo+w]
+						if w < 16 {
+							for i := range d {
+								d[i] = s[i]
+							}
+						} else {
+							copy(d, s)
+						}
+					} else {
+						iw := owLo*g.StrideW - g.PadW + kw
+						for ow := owLo; ow < owHi; ow++ {
+							dst[di+ow] = img[rowOff+iw]
+							iw += g.StrideW
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// owBoundsBuf is the stack scratch for owBounds; kernels up to 8 wide (all
+// the benchmark models) avoid any allocation.
+type owBoundsBuf [16]int
+
+// owBounds fills owb with owRange for every kw of the geometry (flattened
+// [owLo₀, owHi₀, owLo₁, …]) so the division-heavy bounds run once per kernel
+// call, not once per channel row. owb needs 2·KW entries.
+func owBounds(g ConvGeom, owb []int) {
+	for kw := 0; kw < g.KW; kw++ {
+		owb[2*kw], owb[2*kw+1] = owRange(g.OutW(), g.StrideW, g.PadW, kw, g.InW)
+	}
+}
+
+// owRange returns the [owLo, owHi) range of output columns whose input
+// column iw = ow*strideW - padW + kw lands inside [0, inW).
+func owRange(outW, strideW, padW, kw, inW int) (int, int) {
+	owLo := 0
+	if padW > kw {
+		owLo = (padW - kw + strideW - 1) / strideW
+	}
+	owHi := 0
+	if t := inW + padW - kw - 1; t >= 0 {
+		owHi = t/strideW + 1
+	}
+	if owHi > outW {
+		owHi = outW
+	}
+	if owLo > owHi {
+		owLo = owHi
+	}
+	return owLo, owHi
+}
+
+// im2colStrided writes one sample's column block: row r of the patch matrix
+// lands at col[r*ld+off : r*ld+off+ColCols]. Horizontal bounds are hoisted
+// out of the inner loop, so interior spans run branch-free (contiguous copy
+// at stride 1).
+func im2colStrided(g ConvGeom, img, col []float32, ld, off int) {
+	outH, outW := g.OutH(), g.OutW()
+	var owbBuf owBoundsBuf
+	owb := owbBuf[:]
+	if 2*g.KW > len(owb) {
+		owb = make([]int, 2*g.KW)
+	}
+	owBounds(g, owb)
+	for c := 0; c < g.InC; c++ {
+		chOff := c * g.InH * g.InW
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				row := (c*g.KH+kh)*g.KW + kw
+				dst := col[row*ld+off : row*ld+off+outH*outW]
+				owLo, owHi := owb[2*kw], owb[2*kw+1]
 				di := 0
 				for oh := 0; oh < outH; oh++ {
 					ih := oh*g.StrideH - g.PadH + kh
 					if ih < 0 || ih >= g.InH {
-						for ow := 0; ow < outW; ow++ {
-							dst[di] = 0
-							di++
+						for i := di; i < di+outW; i++ {
+							dst[i] = 0
 						}
+						di += outW
 						continue
 					}
 					rowOff := chOff + ih*g.InW
-					for ow := 0; ow < outW; ow++ {
-						iw := ow*g.StrideW - g.PadW + kw
-						if iw < 0 || iw >= g.InW {
-							dst[di] = 0
-						} else {
-							dst[di] = img[rowOff+iw]
-						}
-						di++
+					for i := di; i < di+owLo; i++ {
+						dst[i] = 0
 					}
+					if g.StrideW == 1 {
+						lo := owLo - g.PadW + kw
+						w := owHi - owLo
+						d := dst[di+owLo : di+owLo+w]
+						s := img[rowOff+lo : rowOff+lo+w]
+						if w < 16 {
+							// Tiny spans: an inline loop beats memmove's
+							// call overhead.
+							for i := range d {
+								d[i] = s[i]
+							}
+						} else {
+							copy(d, s)
+						}
+					} else {
+						iw := owLo*g.StrideW - g.PadW + kw
+						for ow := owLo; ow < owHi; ow++ {
+							dst[di+ow] = img[rowOff+iw]
+							iw += g.StrideW
+						}
+					}
+					for i := di + owHi; i < di+outW; i++ {
+						dst[i] = 0
+					}
+					di += outW
 				}
 			}
 		}
@@ -74,32 +247,94 @@ func Im2col(g ConvGeom, img, col []float32) {
 // to propagate gradients to the convolution input. img must be zeroed (or
 // hold a partial accumulation) on entry.
 func Col2im(g ConvGeom, col, img []float32) {
-	outH, outW := g.OutH(), g.OutW()
-	if len(img) < g.InC*g.InH*g.InW || len(col) < g.ColRows()*g.ColCols() {
+	if len(img) < g.InVol() || len(col) < g.ColRows()*g.ColCols() {
 		panic("tensor: Col2im buffer too small")
 	}
-	cols := outH * outW
-	row := 0
+	col2imStrided(g, col, g.ColCols(), 0, img)
+}
+
+// Col2imBatch scatters the batched column matrix col (ColRows × batch·ColCols,
+// laid out as produced by Im2colBatch) into the NCHW batch x, zeroing x
+// first. It is the adjoint of Im2colBatch.
+func Col2imBatch(g ConvGeom, batch int, col, x []float32) {
+	s, inVol := g.ColCols(), g.InVol()
+	if len(x) < batch*inVol || len(col) < g.ColRows()*batch*s {
+		panic("tensor: Col2imBatch buffer too small")
+	}
+	ld := batch * s
+	grain := 1 + (1 << 14 / max(1, g.ColRows()*s))
+	ParallelFor(batch, grain, func(lo, hi int) {
+		for n := lo; n < hi; n++ {
+			dst := x[n*inVol : (n+1)*inVol]
+			for i := range dst {
+				dst[i] = 0
+			}
+			col2imStrided(g, col, ld, n*s, dst)
+		}
+	})
+}
+
+// col2imStrided accumulates one sample's column block (row r at
+// col[r*ld+off]) into img, with horizontal bounds hoisted like
+// im2colStrided's.
+func col2imStrided(g ConvGeom, col []float32, ld, off int, img []float32) {
+	outH, outW := g.OutH(), g.OutW()
+	var owbBuf owBoundsBuf
+	owb := owbBuf[:]
+	if 2*g.KW > len(owb) {
+		owb = make([]int, 2*g.KW)
+	}
+	owBounds(g, owb)
 	for c := 0; c < g.InC; c++ {
 		chOff := c * g.InH * g.InW
 		for kh := 0; kh < g.KH; kh++ {
 			for kw := 0; kw < g.KW; kw++ {
-				src := col[row*cols : row*cols+cols]
-				row++
-				si := 0
+				row := (c*g.KH+kh)*g.KW + kw
+				src := col[row*ld+off : row*ld+off+outH*outW]
+				owLo, owHi := owb[2*kw], owb[2*kw+1]
+				if g.StrideW == 1 && g.StrideH == 1 && owLo == 0 && owHi == outW && outW == g.InW {
+					// Full-width stride-1 rows: one contiguous accumulate
+					// over the valid vertical block. Each img element still
+					// receives exactly one term from this (c,kh,kw) row in
+					// the same position order, so accumulation order — and
+					// therefore bits — are unchanged.
+					ohLo, ohHi := 0, outH
+					if g.PadH > kh {
+						ohLo = g.PadH - kh
+					}
+					if t := g.InH + g.PadH - kh; t < ohHi {
+						ohHi = t
+					}
+					if ohLo < ohHi {
+						src0 := chOff + (ohLo+kh-g.PadH)*g.InW
+						d := img[src0 : src0+(ohHi-ohLo)*outW]
+						s := src[ohLo*outW : ohHi*outW]
+						for i, v := range s {
+							d[i] += v
+						}
+					}
+					continue
+				}
 				for oh := 0; oh < outH; oh++ {
 					ih := oh*g.StrideH - g.PadH + kh
 					if ih < 0 || ih >= g.InH {
-						si += outW
 						continue
 					}
 					rowOff := chOff + ih*g.InW
-					for ow := 0; ow < outW; ow++ {
-						iw := ow*g.StrideW - g.PadW + kw
-						if iw >= 0 && iw < g.InW {
-							img[rowOff+iw] += src[si]
+					si := oh * outW
+					if g.StrideW == 1 {
+						lo := owLo - g.PadW + kw
+						dst := img[rowOff+lo : rowOff+lo+owHi-owLo]
+						s := src[si+owLo : si+owHi]
+						for i, v := range s {
+							dst[i] += v
 						}
-						si++
+					} else {
+						iw := owLo*g.StrideW - g.PadW + kw
+						for ow := owLo; ow < owHi; ow++ {
+							img[rowOff+iw] += src[si+ow]
+							iw += g.StrideW
+						}
 					}
 				}
 			}

@@ -1,103 +1,440 @@
 package tensor
 
+import "sync"
+
+// Blocked, register-tiled GEMM. The three public kernels (Gemm, GemmTA,
+// GemmTB) share one cache-blocked driver: operands are packed into
+// contiguous panels (B in NR-interleaved columns, A in MR-interleaved rows,
+// transposition absorbed by the packers) and a 4×8 micro-kernel accumulates
+// the output tile in registers. Work is fanned out over the shared bounded
+// worker pool (parallel.go) by partitioning the output into disjoint row or
+// column bands.
+//
+// Determinism contract (verified by blocked_test.go):
+//   - Every output element is accumulated in strictly ascending-p order with
+//     a float32 accumulator, independent of tile position, panel splits and
+//     worker count — results are bit-identical at any parallelism level.
+//   - Gemm and GemmTA preload the accumulator from C (beta applied up
+//     front), reproducing the reference kernels' association exactly: they
+//     are bit-identical to gemmRef/gemmTARef for all inputs.
+//   - GemmTB applies alpha once per k-panel (c += alpha*Σ). It matches
+//     gemmTBRef bit-for-bit while k ≤ gemmKC (every shape the scaled models
+//     produce); for larger k the per-panel regrouping can differ from the
+//     single-sum reference in the last bits, bounded by standard
+//     forward-error analysis. See DESIGN.md §8.
+
+const (
+	gemmMR = 4   // micro-kernel tile rows
+	gemmNR = 8   // micro-kernel tile cols (one YMM / two XMM vectors)
+	gemmKC = 256 // k panel: packed A/B panel depth
+	gemmMC = 128 // m panel: rows of A packed at once
+	gemmNC = 512 // n panel: cols of B packed at once
+
+	// parGrainFlops is roughly how many FLOPs one parallel chunk should
+	// carry so that goroutine hand-off cost stays negligible.
+	parGrainFlops = 1 << 18
+
+	// gemmDirectBMax: when row-major B has at most this many elements
+	// (512 KB — L2-resident), the micro-kernel reads its 8 columns straight
+	// from B with a strided load instead of packing a panel first. Same
+	// per-element order, so bits are unchanged; it just skips the pack
+	// traffic, which dominates when m is small (conv layers).
+	gemmDirectBMax = 128 << 10
+)
+
+type gemmKind int
+
+const (
+	gemmNN gemmKind = iota // A m×k, B k×n
+	gemmTA                 // A stored k×m (logical Aᵀ), B k×n
+	gemmTB                 // A m×k, B stored n×k (logical Bᵀ)
+)
+
+// gemmBufs are the per-call packing panels, recycled through a pool so the
+// steady-state training loop does not allocate.
+type gemmBufs struct {
+	a []float32
+	b []float32
+}
+
+var gemmPool = sync.Pool{New: func() any {
+	return &gemmBufs{
+		a: make([]float32, (gemmMC+gemmMR)*gemmKC),
+		b: make([]float32, (gemmNC+gemmNR)*gemmKC),
+	}
+}}
+
 // Gemm computes C = alpha*A*B + beta*C for row-major matrices, where A is
 // m×k, B is k×n and C is m×n. It is the single hot kernel behind dense
-// layers and im2col convolution. The loop order (i,p,j) streams B and C rows
-// sequentially, which is the cache-friendly order for row-major data.
+// layers and im2col convolution.
 func Gemm(alpha float32, a []float32, m, k int, b []float32, n int, beta float32, c []float32) {
 	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
 		panic("tensor: Gemm buffer too small")
 	}
-	if beta == 0 {
-		for i := range c[:m*n] {
-			c[i] = 0
-		}
-	} else if beta != 1 {
-		for i := range c[:m*n] {
-			c[i] *= beta
-		}
-	}
-	if alpha == 0 {
-		return
-	}
-	for i := 0; i < m; i++ {
-		arow := a[i*k : i*k+k]
-		crow := c[i*n : i*n+n]
-		for p := 0; p < k; p++ {
-			av := alpha * arow[p]
-			if av == 0 {
-				continue
-			}
-			brow := b[p*n : p*n+n]
-			for j, bv := range brow {
-				crow[j] += av * bv
-			}
-		}
-	}
+	gemmBlocked(gemmNN, alpha, a, m, k, b, n, beta, c)
 }
 
-// GemmTA computes C = alpha*Aᵀ*B + beta*C where A is k×m (so Aᵀ is m×k),
-// B is k×n and C is m×n. Used for weight-gradient accumulation.
+// GemmTA computes C = alpha*Aᵀ*B + beta*C where A is stored k×m (so Aᵀ is
+// m×k), B is k×n and C is m×n. Used for weight-gradient accumulation.
 func GemmTA(alpha float32, a []float32, k, m int, b []float32, n int, beta float32, c []float32) {
 	if len(a) < k*m || len(b) < k*n || len(c) < m*n {
 		panic("tensor: GemmTA buffer too small")
 	}
-	if beta == 0 {
-		for i := range c[:m*n] {
-			c[i] = 0
-		}
-	} else if beta != 1 {
-		for i := range c[:m*n] {
-			c[i] *= beta
-		}
+	gemmBlocked(gemmTA, alpha, a, m, k, b, n, beta, c)
+}
+
+// GemmTB computes C = alpha*A*Bᵀ + beta*C where A is m×k, B is stored n×k
+// (so Bᵀ is k×n) and C is m×n. Used for input-gradient propagation.
+func GemmTB(alpha float32, a []float32, m, k int, b []float32, n int, beta float32, c []float32) {
+	if len(a) < m*k || len(b) < n*k || len(c) < m*n {
+		panic("tensor: GemmTB buffer too small")
 	}
-	if alpha == 0 {
+	gemmBlocked(gemmTB, alpha, a, m, k, b, n, beta, c)
+}
+
+// scaleC applies the beta pre-pass shared by all kernels.
+func scaleC(beta float32, c []float32) {
+	if beta == 1 {
 		return
 	}
-	for p := 0; p < k; p++ {
-		arow := a[p*m : p*m+m]
-		brow := b[p*n : p*n+n]
-		for i, av := range arow {
-			av *= alpha
-			if av == 0 {
-				continue
+	if beta == 0 {
+		for i := range c {
+			c[i] = 0
+		}
+		return
+	}
+	for i := range c {
+		c[i] *= beta
+	}
+}
+
+func gemmBlocked(kind gemmKind, alpha float32, a []float32, m, k int, b []float32, n int, beta float32, c []float32) {
+	scaleC(beta, c[:m*n])
+	if alpha == 0 || m == 0 || n == 0 || k == 0 {
+		return
+	}
+	if Parallelism() == 1 {
+		// Serial fast path: no band closure, no pool hand-off.
+		gemmBand(kind, alpha, a, m, k, b, n, c, 0, m, 0, n)
+		return
+	}
+	// Partition the larger output dimension into disjoint bands. Each band
+	// is an independent GEMM over the same A/B, so bits never depend on the
+	// split (see the determinism contract above). Bands are cut in units of
+	// whole micro-kernel tiles so seams don't demote interior tiles to the
+	// Go edge kernels.
+	if m >= n {
+		tiles := (m + gemmMR - 1) / gemmMR
+		grain := 1 + parGrainFlops/(2*k*n*gemmMR)
+		ParallelFor(tiles, grain, func(lo, hi int) {
+			gemmBand(kind, alpha, a, m, k, b, n, c, lo*gemmMR, min(hi*gemmMR, m), 0, n)
+		})
+		return
+	}
+	tiles := (n + gemmNR - 1) / gemmNR
+	grain := 1 + parGrainFlops/(2*k*m*gemmNR)
+	ParallelFor(tiles, grain, func(lo, hi int) {
+		gemmBand(kind, alpha, a, m, k, b, n, c, 0, m, lo*gemmNR, min(hi*gemmNR, n))
+	})
+}
+
+// gemmBand runs the blocked kernel over the output band C[rowLo:rowHi,
+// colLo:colHi]. beta has already been applied.
+func gemmBand(kind gemmKind, alpha float32, a []float32, m, k int, b []float32, n int, c []float32, rowLo, rowHi, colLo, colHi int) {
+	// Fully direct mode: for gemmNN/gemmTA with alpha == 1 and L2-resident
+	// operands the micro-kernel streams both A (strided broadcasts) and B
+	// (strided row loads) from place — no packing at all. This is the
+	// steady-state training configuration. Per-element accumulation order
+	// is unchanged, so bits match the packed path exactly.
+	if kind != gemmTB && alpha == 1 && k*n <= gemmDirectBMax && k*m <= gemmDirectBMax {
+		// A element (i, p) strides: gemmNN stores A m×k, gemmTA stores k×m.
+		ars, acs := k, 1
+		if kind == gemmTA {
+			ars, acs = 1, m
+		}
+		for i := rowLo; i < rowHi; i += gemmMR {
+			rows := min(gemmMR, rowHi-i)
+			var as []float32
+			if kind == gemmTA {
+				as = a[i:]
+			} else {
+				as = a[i*k:]
 			}
-			crow := c[i*n : i*n+n]
-			for j, bv := range brow {
-				crow[j] += av * bv
+			for j := colLo; j < colHi; j += gemmNR {
+				cols := min(gemmNR, colHi-j)
+				cp := c[i*n+j:]
+				bs := b[j:]
+				if rows == gemmMR && cols == gemmNR {
+					gemmMicroPreDir(k, as, ars, acs, bs, n, cp, n)
+				} else {
+					microEdgeDirect(k, as, ars, acs, bs, n, cp, n, rows, cols)
+				}
+			}
+		}
+		return
+	}
+	// Packed paths from here on: borrow panel buffers from the pool.
+	bufs := gemmPool.Get().(*gemmBufs)
+	defer gemmPool.Put(bufs)
+	// Gemm/GemmTA fold alpha into the packed A panel and preload C into the
+	// accumulators; GemmTB keeps the raw product sum and applies alpha at
+	// the store, matching its reference association.
+	preload := kind != gemmTB
+	packAlpha := alpha
+	storeAlpha := float32(1)
+	if kind == gemmTB {
+		packAlpha, storeAlpha = 1, alpha
+	}
+	// Direct-B mode (gemmNN/gemmTA with an L2-resident row-major B) skips
+	// B panel packing and streams B rows from place.
+	directB := kind != gemmTB && k*n <= gemmDirectBMax
+	for jc := colLo; jc < colHi; jc += gemmNC {
+		nb := min(gemmNC, colHi-jc)
+		for pc := 0; pc < k; pc += gemmKC {
+			kb := min(gemmKC, k-pc)
+			if !directB {
+				packB(kind, bufs.b, b, k, n, pc, kb, jc, nb)
+			}
+			for ic := rowLo; ic < rowHi; ic += gemmMC {
+				mb := min(gemmMC, rowHi-ic)
+				packA(kind, bufs.a, a, m, k, ic, mb, pc, kb, packAlpha)
+				for i := 0; i < mb; i += gemmMR {
+					rows := min(gemmMR, mb-i)
+					ap := bufs.a[i*kb : i*kb+kb*gemmMR]
+					for j := 0; j < nb; j += gemmNR {
+						cols := min(gemmNR, nb-j)
+						cp := c[(ic+i)*n+jc+j:]
+						if directB {
+							bs := b[pc*n+jc+j:]
+							if rows == gemmMR && cols == gemmNR {
+								gemmMicroPreBS(kb, ap, bs, n, cp, n)
+							} else {
+								microEdgeStridedB(kb, ap, bs, n, cp, n, rows, cols)
+							}
+							continue
+						}
+						bp := bufs.b[j*kb : j*kb+kb*gemmNR]
+						if rows == gemmMR && cols == gemmNR {
+							if preload {
+								gemmMicroPre(kb, ap, bp, cp, n)
+							} else {
+								gemmMicroAcc(kb, ap, bp, cp, n, storeAlpha)
+							}
+						} else {
+							microEdge(kb, ap, bp, cp, n, rows, cols, storeAlpha, preload)
+						}
+					}
+				}
 			}
 		}
 	}
 }
 
-// GemmTB computes C = alpha*A*Bᵀ + beta*C where A is m×k, B is n×k (so Bᵀ
-// is k×n) and C is m×n. Used for input-gradient propagation.
-func GemmTB(alpha float32, a []float32, m, k int, b []float32, n int, beta float32, c []float32) {
-	if len(a) < m*k || len(b) < n*k || len(c) < m*n {
-		panic("tensor: GemmTB buffer too small")
-	}
-	if beta == 0 {
-		for i := range c[:m*n] {
-			c[i] = 0
-		}
-	} else if beta != 1 {
-		for i := range c[:m*n] {
-			c[i] *= beta
+// microEdgeDirect is the fully direct tile kernel in Go: A lanes at element
+// strides (ars, acs), B rows at stride ldb, preload semantics with alpha
+// == 1. It also covers partial tiles.
+func microEdgeDirect(kb int, a []float32, ars, acs int, b []float32, ldb int, c []float32, ldc, rows, cols int) {
+	var acc [gemmMR][gemmNR]float32
+	for r := 0; r < rows; r++ {
+		crow := c[r*ldc:]
+		for q := 0; q < cols; q++ {
+			acc[r][q] = crow[q]
 		}
 	}
-	if alpha == 0 {
-		return
+	for p := 0; p < kb; p++ {
+		var a0, a1, a2, a3 float32
+		base := p * acs
+		a0 = a[base]
+		if rows > 1 {
+			a1 = a[base+ars]
+		}
+		if rows > 2 {
+			a2 = a[base+2*ars]
+		}
+		if rows > 3 {
+			a3 = a[base+3*ars]
+		}
+		brow := b[p*ldb : p*ldb+cols]
+		for q, bv := range brow {
+			acc[0][q] += a0 * bv
+			acc[1][q] += a1 * bv
+			acc[2][q] += a2 * bv
+			acc[3][q] += a3 * bv
+		}
 	}
-	for i := 0; i < m; i++ {
-		arow := a[i*k : i*k+k]
-		crow := c[i*n : i*n+n]
-		for j := 0; j < n; j++ {
-			brow := b[j*k : j*k+k]
-			var s float32
-			for p := range arow {
-				s += arow[p] * brow[p]
+	for r := 0; r < rows; r++ {
+		crow := c[r*ldc:]
+		for q := 0; q < cols; q++ {
+			crow[q] = acc[r][q]
+		}
+	}
+}
+
+// microEdgeStridedB is the direct-B tile kernel (preload semantics, alpha in
+// ap) reading B rows at stride ldb; it also covers partial tiles.
+func microEdgeStridedB(kb int, ap, b []float32, ldb int, c []float32, ldc, rows, cols int) {
+	var acc [gemmMR][gemmNR]float32
+	for r := 0; r < rows; r++ {
+		crow := c[r*ldc:]
+		for q := 0; q < cols; q++ {
+			acc[r][q] = crow[q]
+		}
+	}
+	for p := 0; p < kb; p++ {
+		a0, a1, a2, a3 := ap[0], ap[1], ap[2], ap[3]
+		ap = ap[gemmMR:]
+		brow := b[p*ldb : p*ldb+cols]
+		for q, bv := range brow {
+			acc[0][q] += a0 * bv
+			acc[1][q] += a1 * bv
+			acc[2][q] += a2 * bv
+			acc[3][q] += a3 * bv
+		}
+	}
+	for r := 0; r < rows; r++ {
+		crow := c[r*ldc:]
+		for q := 0; q < cols; q++ {
+			crow[q] = acc[r][q]
+		}
+	}
+}
+
+// packA packs rows [i0,i0+mb) × cols [p0,p0+kb) of logical A into
+// MR-interleaved tiles, folding alpha in and zero-padding partial tiles.
+func packA(kind gemmKind, dst, a []float32, m, k, i0, mb, p0, kb int, alpha float32) {
+	for i := 0; i < mb; i += gemmMR {
+		rows := min(gemmMR, mb-i)
+		d := dst[i*kb : i*kb+kb*gemmMR]
+		if kind == gemmTA {
+			// A stored k×m: row p of storage holds logical column p.
+			for p := 0; p < kb; p++ {
+				src := a[(p0+p)*m+i0+i:]
+				x := p * gemmMR
+				for r := 0; r < gemmMR; r++ {
+					if r < rows {
+						d[x+r] = alpha * src[r]
+					} else {
+						d[x+r] = 0
+					}
+				}
 			}
-			crow[j] += alpha * s
+			continue
+		}
+		// A row-major m×k (gemmNN and gemmTB).
+		if rows < gemmMR {
+			for x := range d {
+				d[x] = 0
+			}
+		}
+		for r := 0; r < rows; r++ {
+			src := a[(i0+i+r)*k+p0:]
+			x := r
+			if alpha == 1 {
+				for p := 0; p < kb; p++ {
+					d[x] = src[p]
+					x += gemmMR
+				}
+			} else {
+				for p := 0; p < kb; p++ {
+					d[x] = alpha * src[p]
+					x += gemmMR
+				}
+			}
 		}
 	}
+}
+
+// packB packs rows [p0,p0+kb) × cols [j0,j0+nb) of logical B into
+// NR-interleaved tiles, zero-padding partial tiles.
+func packB(kind gemmKind, dst, b []float32, k, n, p0, kb, j0, nb int) {
+	for j := 0; j < nb; j += gemmNR {
+		cols := min(gemmNR, nb-j)
+		d := dst[j*kb : j*kb+kb*gemmNR]
+		if kind == gemmTB {
+			// B stored n×k: row j of storage holds logical column j.
+			if cols < gemmNR {
+				for x := range d {
+					d[x] = 0
+				}
+			}
+			for q := 0; q < cols; q++ {
+				src := b[(j0+j+q)*k+p0:]
+				x := q
+				for p := 0; p < kb; p++ {
+					d[x] = src[p]
+					x += gemmNR
+				}
+			}
+			continue
+		}
+		// B row-major k×n (gemmNN and gemmTA): full tiles copy 8 sequential
+		// floats per k step, so the strided-read cost of a column-major
+		// traversal is avoided.
+		if cols == gemmNR {
+			for p := 0; p < kb; p++ {
+				src := b[(p0+p)*n+j0+j:]
+				src = src[:gemmNR]
+				dd := d[p*gemmNR : p*gemmNR+gemmNR]
+				dd[0], dd[1], dd[2], dd[3] = src[0], src[1], src[2], src[3]
+				dd[4], dd[5], dd[6], dd[7] = src[4], src[5], src[6], src[7]
+			}
+			continue
+		}
+		for p := 0; p < kb; p++ {
+			src := b[(p0+p)*n+j0+j:]
+			x := p * gemmNR
+			for q := 0; q < gemmNR; q++ {
+				if q < cols {
+					d[x+q] = src[q]
+				} else {
+					d[x+q] = 0
+				}
+			}
+		}
+	}
+}
+
+// microGeneric computes one (possibly partial) gemmMR×gemmNR output tile in
+// pure Go. The packed panels are zero-padded, so every valid element's
+// accumulation order is identical to the assembly kernels' (ascending p,
+// one float32 accumulator per element) — the pure-Go and SIMD paths are
+// bit-identical.
+func microGeneric(kb int, ap, bp []float32, c []float32, ldc, rows, cols int, alpha float32, preload bool) {
+	var acc [gemmMR][gemmNR]float32
+	if preload {
+		for r := 0; r < rows; r++ {
+			crow := c[r*ldc:]
+			for q := 0; q < cols; q++ {
+				acc[r][q] = crow[q]
+			}
+		}
+	}
+	for p := 0; p < kb; p++ {
+		a0, a1, a2, a3 := ap[0], ap[1], ap[2], ap[3]
+		b := bp[:gemmNR]
+		ap, bp = ap[gemmMR:], bp[gemmNR:]
+		for q, bv := range b {
+			acc[0][q] += a0 * bv
+			acc[1][q] += a1 * bv
+			acc[2][q] += a2 * bv
+			acc[3][q] += a3 * bv
+		}
+	}
+	for r := 0; r < rows; r++ {
+		crow := c[r*ldc:]
+		if preload {
+			for q := 0; q < cols; q++ {
+				crow[q] = acc[r][q]
+			}
+			continue
+		}
+		for q := 0; q < cols; q++ {
+			crow[q] += alpha * acc[r][q]
+		}
+	}
+}
+
+// microEdge handles partial tiles at the output's right/bottom edges.
+func microEdge(kb int, ap, bp []float32, c []float32, ldc, rows, cols int, alpha float32, preload bool) {
+	microGeneric(kb, ap, bp, c, ldc, rows, cols, alpha, preload)
 }

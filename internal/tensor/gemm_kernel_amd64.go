@@ -1,0 +1,147 @@
+//go:build amd64
+
+package tensor
+
+import "os"
+
+// amd64 micro-kernel dispatch. Two assembly kernels cover the full 4×8
+// tile: an AVX2 one (one YMM per C row) used when the CPU supports it, and
+// an SSE2 one (two XMM per C row) that every amd64 CPU can run. Both use
+// vector MUL then ADD — never FMA — so each lane performs exactly the same
+// rounding sequence as the scalar Go code, keeping the SIMD and generic
+// paths bit-identical (asserted by TestGemmSIMDMatchesGeneric).
+//
+// Set CROSSBOW_NOSIMD=1 to force the pure-Go kernels.
+
+var (
+	gemmUseASM  = true
+	gemmUseAVX2 bool
+)
+
+func init() {
+	if os.Getenv("CROSSBOW_NOSIMD") != "" {
+		gemmUseASM = false
+		return
+	}
+	gemmUseAVX2 = detectAVX2()
+}
+
+func detectAVX2() bool {
+	maxID, _, _, _ := cpuidAsm(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, c1, _ := cpuidAsm(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if c1&osxsave == 0 || c1&avx == 0 {
+		return false
+	}
+	// The OS must save/restore XMM and YMM state.
+	if eax, _ := xgetbvAsm(); eax&6 != 6 {
+		return false
+	}
+	_, b7, _, _ := cpuidAsm(7, 0)
+	return b7&(1<<5) != 0
+}
+
+//go:noescape
+func gemmMicroPreSSE(kb int, ap, bp, c *float32, ldc int)
+
+//go:noescape
+func gemmMicroAccSSE(kb int, ap, bp, c *float32, ldc int, alpha float32)
+
+//go:noescape
+func gemmMicroPreAVX2(kb int, ap, bp, c *float32, ldc int)
+
+//go:noescape
+func gemmMicroAccAVX2(kb int, ap, bp, c *float32, ldc int, alpha float32)
+
+//go:noescape
+func gemmMicroPreBSSSE(kb int, ap, b *float32, ldb int, c *float32, ldc int)
+
+//go:noescape
+func gemmMicroPreBSAVX2(kb int, ap, b *float32, ldb int, c *float32, ldc int)
+
+//go:noescape
+func gemmMicroPreDirSSE(kb int, a *float32, ars, acs int, b *float32, ldb int, c *float32, ldc int)
+
+//go:noescape
+func gemmMicroPreDirAVX2(kb int, a *float32, ars, acs int, b *float32, ldb int, c *float32, ldc int)
+
+func cpuidAsm(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+func xgetbvAsm() (eax, edx uint32)
+
+// setGemmASM is a test hook: false forces the pure-Go micro-kernels.
+// It returns the previous setting.
+func setGemmASM(on bool) bool {
+	prev := gemmUseASM
+	gemmUseASM = on
+	return prev
+}
+
+// setGemmAVX2 is a test hook: false forces the SSE2 kernels even on
+// AVX2-capable CPUs, so both assembly paths are exercised in CI. It
+// returns the previous setting.
+func setGemmAVX2(on bool) bool {
+	prev := gemmUseAVX2
+	gemmUseAVX2 = on && detectAVX2()
+	return prev
+}
+
+// gemmMicroPre computes one full 4×8 tile with accumulators preloaded from
+// C (alpha already folded into ap), overwriting C.
+func gemmMicroPre(kb int, ap, bp, c []float32, ldc int) {
+	if !gemmUseASM {
+		microGeneric(kb, ap, bp, c, ldc, gemmMR, gemmNR, 1, true)
+		return
+	}
+	if gemmUseAVX2 {
+		gemmMicroPreAVX2(kb, &ap[0], &bp[0], &c[0], ldc)
+	} else {
+		gemmMicroPreSSE(kb, &ap[0], &bp[0], &c[0], ldc)
+	}
+}
+
+// gemmMicroPreBS is gemmMicroPre reading B rows directly at stride ldb
+// (no packed panel).
+func gemmMicroPreBS(kb int, ap, b []float32, ldb int, c []float32, ldc int) {
+	if !gemmUseASM {
+		microEdgeStridedB(kb, ap, b, ldb, c, ldc, gemmMR, gemmNR)
+		return
+	}
+	if gemmUseAVX2 {
+		gemmMicroPreBSAVX2(kb, &ap[0], &b[0], ldb, &c[0], ldc)
+	} else {
+		gemmMicroPreBSSSE(kb, &ap[0], &b[0], ldb, &c[0], ldc)
+	}
+}
+
+// gemmMicroPreDir is the fully direct tile kernel (alpha == 1): A read at
+// row/column element strides ars/acs, B rows at stride ldb, no packing.
+func gemmMicroPreDir(kb int, a []float32, ars, acs int, b []float32, ldb int, c []float32, ldc int) {
+	if !gemmUseASM {
+		microEdgeDirect(kb, a, ars, acs, b, ldb, c, ldc, gemmMR, gemmNR)
+		return
+	}
+	if gemmUseAVX2 {
+		gemmMicroPreDirAVX2(kb, &a[0], ars, acs, &b[0], ldb, &c[0], ldc)
+	} else {
+		gemmMicroPreDirSSE(kb, &a[0], ars, acs, &b[0], ldb, &c[0], ldc)
+	}
+}
+
+// gemmMicroAcc computes one full 4×8 tile from zero and applies
+// C += alpha * acc (GemmTB's association).
+func gemmMicroAcc(kb int, ap, bp, c []float32, ldc int, alpha float32) {
+	if !gemmUseASM {
+		microGeneric(kb, ap, bp, c, ldc, gemmMR, gemmNR, alpha, false)
+		return
+	}
+	if gemmUseAVX2 {
+		gemmMicroAccAVX2(kb, &ap[0], &bp[0], &c[0], ldc, alpha)
+	} else {
+		gemmMicroAccSSE(kb, &ap[0], &bp[0], &c[0], ldc, alpha)
+	}
+}

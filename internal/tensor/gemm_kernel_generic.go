@@ -1,0 +1,29 @@
+//go:build !amd64
+
+package tensor
+
+// Portable micro-kernel fallback: same tile shape, same per-element
+// accumulation order, so results are bit-identical to the amd64 assembly
+// kernels.
+
+func gemmMicroPre(kb int, ap, bp, c []float32, ldc int) {
+	microGeneric(kb, ap, bp, c, ldc, gemmMR, gemmNR, 1, true)
+}
+
+func gemmMicroAcc(kb int, ap, bp, c []float32, ldc int, alpha float32) {
+	microGeneric(kb, ap, bp, c, ldc, gemmMR, gemmNR, alpha, false)
+}
+
+func gemmMicroPreBS(kb int, ap, b []float32, ldb int, c []float32, ldc int) {
+	microEdgeStridedB(kb, ap, b, ldb, c, ldc, gemmMR, gemmNR)
+}
+
+func gemmMicroPreDir(kb int, a []float32, ars, acs int, b []float32, ldb int, c []float32, ldc int) {
+	microEdgeDirect(kb, a, ars, acs, b, ldb, c, ldc, gemmMR, gemmNR)
+}
+
+// setGemmASM is a no-op on architectures without assembly kernels.
+func setGemmASM(on bool) bool { return false }
+
+// setGemmAVX2 is a no-op on architectures without assembly kernels.
+func setGemmAVX2(on bool) bool { return false }

@@ -1,0 +1,118 @@
+package tensor
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+)
+
+// Intra-op parallelism: a shared, bounded pool of compute goroutines that
+// the blocked kernels fan work out to. The pool is a semaphore, not a fixed
+// set of worker loops — ParallelFor callers execute chunks inline whenever
+// the pool is saturated, which makes nested parallel kernels (k learner
+// goroutines each calling Gemm) deadlock-free by construction.
+//
+// Determinism contract: ParallelFor only ever partitions an index range into
+// disjoint chunks, and every kernel built on it computes each output element
+// by an order that does not depend on chunk boundaries. Results are therefore
+// bit-identical at any worker count, including 1 (see DESIGN.md §8).
+
+var (
+	parMu      sync.Mutex
+	parWorkers int
+	parSem     chan struct{}
+)
+
+func init() {
+	n := runtime.NumCPU()
+	if s := os.Getenv("CROSSBOW_PARALLELISM"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			n = v
+		}
+	}
+	SetParallelism(n)
+}
+
+// SetParallelism bounds the number of goroutines the kernels use, including
+// the caller. n < 1 selects runtime.NumCPU(). The initial value is
+// runtime.NumCPU(), overridable with the CROSSBOW_PARALLELISM environment
+// variable. Changing parallelism never changes numeric results.
+func SetParallelism(n int) {
+	if n < 1 {
+		n = runtime.NumCPU()
+	}
+	parMu.Lock()
+	defer parMu.Unlock()
+	parWorkers = n
+	// Capacity n-1: the caller is always one of the workers.
+	parSem = make(chan struct{}, n-1)
+}
+
+// Parallelism returns the current kernel worker bound.
+func Parallelism() int {
+	parMu.Lock()
+	defer parMu.Unlock()
+	return parWorkers
+}
+
+func parState() (int, chan struct{}) {
+	parMu.Lock()
+	defer parMu.Unlock()
+	return parWorkers, parSem
+}
+
+// ParallelFor splits [0, n) into at most Parallelism() disjoint chunks of at
+// least grain iterations each and runs fn over them, possibly concurrently.
+// fn must treat its [lo, hi) range independently of the others (disjoint
+// writes); chunk goroutines are borrowed from the shared bounded pool and
+// excess chunks run inline on the caller.
+func ParallelFor(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	workers, sem := parState()
+	if workers == 1 || n <= grain {
+		fn(0, n)
+		return
+	}
+	chunks := (n + grain - 1) / grain
+	if chunks > workers {
+		chunks = workers
+	}
+	if chunks <= 1 {
+		fn(0, n)
+		return
+	}
+	size, rem := n/chunks, n%chunks
+	var wg sync.WaitGroup
+	lo := size
+	if rem > 0 {
+		lo++
+	}
+	first := lo // caller's own chunk is [0, first)
+	for c := 1; c < chunks; c++ {
+		hi := lo + size
+		if c < rem {
+			hi++
+		}
+		clo, chi := lo, hi
+		lo = hi
+		select {
+		case sem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer func() { <-sem; wg.Done() }()
+				fn(clo, chi)
+			}()
+		default:
+			// Pool saturated: run inline. Same chunk, same result.
+			fn(clo, chi)
+		}
+	}
+	fn(0, first)
+	wg.Wait()
+}
