@@ -6,6 +6,7 @@
 //
 //	crossbow-train -model resnet32 -gpus 8 -m auto -batch 16 -target 0.85
 //	crossbow-train -model lenet -algo ssgd -epochs 20
+//	crossbow-train -model resnet32 -sched fcfs -m 2 -batch 4 -tau 2
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"os"
 
 	"crossbow"
+	"crossbow/internal/metrics"
 )
 
 func main() {
@@ -28,6 +30,8 @@ func main() {
 	momentum := flag.Float64("momentum", 0.9, "momentum")
 	tau := flag.Int("tau", 1, "synchronisation period")
 	seed := flag.Uint64("seed", 1, "random seed")
+	sched := flag.String("sched", "lockstep", "task-runtime scheduler: lockstep (barriered oracle) or fcfs (barrier-free)")
+	prefetch := flag.Int("prefetch", 0, "staged batches per learner in the input pipeline, min 1 (0: double buffering)")
 	flag.Parse()
 
 	learners := 1
@@ -50,6 +54,8 @@ func main() {
 		MaxEpochs:      *epochs,
 		TargetAccuracy: *target,
 		Seed:           *seed,
+		Scheduler:      crossbow.Scheduler(*sched),
+		Prefetch:       *prefetch,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -62,10 +68,15 @@ func main() {
 			fmt.Printf("  m=%d -> %.0f images/s\n", d.M, d.Throughput)
 		}
 	}
-	fmt.Printf("model=%s algo=%s gpus=%d m=%d batch=%d\n",
-		*model, *algo, *gpus, res.LearnersPerGPU, *batch)
+	fmt.Printf("model=%s algo=%s gpus=%d m=%d batch=%d sched=%s\n",
+		*model, *algo, *gpus, res.LearnersPerGPU, *batch, res.Scheduler)
 	fmt.Printf("simulated throughput: %.0f images/s, epoch: %.1f s\n",
 		res.ThroughputImgSec, res.EpochSeconds)
+	if len(res.Wall) > 0 {
+		fmt.Printf("wall-clock: %.0f images/s, median epoch %.3f s (rounds=%d waits=%d lead<=%d iters)\n",
+			res.WallImagesPerSec, metrics.MedianEpochSec(res.Wall),
+			res.RuntimeStats.Rounds, res.RuntimeStats.RoundWaits, res.RuntimeStats.MaxLeadIters)
+	}
 	fmt.Printf("%6s %10s %10s %8s\n", "epoch", "time(s)", "loss", "acc(%)")
 	for _, p := range res.Series {
 		fmt.Printf("%6d %10.1f %10.4f %8.2f\n", p.Epoch, p.TimeSec, p.Loss, p.TestAcc*100)

@@ -67,8 +67,25 @@ const (
 )
 
 // AutoTune, used as LearnersPerGPU, lets Algorithm 2 choose the learner
-// count that saturates training throughput.
+// count that saturates training throughput. With the default scheduler the
+// count is probed on the hardware simulator before the run; with
+// Scheduler: FCFS the tuner runs online, adapting the learner count to
+// measured wall-clock throughput while training.
 const AutoTune = -1
+
+// Scheduler selects the task runtime's scheduling mode (§4.3).
+type Scheduler = core.SchedulerMode
+
+// Scheduler modes. Lockstep joins every learner behind a per-iteration
+// barrier (the baseline execution model; bit-deterministic given the
+// config). FCFS is Crossbow's barrier-free schedule: learners bind staged
+// input batches first-come-first-served, run ahead of the average model by
+// up to τ iterations, and synchronisation overlaps the next iteration's
+// compute. FCFS requires the SMA algorithm on a single server.
+const (
+	Lockstep = core.SchedLockstep
+	FCFS     = core.SchedFCFS
+)
 
 // Config configures a training run.
 type Config struct {
@@ -114,11 +131,22 @@ type Config struct {
 	Restart  bool
 	// TrainSamples/TestSamples override the synthetic dataset sizes.
 	TrainSamples, TestSamples int
-	// KernelThreads bounds the compute kernels' worker pool (process-wide;
-	// see tensor.SetParallelism). Zero keeps the current setting — by
-	// default runtime.NumCPU(), overridable with CROSSBOW_PARALLELISM.
-	// Results are bit-identical at any value.
+	// KernelThreads bounds the compute kernels' worker budget (process-
+	// wide; see tensor.SetWorkerBudget). Zero keeps the current setting —
+	// by default runtime.NumCPU(), overridable with CROSSBOW_PARALLELISM.
+	// The budget is shared: k concurrent learners each get a pool of
+	// max(1, budget/k) kernel workers, so learner- and kernel-level
+	// parallelism never oversubscribe it. Results are bit-identical at any
+	// value.
 	KernelThreads int
+	// Scheduler selects the task runtime's scheduling mode: Lockstep
+	// (default, bit-deterministic) or FCFS (barrier-free; SMA only,
+	// Servers == 1).
+	Scheduler Scheduler
+	// Prefetch is the staged-batch depth per learner in the input
+	// pipeline's circular buffer; minimum 1 (default 2, double buffering
+	// per §4.5).
+	Prefetch int
 }
 
 // Result is the outcome of a training run.
@@ -148,6 +176,18 @@ type Result struct {
 	// SMA/EA-SGD, the global model for S-SGD/A-SGD. Pair with SaveModel
 	// to checkpoint it.
 	Params []float32
+	// Scheduler is the task-runtime mode the statistical plane executed
+	// with.
+	Scheduler Scheduler
+	// Wall records each epoch's measured wall-clock duration and training
+	// throughput on this machine (the real-hardware complement of the
+	// simulated ThroughputImgSec).
+	Wall []metrics.WallPoint
+	// WallImagesPerSec is the measured mean training throughput.
+	WallImagesPerSec float64
+	// RuntimeStats reports the task runtime's scheduling statistics
+	// (rounds applied, straggler waits, FCFS run-ahead).
+	RuntimeStats engine.RuntimeStats
 }
 
 func (c *Config) fillDefaults() error {
@@ -179,7 +219,20 @@ func (c *Config) fillDefaults() error {
 		c.Seed = 1
 	}
 	if c.KernelThreads > 0 {
-		tensor.SetParallelism(c.KernelThreads)
+		tensor.SetWorkerBudget(c.KernelThreads)
+	}
+	switch c.Scheduler {
+	case "", Lockstep:
+		c.Scheduler = Lockstep
+	case FCFS:
+		if c.Algo != SMA {
+			return fmt.Errorf("crossbow: Scheduler FCFS requires Algo SMA (got %q)", c.Algo)
+		}
+		if c.Servers > 1 {
+			return fmt.Errorf("crossbow: Scheduler FCFS is single-server (got Servers %d)", c.Servers)
+		}
+	default:
+		return fmt.Errorf("crossbow: unknown scheduler %q", c.Scheduler)
 	}
 	return nil
 }
@@ -194,9 +247,16 @@ func Train(cfg Config) (*Result, error) {
 	if cfg.Servers > 1 {
 		return trainCluster(cfg)
 	}
-	res := &Result{LearnersPerGPU: cfg.LearnersPerGPU, Servers: 1}
+	res := &Result{LearnersPerGPU: cfg.LearnersPerGPU, Servers: 1, Scheduler: cfg.Scheduler}
 
-	if cfg.LearnersPerGPU == AutoTune {
+	// With the FCFS runtime, AutoTune means the *online* Algorithm 2: the
+	// statistical plane below starts at one learner per GPU and resizes
+	// against measured wall-clock throughput while training. Otherwise the
+	// count is probed on the hardware simulator up front.
+	tuneOnline := cfg.LearnersPerGPU == AutoTune && cfg.Scheduler == FCFS
+	if tuneOnline {
+		res.LearnersPerGPU = 1 // refined from TuneHistory after the run
+	} else if cfg.LearnersPerGPU == AutoTune {
 		tuned := autotune.Tune(autotune.Config{Model: cfg.Model, GPUs: cfg.GPUs, Batch: cfg.Batch})
 		res.LearnersPerGPU = tuned.Chosen
 		res.TuneHistory = tuned.History
@@ -229,7 +289,8 @@ func Train(cfg Config) (*Result, error) {
 		res.EpochSeconds = float64(spec.TrainSamples) / throughput
 	}
 
-	// Statistical plane: real training of the scaled model.
+	// Statistical plane: real training of the scaled model on the task
+	// runtime.
 	tr := core.Train(core.TrainConfig{
 		Model:           cfg.Model,
 		Algo:            cfg.Algo,
@@ -249,11 +310,24 @@ func Train(cfg Config) (*Result, error) {
 		EpochSeconds:      res.EpochSeconds,
 		TrainSamples:      cfg.TrainSamples,
 		TestSamples:       cfg.TestSamples,
+		Scheduler:         cfg.Scheduler,
+		Prefetch:          cfg.Prefetch,
+		AutoTuneLearners:  tuneOnline,
 	})
 	res.Series = tr.Series
 	res.EpochsToTarget = tr.EpochsToTarget
 	res.BestAccuracy = tr.FinalAccuracy
 	res.Params = tr.Model
+	res.Wall = tr.Wall
+	res.WallImagesPerSec = metrics.MeanImagesPerSec(tr.Wall)
+	res.RuntimeStats = tr.RuntimeStats
+	if tuneOnline {
+		res.LearnersPerGPU = tr.K / cfg.GPUs
+		if res.LearnersPerGPU < 1 {
+			res.LearnersPerGPU = 1
+		}
+		res.TuneHistory = tr.TuneHistory
+	}
 	res.TTASeconds = -1
 	if cfg.TargetAccuracy > 0 {
 		if t, ok := metrics.TTA(tr.Series, cfg.TargetAccuracy); ok {

@@ -1,0 +1,105 @@
+package crossbow
+
+import "testing"
+
+// TestSchedulerAPI exercises the task-runtime surface of the public API:
+// FCFS training end to end with wall-clock results, and the validation of
+// scheduler/algorithm combinations.
+func TestSchedulerAPI(t *testing.T) {
+	res, err := Train(Config{
+		Model:          ResNet32,
+		Scheduler:      FCFS,
+		LearnersPerGPU: 2,
+		Batch:          8,
+		Tau:            2,
+		MaxEpochs:      2,
+		TrainSamples:   128,
+		TestSamples:    64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scheduler != FCFS {
+		t.Fatalf("result scheduler %q, want %q", res.Scheduler, FCFS)
+	}
+	if len(res.Wall) != 2 {
+		t.Fatalf("wall series has %d points, want 2", len(res.Wall))
+	}
+	for _, wp := range res.Wall {
+		if wp.Sec <= 0 || wp.ImagesPerSec <= 0 {
+			t.Fatalf("wall point not measured: %+v", wp)
+		}
+	}
+	if res.WallImagesPerSec <= 0 {
+		t.Fatalf("WallImagesPerSec = %v", res.WallImagesPerSec)
+	}
+	if res.RuntimeStats.Rounds == 0 {
+		t.Fatal("runtime applied no synchronisation rounds")
+	}
+}
+
+// TestSchedulerValidation: FCFS is rejected for non-SMA algorithms and for
+// the simulated cluster plane, and unknown scheduler names error.
+func TestSchedulerValidation(t *testing.T) {
+	base := Config{Model: LeNet, MaxEpochs: 1, TrainSamples: 64, TestSamples: 32}
+
+	cfg := base
+	cfg.Scheduler = FCFS
+	cfg.Algo = SSGD
+	if _, err := Train(cfg); err == nil {
+		t.Fatal("FCFS with S-SGD must be rejected")
+	}
+
+	cfg = base
+	cfg.Scheduler = FCFS
+	cfg.Servers = 2
+	if _, err := Train(cfg); err == nil {
+		t.Fatal("FCFS with Servers > 1 must be rejected")
+	}
+
+	cfg = base
+	cfg.Scheduler = "round-robin"
+	if _, err := Train(cfg); err == nil {
+		t.Fatal("unknown scheduler must be rejected")
+	}
+}
+
+// TestLockstepDefaultScheduler: a config that says nothing about scheduling
+// runs the lockstep oracle, preserving pre-runtime behaviour.
+func TestLockstepDefaultScheduler(t *testing.T) {
+	res, err := Train(Config{
+		Model: LeNet, MaxEpochs: 1, TrainSamples: 64, TestSamples: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scheduler != Lockstep {
+		t.Fatalf("default scheduler %q, want %q", res.Scheduler, Lockstep)
+	}
+	if len(res.Wall) != 1 {
+		t.Fatalf("wall series has %d points, want 1", len(res.Wall))
+	}
+}
+
+// TestFCFSOnlineAutoTune: LearnersPerGPU: AutoTune under the FCFS runtime
+// selects the learner count online from measured wall-clock throughput.
+func TestFCFSOnlineAutoTune(t *testing.T) {
+	res, err := Train(Config{
+		Model:          ResNet32,
+		Scheduler:      FCFS,
+		LearnersPerGPU: AutoTune,
+		Batch:          8,
+		MaxEpochs:      4,
+		TrainSamples:   128,
+		TestSamples:    64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TuneHistory) == 0 {
+		t.Fatal("online tuning recorded no decisions")
+	}
+	if res.LearnersPerGPU < 1 {
+		t.Fatalf("tuned learner count %d", res.LearnersPerGPU)
+	}
+}

@@ -1,0 +1,63 @@
+// Example live-runtime demonstrates the wall-clock task runtime: the same
+// multi-learner SMA training executed under the two scheduling modes —
+// Lockstep (every iteration joins all learners behind a barrier, the
+// bit-deterministic oracle) and FCFS (Crossbow's barrier-free schedule:
+// learners bind staged batches first-come-first-served and run ahead of
+// the central average model by up to τ iterations) — followed by an FCFS
+// run whose learner count is tuned online by Algorithm 2 against measured
+// wall-clock throughput.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crossbow"
+	"crossbow/internal/metrics"
+)
+
+func main() {
+	base := crossbow.Config{
+		Model:          crossbow.ResNet32,
+		Algo:           crossbow.SMA,
+		LearnersPerGPU: 2,
+		Batch:          8,
+		Tau:            2,
+		MaxEpochs:      3,
+		Seed:           7,
+		TrainSamples:   512,
+		TestSamples:    128,
+	}
+
+	fmt.Println("== Lockstep (barriered oracle) vs FCFS (barrier-free) ==")
+	for _, sched := range []crossbow.Scheduler{crossbow.Lockstep, crossbow.FCFS} {
+		cfg := base
+		cfg.Scheduler = sched
+		res, err := crossbow.Train(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s: %.0f images/s wall-clock, median epoch %.3fs, best acc %.1f%%\n",
+			sched, res.WallImagesPerSec, metrics.MedianEpochSec(res.Wall), res.BestAccuracy*100)
+		for _, wp := range res.Wall {
+			fmt.Printf("  epoch %d: %.3fs (%.0f images/s)\n", wp.Epoch, wp.Sec, wp.ImagesPerSec)
+		}
+		st := res.RuntimeStats
+		fmt.Printf("  runtime: %d rounds applied, %d straggler waits, run-ahead <= %d iterations\n",
+			st.Rounds, st.RoundWaits, st.MaxLeadIters)
+	}
+
+	fmt.Println("\n== FCFS with online Algorithm 2 (learner count from measured throughput) ==")
+	cfg := base
+	cfg.Scheduler = crossbow.FCFS
+	cfg.LearnersPerGPU = crossbow.AutoTune
+	cfg.MaxEpochs = 6
+	res, err := crossbow.Train(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range res.TuneHistory {
+		fmt.Printf("  m=%d -> %.0f images/s measured\n", d.M, d.Throughput)
+	}
+	fmt.Printf("settled on m=%d, best acc %.1f%%\n", res.LearnersPerGPU, res.BestAccuracy*100)
+}

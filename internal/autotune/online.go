@@ -1,0 +1,112 @@
+package autotune
+
+// Online is Algorithm 2 running against *measured* wall-clock throughput:
+// instead of probing candidate learner counts on the simulator (Tune), the
+// controller is embedded in a real training run and fed one observation per
+// measurement window (an epoch of the wall-clock runtime). Starting from
+// one learner, it proposes adding a learner while throughput keeps
+// improving beyond the tolerance threshold, and reverts to the previous
+// count once it stops — the paper's online form, which resizes the running
+// system (§3.4/§4.4).
+type Online struct {
+	threshold float64
+	max       int
+	warmup    int
+
+	m       int     // learner count currently running
+	best    float64 // accepted throughput at m-1 learners (line 5's t_prev)
+	probing bool    // true while m is a candidate under measurement
+	settled bool
+	history []Decision
+}
+
+// OnlineConfig configures the online controller.
+type OnlineConfig struct {
+	// Start is the initial learner count (0 → 1, Alg 2 line 1).
+	Start int
+	// Max bounds the search (0 → 8, like Tune).
+	Max int
+	// Threshold is the fractional throughput improvement required to keep
+	// a learner (0 → 0.05).
+	Threshold float64
+	// Warmup is the number of leading observations to discard while caches
+	// and the data pipeline fill (0 → 1).
+	Warmup int
+}
+
+// NewOnline creates the controller; the run must start with M() learners.
+func NewOnline(cfg OnlineConfig) *Online {
+	if cfg.Start < 1 {
+		cfg.Start = 1
+	}
+	if cfg.Max < 1 {
+		cfg.Max = 8
+	}
+	if cfg.Max < cfg.Start {
+		cfg.Max = cfg.Start
+	}
+	if cfg.Threshold == 0 {
+		cfg.Threshold = 0.05
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = 1
+	}
+	return &Online{
+		threshold: cfg.Threshold,
+		max:       cfg.Max,
+		warmup:    cfg.Warmup,
+		m:         cfg.Start,
+	}
+}
+
+// M returns the learner count the run should currently use.
+func (o *Online) M() int { return o.m }
+
+// Settled reports whether the search has converged; after that Observe
+// keeps returning the chosen count.
+func (o *Online) Settled() bool { return o.settled }
+
+// History lists the (learner count, throughput) decisions so far.
+func (o *Online) History() []Decision { return o.history }
+
+// Observe feeds the throughput (images/s) measured over the last window at
+// M() learners and returns the learner count for the next window. The
+// caller resizes the running system whenever the return value differs from
+// the count it measured with.
+func (o *Online) Observe(throughput float64) int {
+	if o.settled {
+		return o.m
+	}
+	if o.warmup > 0 {
+		o.warmup--
+		return o.m
+	}
+	o.history = append(o.history, Decision{M: o.m, Throughput: throughput})
+	if !o.probing {
+		// Baseline measured; propose the first extra learner (line 4).
+		o.best = throughput
+		if o.m < o.max {
+			o.m++
+			o.probing = true
+		} else {
+			o.settled = true
+		}
+		return o.m
+	}
+	if throughput-o.best > o.threshold*o.best {
+		// Significant improvement: keep the learner, probe the next
+		// (line 6).
+		o.best = throughput
+		if o.m < o.max {
+			o.m++
+		} else {
+			o.settled = true
+		}
+		return o.m
+	}
+	// No significant improvement (or a decrease): revert and stop at the
+	// peak (line 7).
+	o.m--
+	o.settled = true
+	return o.m
+}

@@ -199,6 +199,82 @@ func smaExchange(ws [][]float32, z, zPrev, delta []float32, state []bool, alpha,
 	})
 }
 
+// LocalStep applies learner j's gradient to its replica with local momentum
+// (Alg 1 line 8/10). It touches only learner j's state, so distinct
+// learners may step concurrently — the barrier-free runtime's contract.
+func (s *SMA) LocalStep(j int, w, g []float32) { s.localStep(j, w, g) }
+
+// ContributeStep is learner j's τ-boundary update, fused into one pass
+// over the replica: the correction c_j = α(w_j − z) against the current
+// central average model is computed on the replica as it stood at the
+// iteration start, applied to it, and stored in out (len(out) == len(w));
+// then the iteration's gradient step w ← (w − c) + (v ← µ_L·v − γ·g)
+// follows (Alg 1 line 10: replicas take correction and gradient in one
+// iteration). The arithmetic and its order are exactly those of the
+// lockstep exchange followed by LocalStep — fusing only removes a second
+// traversal of w — so the two schedulers stay numerically interchangeable.
+// State entries are exempt from corrections; out carries the replica's
+// pre-step value there so ApplyContributions can average it.
+//
+// ContributeStep reads z and touches only learner j's state otherwise, so
+// all learners of one round may contribute concurrently as long as no
+// ApplyContributions runs in between — the runtime's round protocol
+// guarantees exactly that.
+func (s *SMA) ContributeStep(j int, w, g, out []float32) {
+	alpha, z, state := s.alpha, s.z, s.state
+	lr, mu := s.cfg.LearnRate, s.cfg.LocalMomentum
+	v := s.vel[j]
+	tensor.ParallelFor(len(w), 16384, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			wi := w[i]
+			if state == nil || !state[i] {
+				c := alpha * (wi - z[i])
+				out[i] = c
+				wi -= c
+			} else {
+				out[i] = wi
+			}
+			v[i] = mu*v[i] - lr*g[i]
+			w[i] = wi + v[i]
+		}
+	})
+}
+
+// ApplyContributions folds one round of corrections into the central
+// average model: delta[i] = Σ_j corr[j][i] accumulated in learner-index
+// order, then z ← z + delta + µ(z − z_prev) (Alg 1 lines 11-13), exactly
+// the arithmetic and accumulation order of the lockstep exchange — so for
+// corrections computed against the same z, lockstep and barrier-free
+// synchronisation produce bit-identical average models. State entries
+// carry the replica average. corr must hold one ContributeStep result per
+// learner.
+func (s *SMA) ApplyContributions(corr [][]float32) {
+	if len(corr) != s.k {
+		panic(fmt.Sprintf("core: ApplyContributions with %d vectors, want %d", len(corr), s.k))
+	}
+	z, zPrev, state, mu := s.z, s.zPrev, s.state, s.cfg.Momentum
+	tensor.ParallelFor(len(z), 16384, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			zOld := z[i]
+			if state != nil && state[i] {
+				var sum float32
+				for j := range corr {
+					sum += corr[j][i]
+				}
+				z[i] = sum / float32(len(corr))
+				zPrev[i] = zOld
+				continue
+			}
+			var delta float32
+			for j := range corr {
+				delta += corr[j][i]
+			}
+			z[i] = zOld + delta + mu*(zOld-zPrev[i])
+			zPrev[i] = zOld
+		}
+	})
+}
+
 // Restart re-initialises the averaging process from the current central
 // average model (§3.2: when a learning-rate change does not improve
 // accuracy, Alg 1 is executed again with the latest z as the new w0).

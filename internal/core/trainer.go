@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
-	"sync"
+	"time"
 
+	"crossbow/internal/autotune"
 	"crossbow/internal/data"
+	"crossbow/internal/engine"
 	"crossbow/internal/metrics"
 	"crossbow/internal/nn"
 	"crossbow/internal/tensor"
@@ -21,6 +23,23 @@ const (
 	AlgoSSGD       Algorithm = "ssgd"        // TensorFlow-style parallel S-SGD
 	AlgoEASGD      Algorithm = "easgd"       // elastic averaging SGD
 	AlgoASGD       Algorithm = "asgd"        // asynchronous SGD
+)
+
+// SchedulerMode selects the wall-clock task runtime's scheduling
+// discipline (see internal/engine's Runtime).
+type SchedulerMode string
+
+// Scheduler modes.
+const (
+	// SchedLockstep joins all learners behind a barrier every iteration and
+	// steps the optimiser single-threaded — the paper's baseline execution
+	// model and this trainer's bit-deterministic oracle.
+	SchedLockstep SchedulerMode = "lockstep"
+	// SchedFCFS is Crossbow's barrier-free schedule: learners bind staged
+	// batches first-come-first-served, run ahead of the average model by up
+	// to τ iterations, and synchronise through index-ordered contribution
+	// rounds. Flat SMA, single server.
+	SchedFCFS SchedulerMode = "fcfs"
 )
 
 // Schedule maps an epoch (1-based) to the learning rate for that epoch.
@@ -106,6 +125,22 @@ type TrainConfig struct {
 	// sample training set). Zero keeps the defaults.
 	TrainSamples int
 	TestSamples  int
+	// Scheduler selects the task runtime's scheduling mode: SchedLockstep
+	// (default, bit-deterministic) or SchedFCFS (barrier-free; flat SMA on
+	// a single server only).
+	Scheduler SchedulerMode
+	// Prefetch is the staged-batch depth per learner in the input
+	// pipeline's circular buffer; minimum 1 (0 → 2, double buffering as
+	// in §4.5).
+	Prefetch int
+	// AutoTuneLearners runs Algorithm 2 online: the run starts with one
+	// learner per GPU and the learner count adapts to measured wall-clock
+	// throughput between epochs, resizing the replica pool with the §3.2
+	// restart semantics. Requires AlgoSMA on a single server;
+	// LearnersPerGPU is ignored.
+	AutoTuneLearners bool
+	// MaxLearnersPerGPU caps online tuning (0 → 4).
+	MaxLearnersPerGPU int
 }
 
 // K returns the total learner count n×g×m.
@@ -139,6 +174,39 @@ func (c *TrainConfig) fillDefaults() {
 	if c.EpochSeconds == 0 {
 		c.EpochSeconds = 1
 	}
+	if c.Scheduler == "" {
+		c.Scheduler = SchedLockstep
+	}
+	if c.Prefetch < 1 {
+		c.Prefetch = 2
+	}
+	if c.MaxLearnersPerGPU < 1 {
+		c.MaxLearnersPerGPU = 4
+	}
+}
+
+// validate rejects scheduler/algorithm combinations the runtime cannot
+// honour. Called after fillDefaults.
+func (c *TrainConfig) validate() {
+	if c.Scheduler != SchedLockstep && c.Scheduler != SchedFCFS {
+		panic(fmt.Sprintf("core: unknown scheduler %q", c.Scheduler))
+	}
+	if c.Scheduler == SchedFCFS {
+		if c.Algo != AlgoSMA {
+			panic(fmt.Sprintf("core: the fcfs scheduler requires AlgoSMA (got %q)", c.Algo))
+		}
+		if c.Servers > 1 {
+			panic("core: the fcfs scheduler is single-server (the cluster plane is simulated)")
+		}
+	}
+	if c.AutoTuneLearners {
+		if c.Algo != AlgoSMA {
+			panic(fmt.Sprintf("core: online learner tuning requires AlgoSMA (got %q)", c.Algo))
+		}
+		if c.Servers > 1 {
+			panic("core: online learner tuning is single-server")
+		}
+	}
 }
 
 // Result is the outcome of a training run.
@@ -148,6 +216,25 @@ type Result struct {
 	EpochsToTarget int // -1 if the target was not reached
 	FinalAccuracy  float64
 	Model          []float32 // the trained (central/global) model
+	// Sched is the scheduling mode the run executed with.
+	Sched SchedulerMode
+	// Wall records each epoch's measured wall-clock duration and training
+	// throughput. The Series time axis stays simulator-driven
+	// (EpochSeconds) so statistical results remain comparable across
+	// schedulers; Wall is the real hardware-efficiency measurement.
+	Wall []metrics.WallPoint
+	// RuntimeStats reports the task runtime's scheduling statistics for
+	// the final learner-count phase.
+	RuntimeStats engine.RuntimeStats
+	// SeqLog is the assignment log of the final phase: per learner, the
+	// staged-batch sequence numbers it consumed, in consumption order.
+	// Under FCFS this is the run's only timing-dependent artefact — the
+	// trajectory is bit-reproducible given the log (see ReplayFCFS).
+	SeqLog [][]int
+	// TuneHistory lists the online Algorithm 2 decisions when
+	// AutoTuneLearners was set. Decision.M is learners per GPU, the same
+	// unit the offline tuner reports.
+	TuneHistory []autotune.Decision
 }
 
 // stepper abstracts the per-iteration optimiser update.
@@ -174,13 +261,31 @@ func centralModel(s stepper) []float32 {
 	panic("core: unknown optimiser")
 }
 
-// Train runs a full training experiment on the scaled benchmark model and
-// synthetic dataset, returning the per-epoch accuracy series. The run is
-// deterministic given the config.
-func Train(cfg TrainConfig) *Result {
-	cfg.fillDefaults()
-	k := cfg.K()
+// trainEnv carries one training run's long-lived pieces: datasets, the
+// replica pool (networks, weights, gradients), the evaluation network and
+// the input pipeline. The optimiser and task runtime are phase-scoped —
+// online tuning rebuilds them when the learner count changes.
+type trainEnv struct {
+	cfg         *TrainConfig
+	train, test *data.Dataset
+	masterRNG   *tensor.RNG
+	nets        []*nn.Network
+	ws, gs      [][]float32
+	w0          []float32
+	pipe        *data.Pipeline
+	evalNet     *nn.Network
+	evalGrad    []float32
+	evalBatch   int
+	es          *evalScratch
+}
 
+// newTrainEnv builds a run's long-lived pieces for k learners: datasets,
+// the replica pool initialised from the seed-derived w0, and the
+// evaluation network. Both Train and ReplayFCFS construct their runs
+// through this one function, so the RNG streams (masterRNG seed+7, w0
+// seed+13, eval seed+99) and build order can never diverge between a live
+// run and its replay.
+func newTrainEnv(cfg *TrainConfig, k int) *trainEnv {
 	dataCfg := data.ForModel(cfg.Model, cfg.Seed, cfg.DataNoise)
 	if cfg.TrainSamples > 0 {
 		dataCfg.Train = cfg.TrainSamples
@@ -188,86 +293,181 @@ func Train(cfg TrainConfig) *Result {
 	if cfg.TestSamples > 0 {
 		dataCfg.Test = cfg.TestSamples
 	}
-	train, test := data.Synthesize(dataCfg)
+	e := &trainEnv{cfg: cfg, masterRNG: tensor.NewRNG(cfg.Seed + 7)}
+	e.train, e.test = data.Synthesize(dataCfg)
 
-	// Learner networks and replicas.
-	masterRNG := tensor.NewRNG(cfg.Seed + 7)
-	nets := make([]*nn.Network, k)
-	ws := make([][]float32, k)
-	gs := make([][]float32, k)
+	// Learner networks and replicas (the replica pool).
 	for j := 0; j < k; j++ {
-		nets[j] = nn.BuildScaled(cfg.Model, cfg.BatchPerLearner, masterRNG.Split())
+		e.nets = append(e.nets, nn.BuildScaled(cfg.Model, cfg.BatchPerLearner, e.masterRNG.Split()))
 	}
-	w0 := nets[0].Init(tensor.NewRNG(cfg.Seed + 13))
+	e.w0 = e.nets[0].Init(tensor.NewRNG(cfg.Seed + 13))
 	for j := 0; j < k; j++ {
-		ws[j] = append([]float32(nil), w0...)
-		gs[j] = make([]float32, len(w0))
-		nets[j].Bind(ws[j], gs[j])
+		e.ws = append(e.ws, append([]float32(nil), e.w0...))
+		e.gs = append(e.gs, make([]float32, len(e.w0)))
+		e.nets[j].Bind(e.ws[j], e.gs[j])
 	}
 
-	var opt stepper
+	// Evaluation network over the central model.
+	e.evalBatch = 128
+	if e.test.Len() < e.evalBatch {
+		e.evalBatch = e.test.Len()
+	}
+	e.evalNet = nn.BuildScaled(cfg.Model, e.evalBatch, tensor.NewRNG(cfg.Seed+99))
+	e.evalGrad = make([]float32, len(e.w0))
+	e.es = newEvalScratch(e.evalBatch, e.test.Shape)
+	return e
+}
+
+// growLearners extends the replica pool to k learners, initialising new
+// replicas from model (§3.2 restart semantics: new learners start at the
+// central average model).
+func (e *trainEnv) growLearners(k int, model []float32) {
+	for j := len(e.nets); j < k; j++ {
+		e.nets = append(e.nets, nn.BuildScaled(e.cfg.Model, e.cfg.BatchPerLearner, e.masterRNG.Split()))
+		e.ws = append(e.ws, append([]float32(nil), model...))
+		e.gs = append(e.gs, make([]float32, len(model)))
+		e.nets[j].Bind(e.ws[j], e.gs[j])
+	}
+}
+
+// iterPerEpoch returns the joined iterations per epoch at k learners (each
+// iteration consumes k batches).
+func (e *trainEnv) iterPerEpoch(k int) int {
+	it := (e.train.Len() / e.cfg.BatchPerLearner) / k
+	if it == 0 {
+		it = 1
+	}
+	return it
+}
+
+// buildOpt constructs the optimiser for k learners from initial model w0.
+func buildOpt(cfg *TrainConfig, w0 []float32, k int, stateRanges [][2]int) stepper {
 	smaCfg := SMAConfig{
 		LearnRate: cfg.LearnRate, Momentum: cfg.Momentum,
 		LocalMomentum: cfg.LocalMomentum,
 		Alpha:         cfg.Alpha, Tau: cfg.Tau,
-		StateRanges: nets[0].StateRanges(),
+		StateRanges: stateRanges,
 	}
 	switch cfg.Algo {
 	case AlgoSMA:
-		opt = NewSMA(smaCfg, w0, k)
+		return NewSMA(smaCfg, w0, k)
 	case AlgoSMAHier:
-		opt = NewHierarchicalSMA(smaCfg, w0, GroupsFor(cfg.GPUs, cfg.LearnersPerGPU))
+		return NewHierarchicalSMA(smaCfg, w0, GroupsFor(cfg.GPUs, cfg.LearnersPerGPU))
 	case AlgoSMACluster:
 		// Contiguous learner partition: server s owns g×m learners; within
 		// a server the intra-server tier is flat SMA.
-		opt = NewClusterSMA(ClusterSMAConfig{
+		return NewClusterSMA(ClusterSMAConfig{
 			SMAConfig: smaCfg, TauGlobal: cfg.TauGlobal,
 		}, w0, GroupsFor(cfg.Servers, cfg.GPUs*cfg.LearnersPerGPU))
 	case AlgoSSGD:
 		s := NewSSGD(cfg.LearnRate, cfg.Momentum, w0)
-		s.StateRanges = nets[0].StateRanges()
-		opt = s
+		s.StateRanges = stateRanges
+		return s
 	case AlgoEASGD:
 		ea := NewEASGD(cfg.LearnRate, cfg.Alpha, cfg.Tau, k, w0)
 		ea.LocalMomentum = cfg.LocalMomentum
-		opt = ea
+		return ea
 	case AlgoASGD:
 		a := NewASGD(cfg.LearnRate, w0)
-		a.StateRanges = nets[0].StateRanges()
-		opt = a
+		a.StateRanges = stateRanges
+		return a
+	}
+	panic(fmt.Sprintf("core: unknown algorithm %q", cfg.Algo))
+}
+
+// buildRuntime wires the task runtime for one learner-count phase.
+// firstSeq is the pipeline position the phase starts at (non-zero after an
+// online-autotuning resize). The runtime owns scheduling only; all
+// optimiser math stays here, expressed as the closures the two modes
+// need.
+func (e *trainEnv) buildRuntime(opt stepper, k, firstSeq int, held map[int]*data.Slot) *engine.Runtime {
+	rc := engine.RuntimeConfig{
+		Learners: k,
+		Tau:      e.cfg.Tau,
+		Pipeline: e.pipe,
+		FirstSeq: firstSeq,
+		Held:     held,
+		Task: func(j int, s *data.Slot) float64 {
+			tensor.ZeroSlice(e.gs[j])
+			return e.nets[j].LossAndGrad(s.X, s.Labels)
+		},
+	}
+	switch e.cfg.Scheduler {
+	case SchedFCFS:
+		sma := opt.(*SMA) // validate() guarantees AlgoSMA
+		corr := make([][]float32, k)
+		for j := range corr {
+			corr[j] = make([]float32, len(e.w0))
+		}
+		rc.Mode = engine.ModeFCFS
+		rc.LocalStep = func(j int) { sma.LocalStep(j, e.ws[j], e.gs[j]) }
+		rc.Contribute = func(j int) { sma.ContributeStep(j, e.ws[j], e.gs[j], corr[j]) }
+		rc.Apply = func() { sma.ApplyContributions(corr) }
 	default:
-		panic(fmt.Sprintf("core: unknown algorithm %q", cfg.Algo))
+		ws, gs := e.ws[:k], e.gs[:k]
+		rc.Mode = engine.ModeLockstep
+		rc.Step = func() {
+			// The step runs with every learner parked at the barrier, so
+			// it may use the whole kernel budget, not a 1/k share.
+			prev := tensor.SetActiveLearners(1)
+			opt.Step(ws, gs)
+			tensor.SetActiveLearners(prev)
+		}
+	}
+	return engine.NewRuntime(rc)
+}
+
+// Train runs a full training experiment on the scaled benchmark model and
+// synthetic dataset, returning the per-epoch accuracy series. It is a thin
+// driver over the engine's task runtime: the replica pool executes real
+// forward/backward passes over batches staged by the data pipeline's
+// circular buffer, under the configured scheduling mode. With the default
+// lockstep scheduler the run is deterministic given the config, bit for
+// bit at any kernel worker count.
+func Train(cfg TrainConfig) *Result {
+	cfg.fillDefaults()
+	cfg.validate()
+
+	k := cfg.K()
+	maxK := k
+	if cfg.AutoTuneLearners {
+		k = cfg.GPUs // Alg 2 line 1: start with one learner per GPU
+		maxK = cfg.GPUs * cfg.MaxLearnersPerGPU
 	}
 
-	// Evaluation network over the central model.
-	evalBatch := 128
-	if test.Len() < evalBatch {
-		evalBatch = test.Len()
-	}
-	evalNet := nn.BuildScaled(cfg.Model, evalBatch, tensor.NewRNG(cfg.Seed+99))
-	evalGrad := make([]float32, len(w0))
-	evalScratch := newEvalScratch(evalBatch, test.Shape)
+	e := newTrainEnv(&cfg, k)
+	test := e.test
+	opt := buildOpt(&cfg, e.w0, k, e.nets[0].StateRanges())
 
-	batcher := data.NewBatcher(train.Len(), cfg.BatchPerLearner, cfg.Seed+21)
-	inputs := make([]*tensor.Tensor, k)
-	labels := make([][]int, k)
-	batchIdx := make([][]int, k)
-	for j := 0; j < k; j++ {
-		inputs[j] = tensor.New(append([]int{cfg.BatchPerLearner}, train.Shape...)...)
-		labels[j] = make([]int, cfg.BatchPerLearner)
-		batchIdx[j] = make([]int, cfg.BatchPerLearner)
+	// Input pipeline: pre-processors stage shuffled batches into the
+	// circular buffer; sized for the largest pool the run may grow to.
+	e.pipe = data.NewPipeline(e.train, data.PipelineConfig{
+		Batch:   cfg.BatchPerLearner,
+		Slots:   maxK * cfg.Prefetch,
+		Workers: min(4, max(1, maxK/2)),
+		Seed:    cfg.Seed + 21,
+	})
+	defer e.pipe.Close()
+
+	// Learner goroutines share the kernel-thread budget: k learners ×
+	// ParallelFor workers never oversubscribe it.
+	defer tensor.SetActiveLearners(tensor.SetActiveLearners(k))
+
+	rt := e.buildRuntime(opt, k, 0, nil)
+	defer func() { rt.Close() }()
+
+	// The online tuner works in Algorithm 2's unit — learners per GPU —
+	// so its Decision history reads like the offline tuner's; the driver
+	// scales by GPUs to the pool size.
+	var tuner *autotune.Online
+	if cfg.AutoTuneLearners {
+		tuner = autotune.NewOnline(autotune.OnlineConfig{
+			Start: 1, Max: cfg.MaxLearnersPerGPU,
+		})
 	}
 
-	res := &Result{K: k, EpochsToTarget: -1}
-	iterPerEpoch := batcher.BatchesPerEpoch() / k
-	if iterPerEpoch == 0 {
-		iterPerEpoch = 1
-	}
+	res := &Result{K: k, EpochsToTarget: -1, Sched: cfg.Scheduler}
 	lr := cfg.LearnRate
-	var lossSum float64
-	var lossCount int
-	losses := make([]float64, k) // per-learner losses, reused every iteration
-
 	for epoch := 1; epoch <= cfg.MaxEpochs; epoch++ {
 		if cfg.Schedule != nil {
 			nlr := cfg.Schedule(epoch, cfg.LearnRate)
@@ -275,35 +475,28 @@ func Train(cfg TrainConfig) *Result {
 				lr = nlr
 				setLearnRate(opt, lr)
 				if cfg.RestartOnLRChange {
-					restart(opt, ws)
+					restart(opt, e.ws[:k])
 				}
 			}
 		}
-		lossSum, lossCount = 0, 0
-		for it := 0; it < iterPerEpoch; it++ {
-			// Assign batches deterministically before the parallel phase.
-			for j := 0; j < k; j++ {
-				copy(batchIdx[j], batcher.Next())
-			}
-			var wg sync.WaitGroup
-			for j := 0; j < k; j++ {
-				wg.Add(1)
-				go func(j int) {
-					defer wg.Done()
-					train.Gather(batchIdx[j], inputs[j], labels[j])
-					tensor.ZeroSlice(gs[j])
-					losses[j] = nets[j].LossAndGrad(inputs[j], labels[j])
-				}(j)
-			}
-			wg.Wait()
-			for _, l := range losses {
-				lossSum += l
-			}
-			lossCount += k
-			opt.Step(ws, gs)
-		}
 
-		acc := evaluate(evalNet, centralModel(opt), evalGrad, test, evalBatch, evalScratch)
+		iters := e.iterPerEpoch(k)
+		start := time.Now()
+		rt.RunEpoch(iters)
+		wall := time.Since(start).Seconds()
+		lossSum, lossCount := rt.TakeEpochLoss()
+		images := float64(iters * k * cfg.BatchPerLearner)
+		wp := metrics.WallPoint{Epoch: epoch, Sec: wall}
+		if wall > 0 {
+			wp.ImagesPerSec = images / wall
+		}
+		res.Wall = append(res.Wall, wp)
+
+		// Evaluation runs at quiescence (the epoch join), so it too gets
+		// the whole kernel budget.
+		prevL := tensor.SetActiveLearners(1)
+		acc := evaluate(e.evalNet, centralModel(opt), e.evalGrad, test, e.evalBatch, e.es)
+		tensor.SetActiveLearners(prevL)
 		res.Series = append(res.Series, metrics.EpochPoint{
 			Epoch:   epoch,
 			TimeSec: float64(epoch) * cfg.EpochSeconds,
@@ -311,19 +504,49 @@ func Train(cfg TrainConfig) *Result {
 			Loss:    lossSum / float64(max(1, lossCount)),
 		})
 		if cfg.TargetAcc > 0 {
-			if e, ok := metrics.EpochsToAccuracy(res.Series, cfg.TargetAcc); ok {
-				res.EpochsToTarget = e
+			if ep, ok := metrics.EpochsToAccuracy(res.Series, cfg.TargetAcc); ok {
+				res.EpochsToTarget = ep
 				break
 			}
 		}
-	}
-	if res.EpochsToTarget < 0 && cfg.TargetAcc > 0 {
-		if e, ok := metrics.EpochsToAccuracy(res.Series, cfg.TargetAcc); ok {
-			res.EpochsToTarget = e
+
+		// Online Algorithm 2: adapt the learner count to the measured
+		// wall-clock throughput, resizing the replica pool between epochs.
+		if tuner != nil && epoch < cfg.MaxEpochs {
+			if nextK := cfg.GPUs * tuner.Observe(wp.ImagesPerSec); nextK != k {
+				firstSeq, held := rt.Handoff() // pipeline position carries over
+				rt.Close()
+				z := append([]float32(nil), centralModel(opt)...)
+				e.growLearners(nextK, z)
+				for j := 0; j < nextK; j++ { // §3.2 restart: replicas ← z
+					tensor.Copy(e.ws[j], z)
+				}
+				k = nextK
+				opt = buildOpt(&cfg, z, k, e.nets[0].StateRanges())
+				if lr != cfg.LearnRate {
+					// buildOpt starts from the base rate; a schedule may
+					// already have moved it.
+					setLearnRate(opt, lr)
+				}
+				tensor.SetActiveLearners(k)
+				rt = e.buildRuntime(opt, k, firstSeq, held)
+			}
 		}
 	}
+
+	if res.EpochsToTarget < 0 && cfg.TargetAcc > 0 {
+		if ep, ok := metrics.EpochsToAccuracy(res.Series, cfg.TargetAcc); ok {
+			res.EpochsToTarget = ep
+		}
+	}
+	res.K = k
 	res.FinalAccuracy = metrics.BestAccuracy(res.Series)
 	res.Model = append([]float32(nil), centralModel(opt)...)
+	res.RuntimeStats = rt.Stats()
+	res.SeqLog = rt.SeqLog()
+	if tuner != nil {
+		res.TuneHistory = tuner.History()
+	}
 	return res
 }
 

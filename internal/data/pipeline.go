@@ -13,7 +13,12 @@ import (
 type Slot struct {
 	X      *tensor.Tensor
 	Labels []int
-	idx    int
+	// Seq is the batch's position in the batcher's deterministic draw
+	// sequence (0-based). Consumers that need the oracle batch order — the
+	// runtime's lockstep mode — reorder staged slots by Seq; barrier-free
+	// consumers use it to log which learner a batch was bound to.
+	Seq int
+	idx int
 }
 
 // Pipeline is the data pre-processor stage of §4.5: a pool of worker
@@ -29,8 +34,13 @@ type Pipeline struct {
 	slots []*Slot
 	free  chan int
 	full  chan int
-	work  chan []int
+	work  chan workItem
 
+	// claimMu pairs each worker's (work item, free slot) claim atomically:
+	// the worker staging batch seq n holds a slot before any worker staging
+	// seq > n can claim one, so the lowest outstanding sequence is always
+	// being filled and consumers draining slots in Seq order cannot starve.
+	claimMu  sync.Mutex
 	stopOnce sync.Once
 	stop     chan struct{}
 	wg       sync.WaitGroup
@@ -60,7 +70,7 @@ func NewPipeline(ds *Dataset, cfg PipelineConfig) *Pipeline {
 		slots:   make([]*Slot, cfg.Slots),
 		free:    make(chan int, cfg.Slots),
 		full:    make(chan int, cfg.Slots),
-		work:    make(chan []int, cfg.Slots),
+		work:    make(chan workItem, cfg.Slots),
 		stop:    make(chan struct{}),
 	}
 	for i := range p.slots {
@@ -72,16 +82,17 @@ func NewPipeline(ds *Dataset, cfg PipelineConfig) *Pipeline {
 		p.free <- i
 	}
 	// Dispatcher: the batcher is single-threaded, so one goroutine draws
-	// index sets and fans them out to the workers.
+	// index sets, stamps them with their sequence position, and fans them
+	// out to the workers.
 	p.wg.Add(1)
 	go func() {
 		defer p.wg.Done()
 		defer close(p.work)
 		b := NewBatcher(ds.Len(), cfg.Batch, cfg.Seed)
-		for {
-			idx := append([]int(nil), b.Next()...)
+		for seq := 0; ; seq++ {
+			item := workItem{seq: seq, idx: append([]int(nil), b.Next()...)}
 			select {
-			case p.work <- idx:
+			case p.work <- item:
 			case <-p.stop:
 				return
 			}
@@ -92,15 +103,31 @@ func NewPipeline(ds *Dataset, cfg PipelineConfig) *Pipeline {
 		rng := tensor.NewRNG(cfg.Seed + 1000 + uint64(w))
 		go func(rng *tensor.RNG) {
 			defer p.wg.Done()
-			for idx := range p.work {
+			for {
+				p.claimMu.Lock()
+				var item workItem
+				var ok bool
+				select {
+				case item, ok = <-p.work:
+					if !ok {
+						p.claimMu.Unlock()
+						return
+					}
+				case <-p.stop:
+					p.claimMu.Unlock()
+					return
+				}
 				var si int
 				select {
 				case si = <-p.free:
 				case <-p.stop:
+					p.claimMu.Unlock()
 					return
 				}
+				p.claimMu.Unlock()
 				slot := p.slots[si]
-				p.ds.Gather(idx, slot.X, slot.Labels)
+				slot.Seq = item.seq
+				p.ds.Gather(item.idx, slot.X, slot.Labels)
 				if p.augment {
 					augmentBatch(slot.X, p.ds.Shape, rng)
 				}
@@ -113,6 +140,13 @@ func NewPipeline(ds *Dataset, cfg PipelineConfig) *Pipeline {
 		}(rng)
 	}
 	return p
+}
+
+// workItem is one dispatched batch: its draw-sequence position and the
+// sample indices to gather.
+type workItem struct {
+	seq int
+	idx []int
 }
 
 // Acquire blocks until a filled slot is available and returns it. The

@@ -1,0 +1,167 @@
+package engine
+
+import (
+	"testing"
+
+	"crossbow/internal/data"
+)
+
+func runtimeDataset(t *testing.T) *data.Dataset {
+	t.Helper()
+	tr, _ := data.Synthesize(data.SynthConfig{
+		Shape: []int{2, 4, 4}, Classes: 4, Train: 64, Test: 8, Seed: 5,
+	})
+	return tr
+}
+
+// TestRuntimeLockstepOrdering: the oracle mode binds batch i·k+j to learner
+// j in draw order, joins every iteration, and steps once per iteration.
+func TestRuntimeLockstepOrdering(t *testing.T) {
+	ds := runtimeDataset(t)
+	p := data.NewPipeline(ds, data.PipelineConfig{Batch: 4, Slots: 6, Workers: 2, Seed: 11})
+	defer p.Close()
+
+	const k, iters, tau = 3, 10, 2
+	steps := 0
+	rt := NewRuntime(RuntimeConfig{
+		Learners: k, Tau: tau, Mode: ModeLockstep, Pipeline: p,
+		Task: func(j int, s *data.Slot) float64 { return float64(s.Seq) },
+		Step: func() { steps++ },
+	})
+	defer rt.Close()
+
+	rt.RunEpoch(iters)
+	if steps != iters {
+		t.Fatalf("Step called %d times, want %d", steps, iters)
+	}
+	log := rt.SeqLog()
+	for j := 0; j < k; j++ {
+		if len(log[j]) != iters {
+			t.Fatalf("learner %d consumed %d batches, want %d", j, len(log[j]), iters)
+		}
+		for it, seq := range log[j] {
+			if want := it*k + j; seq != want {
+				t.Fatalf("learner %d iteration %d got seq %d, want %d", j, it, seq, want)
+			}
+		}
+	}
+	// Loss fold order is learner-index order within each iteration: the sum
+	// of seq values of all consumed batches.
+	sum, n := rt.TakeEpochLoss()
+	wantSum := float64(iters * k * (iters*k - 1) / 2)
+	if sum != wantSum || n != iters*k {
+		t.Fatalf("epoch loss (%v, %d), want (%v, %d)", sum, n, wantSum, iters*k)
+	}
+	st := rt.Stats()
+	if st.Rounds != iters/tau {
+		t.Fatalf("rounds %d, want %d", st.Rounds, iters/tau)
+	}
+}
+
+// TestRuntimeFCFSRounds: barrier-free mode consumes every staged batch
+// exactly once, gives every learner the same iteration count, folds every
+// complete round exactly once with all contributions in, and bounds
+// run-ahead by 2τ.
+func TestRuntimeFCFSRounds(t *testing.T) {
+	ds := runtimeDataset(t)
+	p := data.NewPipeline(ds, data.PipelineConfig{Batch: 4, Slots: 8, Workers: 2, Seed: 11})
+	defer p.Close()
+
+	const k, iters, tau = 4, 25, 3
+	contribs := make([]int, k)
+	applies := 0
+	rt := NewRuntime(RuntimeConfig{
+		Learners: k, Tau: tau, Mode: ModeFCFS, Pipeline: p,
+		Task:      func(j int, s *data.Slot) float64 { return 1 },
+		LocalStep: func(j int) {},
+		Contribute: func(j int) {
+			contribs[j]++ // only safe because Apply gates rounds
+		},
+		Apply: func() {
+			applies++
+			for j := 1; j < k; j++ {
+				if contribs[j] != contribs[0] {
+					t.Errorf("apply %d: contribution counts diverge: %v", applies, contribs)
+				}
+				if contribs[0] != applies {
+					t.Errorf("apply %d ran with %d contributions", applies, contribs[0])
+				}
+			}
+		},
+	})
+	defer rt.Close()
+
+	// Two "epochs" whose boundary falls mid-round (25 % 3 != 0): rounds
+	// must carry across the join.
+	rt.RunEpoch(iters)
+	if sum, n := rt.TakeEpochLoss(); sum != float64(k*iters) || n != k*iters {
+		t.Fatalf("first epoch loss (%v, %d), want (%d, %d)", sum, n, k*iters, k*iters)
+	}
+	rt.RunEpoch(iters)
+
+	totalIters := 2 * iters
+	wantRounds := totalIters / tau
+	st := rt.Stats()
+	if applies != wantRounds || st.Rounds != wantRounds {
+		t.Fatalf("applies %d stats.Rounds %d, want %d", applies, st.Rounds, wantRounds)
+	}
+	if st.MaxLeadIters > 2*tau {
+		t.Fatalf("run-ahead %d exceeds 2τ=%d", st.MaxLeadIters, 2*tau)
+	}
+	seen := map[int]int{}
+	log := rt.SeqLog()
+	for j := 0; j < k; j++ {
+		if len(log[j]) != totalIters {
+			t.Fatalf("learner %d consumed %d batches, want %d", j, len(log[j]), totalIters)
+		}
+		for _, seq := range log[j] {
+			seen[seq]++
+		}
+	}
+	for seq, c := range seen {
+		if c != 1 {
+			t.Fatalf("seq %d consumed %d times", seq, c)
+		}
+	}
+	if len(seen) != k*totalIters {
+		t.Fatalf("consumed %d distinct batches, want %d", len(seen), k*totalIters)
+	}
+	if sum, n := rt.TakeEpochLoss(); sum != float64(k*iters) || n != k*iters {
+		t.Fatalf("second epoch loss (%v, %d), want (%d, %d)", sum, n, k*iters, k*iters)
+	}
+}
+
+// TestRuntimeFCFSOrderedApply: the central model update is applied by
+// exactly one goroutine per round while no contribution is concurrent, so a
+// driver folding corrections in learner-index order gets a result that
+// depends only on the assignment log. The test shuttles a shared counter
+// through Contribute/Apply in a way the race detector would flag if the
+// runtime's critical sections overlapped.
+func TestRuntimeFCFSOrderedApply(t *testing.T) {
+	ds := runtimeDataset(t)
+	p := data.NewPipeline(ds, data.PipelineConfig{Batch: 4, Slots: 8, Workers: 3, Seed: 3})
+	defer p.Close()
+
+	const k, iters, tau = 3, 30, 1
+	// z is deliberately unsynchronised: the runtime's contract (stable
+	// central model during Contribute, exclusive Apply) is what keeps the
+	// race detector quiet.
+	z := 0
+	pending := make([]int, k)
+	rt := NewRuntime(RuntimeConfig{
+		Learners: k, Tau: tau, Mode: ModeFCFS, Pipeline: p,
+		Task:       func(j int, s *data.Slot) float64 { return 0 },
+		LocalStep:  func(j int) {},
+		Contribute: func(j int) { pending[j] = z + 1 },
+		Apply: func() {
+			for j := 0; j < k; j++ {
+				z += pending[j] - z // index-ordered fold
+			}
+		},
+	})
+	defer rt.Close()
+	rt.RunEpoch(iters)
+	if z != iters {
+		t.Fatalf("z = %d after %d rounds, want %d", z, iters, iters)
+	}
+}

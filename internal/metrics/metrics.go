@@ -4,8 +4,6 @@
 // auto-tuner consumes.
 package metrics
 
-import "sort"
-
 // EpochPoint is one epoch's outcome: the (virtual or real) time at which
 // the epoch completed and the test accuracy measured there.
 type EpochPoint struct {
@@ -15,16 +13,6 @@ type EpochPoint struct {
 	Loss    float64
 }
 
-// medianOfWindow returns the median of accs (len ≥ 1).
-func medianOfWindow(accs []float64) float64 {
-	s := append([]float64(nil), accs...)
-	sort.Float64s(s)
-	n := len(s)
-	if n%2 == 1 {
-		return s[n/2]
-	}
-	return (s[n/2-1] + s[n/2]) / 2
-}
 
 // TTAWindow is the smoothing window of the TTA metric (§5.1: "the median
 // test accuracy of the last 5 epochs").
@@ -44,7 +32,7 @@ func TTA(series []EpochPoint, target float64) (timeSec float64, ok bool) {
 		for _, p := range series[lo : i+1] {
 			accs = append(accs, p.TestAcc)
 		}
-		if medianOfWindow(accs) >= target {
+		if Median(accs) >= target {
 			return series[i].TimeSec, true
 		}
 	}
@@ -64,7 +52,7 @@ func EpochsToAccuracy(series []EpochPoint, target float64) (epochs int, ok bool)
 		for _, p := range series[lo : i+1] {
 			accs = append(accs, p.TestAcc)
 		}
-		if medianOfWindow(accs) >= target {
+		if Median(accs) >= target {
 			return i + 1, true
 		}
 	}

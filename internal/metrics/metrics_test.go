@@ -99,7 +99,7 @@ func TestThroughputEmpty(t *testing.T) {
 }
 
 func TestMedianEvenWindow(t *testing.T) {
-	if m := medianOfWindow([]float64{0.2, 0.4}); math.Abs(m-0.3) > 1e-12 {
+	if m := Median([]float64{0.2, 0.4}); math.Abs(m-0.3) > 1e-12 {
 		t.Fatalf("median = %v", m)
 	}
 }

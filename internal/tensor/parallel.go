@@ -13,43 +13,110 @@ import (
 // the pool is saturated, which makes nested parallel kernels (k learner
 // goroutines each calling Gemm) deadlock-free by construction.
 //
+// The pool is sized from a process-wide compute budget shared by every
+// concurrent learner goroutine: effective workers = max(1, budget/learners).
+// Without the learner divisor, k learner goroutines each fanning out to a
+// NumCPU-sized pool would put k×NumCPU compute goroutines on NumCPU cores
+// (oversubscription); with it, inter-learner and intra-kernel parallelism
+// together never exceed the budget.
+//
 // Determinism contract: ParallelFor only ever partitions an index range into
 // disjoint chunks, and every kernel built on it computes each output element
 // by an order that does not depend on chunk boundaries. Results are therefore
 // bit-identical at any worker count, including 1 (see DESIGN.md §8).
 
 var (
-	parMu      sync.Mutex
-	parWorkers int
-	parSem     chan struct{}
+	parMu       sync.Mutex
+	parBudget   int // process-wide compute-goroutine budget
+	parLearners int // learner goroutines currently sharing the budget
+	parWorkers  int // effective per-kernel bound: max(1, budget/learners)
+	parSem      chan struct{}
 )
 
 func init() {
+	parLearners = 1
 	n := runtime.NumCPU()
 	if s := os.Getenv("CROSSBOW_PARALLELISM"); s != "" {
 		if v, err := strconv.Atoi(s); err == nil && v > 0 {
 			n = v
 		}
 	}
-	SetParallelism(n)
+	SetWorkerBudget(n)
 }
 
-// SetParallelism bounds the number of goroutines the kernels use, including
-// the caller. n < 1 selects runtime.NumCPU(). The initial value is
+// resize recomputes the effective pool. Caller holds parMu.
+func resizeLocked() {
+	parWorkers = parBudget / parLearners
+	if parWorkers < 1 {
+		parWorkers = 1
+	}
+	// The semaphore is shared by all learners, so its capacity is the
+	// budget minus the learner goroutines themselves (each caller is
+	// always one of its kernel's workers): k learners each borrowing at
+	// most parWorkers-1 goroutines stay within k·(budget/k) ≤ budget.
+	// With one learner this is the historical budget-1.
+	cap := parBudget - parLearners
+	if cap < 0 {
+		cap = 0
+	}
+	parSem = make(chan struct{}, cap)
+}
+
+// SetWorkerBudget sets the process-wide compute-goroutine budget the kernel
+// pool is carved from. n < 1 selects runtime.NumCPU(). The initial value is
 // runtime.NumCPU(), overridable with the CROSSBOW_PARALLELISM environment
-// variable. Changing parallelism never changes numeric results.
-func SetParallelism(n int) {
+// variable. Changing the budget never changes numeric results.
+func SetWorkerBudget(n int) {
 	if n < 1 {
 		n = runtime.NumCPU()
 	}
 	parMu.Lock()
 	defer parMu.Unlock()
-	parWorkers = n
-	// Capacity n-1: the caller is always one of the workers.
-	parSem = make(chan struct{}, n-1)
+	parBudget = n
+	resizeLocked()
 }
 
-// Parallelism returns the current kernel worker bound.
+// WorkerBudget returns the process-wide compute-goroutine budget.
+func WorkerBudget() int {
+	parMu.Lock()
+	defer parMu.Unlock()
+	return parBudget
+}
+
+// SetActiveLearners declares how many learner goroutines currently share the
+// worker budget, resizing the kernel pool to max(1, budget/k) so learner-
+// level and kernel-level parallelism together never oversubscribe the
+// budget. k < 1 selects 1. Returns the previous value so callers can
+// restore it.
+func SetActiveLearners(k int) (prev int) {
+	if k < 1 {
+		k = 1
+	}
+	parMu.Lock()
+	defer parMu.Unlock()
+	prev = parLearners
+	parLearners = k
+	resizeLocked()
+	return prev
+}
+
+// ActiveLearners returns the declared number of learner goroutines sharing
+// the budget.
+func ActiveLearners() int {
+	parMu.Lock()
+	defer parMu.Unlock()
+	return parLearners
+}
+
+// SetParallelism bounds the number of goroutines the kernels use, including
+// the caller. It is SetWorkerBudget under the current learner count: with
+// one active learner (the default) the bound is exactly n, preserving the
+// historical contract. n < 1 selects runtime.NumCPU(). Changing parallelism
+// never changes numeric results.
+func SetParallelism(n int) { SetWorkerBudget(n) }
+
+// Parallelism returns the current effective kernel worker bound,
+// max(1, WorkerBudget()/ActiveLearners()).
 func Parallelism() int {
 	parMu.Lock()
 	defer parMu.Unlock()

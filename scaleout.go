@@ -105,11 +105,17 @@ func trainCluster(cfg Config) (*Result, error) {
 		EpochSeconds:      res.EpochSeconds,
 		TrainSamples:      cfg.TrainSamples,
 		TestSamples:       cfg.TestSamples,
+		Scheduler:         cfg.Scheduler,
+		Prefetch:          cfg.Prefetch,
 	})
 	res.Series = tr.Series
 	res.EpochsToTarget = tr.EpochsToTarget
 	res.BestAccuracy = tr.FinalAccuracy
 	res.Params = tr.Model
+	res.Scheduler = tr.Sched
+	res.Wall = tr.Wall
+	res.WallImagesPerSec = metrics.MeanImagesPerSec(tr.Wall)
+	res.RuntimeStats = tr.RuntimeStats
 	res.TTASeconds = -1
 	if cfg.TargetAccuracy > 0 {
 		if t, ok := metrics.TTA(tr.Series, cfg.TargetAccuracy); ok {
