@@ -30,13 +30,14 @@ func main() {
 }
 
 func benchMain() int {
-	exp := flag.String("exp", "all", "experiment: table1, fig2, fig3, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, autotune, kernels, runtime, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig2, fig3, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, autotune, kernels, runtime, memory, all")
 	model := flag.String("model", "resnet32", "benchmark model (lenet, resnet32, vgg16, resnet50)")
 	gpus := flag.Int("gpus", 8, "GPU count for per-g experiments")
 	full := flag.Bool("full", false, "paper-scale parameter sweeps (slow); default is a quick pass")
 	threads := flag.Int("threads", 0, "kernel worker pool size (0: NumCPU or $CROSSBOW_PARALLELISM)")
 	kernelsOut := flag.String("out", "BENCH_kernels.json", "output path for the kernels experiment's JSON record")
 	runtimeOut := flag.String("runtime-out", "BENCH_runtime.json", "output path for the runtime experiment's JSON record")
+	memoryOut := flag.String("memory-out", "BENCH_memory.json", "output path for the memory experiment's JSON record")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -141,6 +142,18 @@ func benchMain() int {
 			return 1
 		}
 		fmt.Printf("recorded %s\n[runtime took %v]\n", *runtimeOut, time.Since(start).Round(time.Millisecond))
+	}
+	// The memory-plane benchmark also runs only on explicit request, so
+	// figure replays don't overwrite the committed baseline.
+	if *exp == "memory" {
+		start := time.Now()
+		rows := crossbow.MemoryBench(quick)
+		crossbow.PrintMemoryBench(os.Stdout, rows)
+		if err := crossbow.WriteMemoryBenchJSON(*memoryOut, rows, quick); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *memoryOut, err)
+			return 1
+		}
+		fmt.Printf("recorded %s\n[memory took %v]\n", *memoryOut, time.Since(start).Round(time.Millisecond))
 	}
 	run("autotune", func() {
 		m, hist := crossbow.TuneLearners(id, *gpus, 16)

@@ -147,6 +147,15 @@ type Config struct {
 	// pipeline's circular buffer; minimum 1 (default 2, double buffering
 	// per §4.5).
 	Prefetch int
+	// MemoryBudget bounds the shared activation pool in bytes (§4.5):
+	// every learning task executes against a planned arena checked out of
+	// per-operator pools shared by all learners, and when granting another
+	// arena would exceed the budget, learners wait for one to come back
+	// instead of growing the footprint. One task is always admitted, so
+	// any budget makes progress. Zero selects the default — enough arenas
+	// to cover the kernel worker budget plus one — under which activation
+	// memory grows with actual task concurrency, not learner count.
+	MemoryBudget int64
 }
 
 // Result is the outcome of a training run.
@@ -188,6 +197,10 @@ type Result struct {
 	// RuntimeStats reports the task runtime's scheduling statistics
 	// (rounds applied, straggler waits, FCFS run-ahead).
 	RuntimeStats engine.RuntimeStats
+	// Mem reports the live memory plane (§4.5): the planned per-task
+	// arena vs the naive footprint, shared-pool allocation/peak/hit-rate,
+	// and GC pause + allocation deltas over the training epochs.
+	Mem metrics.MemoryStats
 }
 
 func (c *Config) fillDefaults() error {
@@ -313,6 +326,7 @@ func Train(cfg Config) (*Result, error) {
 		Scheduler:         cfg.Scheduler,
 		Prefetch:          cfg.Prefetch,
 		AutoTuneLearners:  tuneOnline,
+		MemoryBudget:      cfg.MemoryBudget,
 	})
 	res.Series = tr.Series
 	res.EpochsToTarget = tr.EpochsToTarget
@@ -321,6 +335,7 @@ func Train(cfg Config) (*Result, error) {
 	res.Wall = tr.Wall
 	res.WallImagesPerSec = metrics.MeanImagesPerSec(tr.Wall)
 	res.RuntimeStats = tr.RuntimeStats
+	res.Mem = tr.Mem
 	if tuneOnline {
 		res.LearnersPerGPU = tr.K / cfg.GPUs
 		if res.LearnersPerGPU < 1 {

@@ -1,0 +1,66 @@
+// Example memory-plane demonstrates the live §4.5 memory planner: every
+// learning task executes against a planned arena (operator outputs,
+// lowering scratch and gradients laid out with reference-count reuse)
+// drawn from buffer pools shared by all learners, so activation memory
+// grows with task concurrency, not learner count. The second run applies a
+// deliberately tight MemoryBudget: training still completes — surplus
+// learners wait for task buffers instead of growing the footprint — and
+// the pool's peak stays under the cap.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crossbow"
+)
+
+func report(label string, res *crossbow.Result) {
+	m := res.Mem
+	fmt.Printf("\n%s\n", label)
+	fmt.Printf("  task arena: %.2f MB planned vs %.2f MB naive (%.0f%% §4.5 saving)\n",
+		float64(m.ArenaBytesPerTask)/(1<<20), float64(m.NaiveBytesPerTask)/(1<<20),
+		100*m.PlanSavings())
+	fmt.Printf("  shared pool: %.2f MB allocated for %d learners (peak %.2f MB, hit rate %.0f%%, %d budget waits)\n",
+		float64(m.PoolAllocatedBytes)/(1<<20), m.Learners,
+		float64(m.PoolPeakBytes)/(1<<20), 100*m.PoolHitRate(), m.PoolBudgetWaits)
+	fmt.Printf("  steady state: %.1f heap allocs/iteration, %.2f ms GC pause over the run\n",
+		m.AllocsPerIter, float64(m.GCPauseNs)/1e6)
+	fmt.Printf("  best accuracy %.1f%%\n", res.BestAccuracy*100)
+}
+
+func main() {
+	base := crossbow.Config{
+		Model:          crossbow.ResNet32,
+		Algo:           crossbow.SMA,
+		LearnersPerGPU: 4,
+		Batch:          8,
+		MaxEpochs:      2,
+		Seed:           7,
+		TrainSamples:   512,
+		TestSamples:    128,
+		Scheduler:      crossbow.FCFS,
+	}
+
+	res, err := crossbow.Train(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("== 4 learners over learner-shared buffer pools ==", res)
+
+	// Cap the activation pool at roughly one planned arena: learners share
+	// a single task allocation, trading waits for footprint.
+	tight := base
+	tight.MemoryBudget = res.Mem.ArenaBytesPerTask + res.Mem.ArenaBytesPerTask/2
+	res2, err := crossbow.Train(tight)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(fmt.Sprintf("== same run under MemoryBudget = %.2f MB ==",
+		float64(tight.MemoryBudget)/(1<<20)), res2)
+
+	if res2.Mem.PoolPeakBytes > tight.MemoryBudget {
+		log.Fatalf("pool peak %d exceeded the budget %d", res2.Mem.PoolPeakBytes, tight.MemoryBudget)
+	}
+	fmt.Println("\nbudget respected: activation memory bounded while all 4 learners trained")
+}

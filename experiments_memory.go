@@ -1,0 +1,177 @@
+package crossbow
+
+// Live memory-plane benchmark (§4.5): what training actually allocates once
+// every learning task executes against a planned arena drawn from the
+// learner-shared online pools. For each scheduler (lockstep, FCFS) and
+// learner count m ∈ {1, 2, 4} the benchmark trains one ResNet-32 epoch and
+// records, from the run's MemoryStats: steady-state heap allocations per
+// joined iteration (the ~0 claim), the planned per-task arena vs the naive
+// no-reuse footprint (the offline planner's saving), the shared pool's
+// allocated and peak bytes (the activation-memory-vs-m curve — sub-linear,
+// because pools are sized by task concurrency and the budget, not by m),
+// GC pauses and the live heap.
+//
+// `crossbow-bench -exp memory` records the result in BENCH_memory.json so
+// memory-plane PRs can show their effect.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"crossbow/internal/core"
+	"crossbow/internal/nn"
+	"crossbow/internal/tensor"
+)
+
+// MemoryBenchRow is one (scheduler, learner count) measurement.
+type MemoryBenchRow struct {
+	Scheduler string `json:"scheduler"`
+	Learners  int    `json:"learners"`
+	Batch     int    `json:"batch"`
+
+	// Per-task plan.
+	ArenaBytesPerTask int64   `json:"arena_bytes_per_task"`
+	NaiveBytesPerTask int64   `json:"naive_bytes_per_task"`
+	PlanSavings       float64 `json:"plan_savings"`
+
+	// Shared-pool behaviour (the activation footprint).
+	PoolAllocatedBytes int64   `json:"pool_allocated_bytes"`
+	PoolPeakBytes      int64   `json:"pool_peak_bytes"`
+	PoolHitRate        float64 `json:"pool_hit_rate"`
+	PoolBudgetWaits    int     `json:"pool_budget_waits"`
+
+	// Runtime cost.
+	AllocsPerIter float64 `json:"allocs_per_iter"`
+	GCPauseMs     float64 `json:"gc_pause_ms"`
+	NumGC         uint32  `json:"num_gc"`
+	HeapAllocMB   float64 `json:"heap_alloc_mb"`
+	EpochSec      float64 `json:"epoch_sec"`
+	ImagesPerSec  float64 `json:"images_per_sec"`
+}
+
+// MemoryBenchReport is the JSON document written to BENCH_memory.json.
+type MemoryBenchReport struct {
+	GOOS         string           `json:"goos"`
+	GOARCH       string           `json:"goarch"`
+	CPUs         int              `json:"cpus"`
+	WorkerBudget int              `json:"worker_budget"`
+	Generated    string           `json:"generated"`
+	Model        string           `json:"model"`
+	TrainSamples int              `json:"train_samples"`
+	Rows         []MemoryBenchRow `json:"rows"`
+	// ActivationGrowth maps "m=N" to pool_allocated_bytes(m=N) relative to
+	// m=1 for each scheduler ("sched/m=N"): < N means sub-linear growth —
+	// the §4.5 sharing effect.
+	ActivationGrowth map[string]float64 `json:"activation_growth_vs_m1"`
+}
+
+type memoryBenchEnv struct {
+	samples int
+	batch   int
+}
+
+func memoryBenchSetup(quick bool) memoryBenchEnv {
+	if quick {
+		return memoryBenchEnv{samples: 512, batch: 4}
+	}
+	return memoryBenchEnv{samples: 2048, batch: 4}
+}
+
+// MemoryBenchResult carries the rows plus the growth summary.
+type MemoryBenchResult struct {
+	Rows   []MemoryBenchRow
+	Growth map[string]float64
+}
+
+// MemoryBench trains one ResNet-32 epoch per (scheduler, m ∈ {1,2,4}) and
+// reports the memory plane's behaviour.
+func MemoryBench(quick bool) *MemoryBenchResult {
+	env := memoryBenchSetup(quick)
+	out := &MemoryBenchResult{Growth: map[string]float64{}}
+
+	for _, sched := range []core.SchedulerMode{core.SchedLockstep, core.SchedFCFS} {
+		var base int64
+		for _, m := range []int{1, 2, 4} {
+			res := core.Train(core.TrainConfig{
+				Model: nn.ResNet32, Algo: core.AlgoSMA,
+				GPUs: 1, LearnersPerGPU: m, BatchPerLearner: env.batch,
+				Momentum: 0.9, LocalMomentum: 0.9, Tau: 1,
+				MaxEpochs: 1, Seed: 1,
+				TrainSamples: env.samples, TestSamples: 64,
+				Scheduler: sched,
+			})
+			mem := res.Mem
+			row := MemoryBenchRow{
+				Scheduler: string(sched), Learners: m, Batch: env.batch,
+				ArenaBytesPerTask:  mem.ArenaBytesPerTask,
+				NaiveBytesPerTask:  mem.NaiveBytesPerTask,
+				PlanSavings:        mem.PlanSavings(),
+				PoolAllocatedBytes: mem.PoolAllocatedBytes,
+				PoolPeakBytes:      mem.PoolPeakBytes,
+				PoolHitRate:        mem.PoolHitRate(),
+				PoolBudgetWaits:    mem.PoolBudgetWaits,
+				AllocsPerIter:      mem.AllocsPerIter,
+				GCPauseMs:          float64(mem.GCPauseNs) / 1e6,
+				NumGC:              mem.NumGC,
+				HeapAllocMB:        float64(mem.HeapAllocBytes) / (1 << 20),
+				EpochSec:           res.Wall[0].Sec,
+				ImagesPerSec:       res.Wall[0].ImagesPerSec,
+			}
+			out.Rows = append(out.Rows, row)
+			if m == 1 {
+				base = mem.PoolAllocatedBytes
+			}
+			if base > 0 {
+				out.Growth[fmt.Sprintf("%s/m=%d", sched, m)] =
+					float64(mem.PoolAllocatedBytes) / float64(base)
+			}
+		}
+	}
+	return out
+}
+
+// PrintMemoryBench renders the memory-plane table.
+func PrintMemoryBench(w io.Writer, r *MemoryBenchResult) {
+	fmt.Fprintf(w, "Live memory plane, ResNet-32 one epoch (budget=%d workers)\n", tensor.WorkerBudget())
+	fmt.Fprintf(w, "%-9s %3s %10s %10s %7s %10s %10s %6s %8s %8s %7s %9s\n",
+		"sched", "m", "arena", "naive", "saving", "pool", "peak", "hit", "allocs/i", "gc(ms)", "heap", "img/s")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-9s %3d %9.2fM %9.2fM %6.1f%% %9.2fM %9.2fM %5.0f%% %8.1f %8.2f %6.1fM %9.0f\n",
+			row.Scheduler, row.Learners,
+			float64(row.ArenaBytesPerTask)/(1<<20), float64(row.NaiveBytesPerTask)/(1<<20),
+			100*row.PlanSavings,
+			float64(row.PoolAllocatedBytes)/(1<<20), float64(row.PoolPeakBytes)/(1<<20),
+			100*row.PoolHitRate, row.AllocsPerIter, row.GCPauseMs, row.HeapAllocMB,
+			row.ImagesPerSec)
+	}
+	for _, sched := range []core.SchedulerMode{core.SchedLockstep, core.SchedFCFS} {
+		g4, ok := r.Growth[fmt.Sprintf("%s/m=4", sched)]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(w, "%s activation growth m=1→4: %.2fx (linear would be 4.00x)\n", sched, g4)
+	}
+}
+
+// WriteMemoryBenchJSON records the result (plus environment) at path.
+func WriteMemoryBenchJSON(path string, r *MemoryBenchResult, quick bool) error {
+	env := memoryBenchSetup(quick)
+	rep := MemoryBenchReport{
+		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		CPUs: runtime.NumCPU(), WorkerBudget: tensor.WorkerBudget(),
+		Generated:        time.Now().UTC().Format(time.RFC3339),
+		Model:            string(nn.ResNet32),
+		TrainSamples:     env.samples,
+		Rows:             r.Rows,
+		ActivationGrowth: r.Growth,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -11,6 +11,8 @@
 package autotune
 
 import (
+	"sync"
+
 	"crossbow/internal/cluster"
 	"crossbow/internal/engine"
 	"crossbow/internal/memplan"
@@ -88,16 +90,55 @@ type Result struct {
 	History []Decision
 }
 
+// SpecOps converts a full-scale model spec into the planner's neutral
+// operator list — the coarse, synthetic §4.5 model (one output buffer per
+// operator, no scratch), kept for comparison studies against the live plan.
+func SpecOps(spec *nn.ModelSpec) []memplan.SpecOp {
+	ops := make([]memplan.SpecOp, len(spec.Ops))
+	for i, op := range spec.Ops {
+		ops[i] = memplan.SpecOp{Kind: op.Kind, OutElems: op.OutElems}
+	}
+	return ops
+}
+
+// SpecGraph lowers a full-scale spec through the synthetic training-graph
+// model (forward chain + backward chain).
+func SpecGraph(spec *nn.ModelSpec, batch int) *memplan.Graph {
+	return memplan.TrainingGraph(SpecOps(spec), spec.SampleBytes(), batch)
+}
+
+// Per-model cache of live footprints: planning a full-scale network is
+// cheap but not free, and Tune probes several batch sizes repeatedly.
+var (
+	footMu    sync.Mutex
+	footCache = map[footKey]int64{}
+)
+
+type footKey struct {
+	model nn.ModelID
+	batch int
+}
+
 // LearnerFootprint returns the per-learner GPU memory demand for a model at
 // a batch size: model weights + gradients (contiguous, §4.4) plus the
-// offline-planned operator output buffers (§4.5).
+// planned task arena (§4.5). The arena size comes from the *live* memory
+// plan — the layer library's real dataflow at full scale, conv lowering
+// scratch and all — not from the synthetic per-operator graph, so the
+// memory cap reflects what a learner actually allocates.
 func LearnerFootprint(spec *nn.ModelSpec, batch int) int64 {
-	g := memplan.TrainingGraph(spec, batch)
-	plan, err := memplan.PlanOffline(g)
-	if err != nil {
-		panic(err) // TrainingGraph is topologically ordered by construction
+	key := footKey{spec.Model, batch}
+	footMu.Lock()
+	if f, ok := footCache[key]; ok {
+		footMu.Unlock()
+		return f
 	}
-	return 2*spec.ParamCount()*4 + plan.PlannedBytes()
+	footMu.Unlock()
+	net := nn.BuildFull(spec.Model, batch)
+	f := 2*int64(net.ParamSize())*4 + net.MemPlan().ArenaBytes()
+	footMu.Lock()
+	footCache[key] = f
+	footMu.Unlock()
+	return f
 }
 
 // MemoryCap returns how many learners fit in memBytes of device memory,

@@ -98,16 +98,26 @@ func NewSMA(cfg SMAConfig, w0 []float32, k int) *SMA {
 
 // localStep applies learner j's gradient with local momentum:
 // v ← µL·v − γ·g; w ← w + v. With µL = 0 this is the plain step of Alg 1
-// line 8/10.
+// line 8/10. The serial fast path avoids materialising the chunk closure —
+// learner steps run every iteration, and with one kernel worker the hot
+// loop stays allocation-free (same body, same bits).
 func (s *SMA) localStep(j int, w, g []float32) {
 	lr, mu := s.cfg.LearnRate, s.cfg.LocalMomentum
 	v := s.vel[j]
+	if tensor.Parallelism() == 1 {
+		localStepRange(v, w, g, lr, mu, 0, len(w))
+		return
+	}
 	tensor.ParallelFor(len(w), 16384, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			v[i] = mu*v[i] - lr*g[i]
-			w[i] += v[i]
-		}
+		localStepRange(v, w, g, lr, mu, lo, hi)
 	})
+}
+
+func localStepRange(v, w, g []float32, lr, mu float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		v[i] = mu*v[i] - lr*g[i]
+		w[i] += v[i]
+	}
 }
 
 // K returns the learner count.
@@ -159,44 +169,52 @@ func smaExchange(ws [][]float32, z, zPrev, delta []float32, state []bool, alpha,
 	// Every index is independent of the others, so the exchange is
 	// partitioned over disjoint index ranges: per-index operations keep
 	// their replica-order (j) accumulation, making the result bit-identical
-	// at any worker count.
+	// at any worker count. Serial fast path: no chunk closure.
+	if tensor.Parallelism() == 1 {
+		smaExchangeRange(ws, z, zPrev, delta, state, alpha, mu, 0, len(z))
+		return
+	}
 	tensor.ParallelFor(len(z), 16384, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			delta[i] = 0
-		}
-		for _, w := range ws {
-			if state == nil {
-				for i := lo; i < hi; i++ {
-					c := alpha * (w[i] - z[i])
-					delta[i] += c
-					w[i] -= c
-				}
-			} else {
-				for i := lo; i < hi; i++ {
-					if state[i] {
-						continue
-					}
-					c := alpha * (w[i] - z[i])
-					delta[i] += c
-					w[i] -= c
-				}
-			}
-		}
-		for i := lo; i < hi; i++ {
-			zOld := z[i]
-			if state != nil && state[i] {
-				var sum float32
-				for j := range ws {
-					sum += ws[j][i]
-				}
-				z[i] = sum / float32(len(ws))
-				zPrev[i] = zOld
-				continue
-			}
-			z[i] = zOld + delta[i] + mu*(zOld-zPrev[i])
-			zPrev[i] = zOld
-		}
+		smaExchangeRange(ws, z, zPrev, delta, state, alpha, mu, lo, hi)
 	})
+}
+
+func smaExchangeRange(ws [][]float32, z, zPrev, delta []float32, state []bool, alpha, mu float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		delta[i] = 0
+	}
+	for _, w := range ws {
+		if state == nil {
+			for i := lo; i < hi; i++ {
+				c := alpha * (w[i] - z[i])
+				delta[i] += c
+				w[i] -= c
+			}
+		} else {
+			for i := lo; i < hi; i++ {
+				if state[i] {
+					continue
+				}
+				c := alpha * (w[i] - z[i])
+				delta[i] += c
+				w[i] -= c
+			}
+		}
+	}
+	for i := lo; i < hi; i++ {
+		zOld := z[i]
+		if state != nil && state[i] {
+			var sum float32
+			for j := range ws {
+				sum += ws[j][i]
+			}
+			z[i] = sum / float32(len(ws))
+			zPrev[i] = zOld
+			continue
+		}
+		z[i] = zOld + delta[i] + mu*(zOld-zPrev[i])
+		zPrev[i] = zOld
+	}
 }
 
 // LocalStep applies learner j's gradient to its replica with local momentum
@@ -224,20 +242,28 @@ func (s *SMA) ContributeStep(j int, w, g, out []float32) {
 	alpha, z, state := s.alpha, s.z, s.state
 	lr, mu := s.cfg.LearnRate, s.cfg.LocalMomentum
 	v := s.vel[j]
+	if tensor.Parallelism() == 1 {
+		contributeStepRange(w, g, out, v, z, state, alpha, lr, mu, 0, len(w))
+		return
+	}
 	tensor.ParallelFor(len(w), 16384, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			wi := w[i]
-			if state == nil || !state[i] {
-				c := alpha * (wi - z[i])
-				out[i] = c
-				wi -= c
-			} else {
-				out[i] = wi
-			}
-			v[i] = mu*v[i] - lr*g[i]
-			w[i] = wi + v[i]
-		}
+		contributeStepRange(w, g, out, v, z, state, alpha, lr, mu, lo, hi)
 	})
+}
+
+func contributeStepRange(w, g, out, v, z []float32, state []bool, alpha, lr, mu float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		wi := w[i]
+		if state == nil || !state[i] {
+			c := alpha * (wi - z[i])
+			out[i] = c
+			wi -= c
+		} else {
+			out[i] = wi
+		}
+		v[i] = mu*v[i] - lr*g[i]
+		w[i] = wi + v[i]
+	}
 }
 
 // ApplyContributions folds one round of corrections into the central
@@ -253,26 +279,34 @@ func (s *SMA) ApplyContributions(corr [][]float32) {
 		panic(fmt.Sprintf("core: ApplyContributions with %d vectors, want %d", len(corr), s.k))
 	}
 	z, zPrev, state, mu := s.z, s.zPrev, s.state, s.cfg.Momentum
+	if tensor.Parallelism() == 1 {
+		applyContributionsRange(corr, z, zPrev, state, mu, 0, len(z))
+		return
+	}
 	tensor.ParallelFor(len(z), 16384, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			zOld := z[i]
-			if state != nil && state[i] {
-				var sum float32
-				for j := range corr {
-					sum += corr[j][i]
-				}
-				z[i] = sum / float32(len(corr))
-				zPrev[i] = zOld
-				continue
-			}
-			var delta float32
-			for j := range corr {
-				delta += corr[j][i]
-			}
-			z[i] = zOld + delta + mu*(zOld-zPrev[i])
-			zPrev[i] = zOld
-		}
+		applyContributionsRange(corr, z, zPrev, state, mu, lo, hi)
 	})
+}
+
+func applyContributionsRange(corr [][]float32, z, zPrev []float32, state []bool, mu float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		zOld := z[i]
+		if state != nil && state[i] {
+			var sum float32
+			for j := range corr {
+				sum += corr[j][i]
+			}
+			z[i] = sum / float32(len(corr))
+			zPrev[i] = zOld
+			continue
+		}
+		var delta float32
+		for j := range corr {
+			delta += corr[j][i]
+		}
+		z[i] = zOld + delta + mu*(zOld-zPrev[i])
+		zPrev[i] = zOld
+	}
 }
 
 // Restart re-initialises the averaging process from the current central

@@ -2,11 +2,13 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"crossbow/internal/autotune"
 	"crossbow/internal/data"
 	"crossbow/internal/engine"
+	"crossbow/internal/memplan"
 	"crossbow/internal/metrics"
 	"crossbow/internal/nn"
 	"crossbow/internal/tensor"
@@ -141,6 +143,14 @@ type TrainConfig struct {
 	AutoTuneLearners bool
 	// MaxLearnersPerGPU caps online tuning (0 → 4).
 	MaxLearnersPerGPU int
+	// MemoryBudget bounds the shared activation pool (§4.5) in bytes:
+	// learners block for task buffers when granting another planned arena
+	// would exceed it (one task is always admitted, so any budget makes
+	// progress — surplus learners trade waiting for footprint). Zero
+	// selects the default, (kernel worker budget + 1) planned arenas:
+	// demand beyond available compute parallelism is waste, so the pool
+	// never needs to grow past it.
+	MemoryBudget int64
 }
 
 // K returns the total learner count n×g×m.
@@ -235,6 +245,10 @@ type Result struct {
 	// AutoTuneLearners was set. Decision.M is learners per GPU, the same
 	// unit the offline tuner reports.
 	TuneHistory []autotune.Decision
+	// Mem reports the live memory plane: the planned per-task arena, the
+	// shared pool's behaviour, and GC/allocation deltas over the epoch
+	// loop.
+	Mem metrics.MemoryStats
 }
 
 // stepper abstracts the per-iteration optimiser update.
@@ -277,6 +291,14 @@ type trainEnv struct {
 	evalGrad    []float32
 	evalBatch   int
 	es          *evalScratch
+
+	// The live memory plane (§4.5): all learners draw their task arenas
+	// from one shared pool, keyed by the networks' identical plan layout;
+	// taskBufs[j] is learner j's checked-out arena while its task runs.
+	memPool    *memplan.OnlinePlanner
+	taskBufs   []*memplan.Buffer
+	planKey    string
+	arenaElems int
 }
 
 // newTrainEnv builds a run's long-lived pieces for k learners: datasets,
@@ -307,26 +329,58 @@ func newTrainEnv(cfg *TrainConfig, k int) *trainEnv {
 		e.nets[j].Bind(e.ws[j], e.gs[j])
 	}
 
-	// Evaluation network over the central model.
+	// Evaluation network over the central model. It evaluates at quiescence
+	// with a different batch size (different plan key), so it keeps a
+	// private arena instead of cycling through the task pool.
 	e.evalBatch = 128
 	if e.test.Len() < e.evalBatch {
 		e.evalBatch = e.test.Len()
 	}
 	e.evalNet = nn.BuildScaled(cfg.Model, e.evalBatch, tensor.NewRNG(cfg.Seed+99))
+	e.evalNet.AttachArena(tensor.NewArena(e.evalNet.MemPlan().ArenaElems))
 	e.evalGrad = make([]float32, len(e.w0))
 	e.es = newEvalScratch(e.evalBatch, e.test.Shape)
+
+	// Shared task-arena pool: every learner network has the identical
+	// layer stack and batch size, hence the identical plan key, so their
+	// task arenas are interchangeable (§4.5 sharing). Plans are computed
+	// up front for the whole pool — planning is setup work, and keeping it
+	// out of the epoch loop keeps the steady-state allocation count clean.
+	for _, net := range e.nets {
+		net.MemPlan()
+	}
+	plan := e.nets[0].MemPlan()
+	e.planKey = plan.Key()
+	e.arenaElems = plan.ArenaElems
+	e.memPool = memplan.NewOnlinePlanner()
+	e.memPool.SetBudget(e.poolBudget())
+	e.taskBufs = make([]*memplan.Buffer, k)
 	return e
+}
+
+// poolBudget resolves the activation-pool budget: the configured
+// MemoryBudget, or (worker budget + 1) planned arenas by default.
+func (e *trainEnv) poolBudget() int64 {
+	if e.cfg.MemoryBudget > 0 {
+		return e.cfg.MemoryBudget
+	}
+	return int64(tensor.WorkerBudget()+1) * int64(e.arenaElems) * 4
 }
 
 // growLearners extends the replica pool to k learners, initialising new
 // replicas from model (§3.2 restart semantics: new learners start at the
-// central average model).
+// central average model). Grown learners share the existing task-arena
+// pool — resizing never replicates activation memory up front.
 func (e *trainEnv) growLearners(k int, model []float32) {
 	for j := len(e.nets); j < k; j++ {
 		e.nets = append(e.nets, nn.BuildScaled(e.cfg.Model, e.cfg.BatchPerLearner, e.masterRNG.Split()))
 		e.ws = append(e.ws, append([]float32(nil), model...))
 		e.gs = append(e.gs, make([]float32, len(model)))
 		e.nets[j].Bind(e.ws[j], e.gs[j])
+		e.nets[j].MemPlan() // plan at resize time, not on the first task
+	}
+	for len(e.taskBufs) < k {
+		e.taskBufs = append(e.taskBufs, nil)
 	}
 }
 
@@ -390,6 +444,19 @@ func (e *trainEnv) buildRuntime(opt stepper, k, firstSeq int, held map[int]*data
 		Task: func(j int, s *data.Slot) float64 {
 			tensor.ZeroSlice(e.gs[j])
 			return e.nets[j].LossAndGrad(s.X, s.Labels)
+		},
+		// Each task executes against a planned arena checked out of the
+		// shared pool for exactly the task's duration (§4.5): learners
+		// waiting at barriers, round gates or the budget hold no task
+		// memory, so the pool's footprint tracks concurrency, not k.
+		AcquireTask: func(j int) {
+			b := e.memPool.Acquire(e.planKey, int64(e.arenaElems)*4, 1)
+			e.taskBufs[j] = b
+			e.nets[j].AttachArena(tensor.ArenaOf(b.Data))
+		},
+		ReleaseTask: func(j int) {
+			e.memPool.Release(e.taskBufs[j])
+			e.taskBufs[j] = nil
 		},
 	}
 	switch e.cfg.Scheduler {
@@ -468,6 +535,13 @@ func Train(cfg TrainConfig) *Result {
 
 	res := &Result{K: k, EpochsToTarget: -1, Sched: cfg.Scheduler}
 	lr := cfg.LearnRate
+
+	// Steady-state memory accounting: deltas across the epoch loop, so
+	// setup (datasets, replicas, pipeline) is excluded.
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
+	totalIters := 0
+
 	for epoch := 1; epoch <= cfg.MaxEpochs; epoch++ {
 		if cfg.Schedule != nil {
 			nlr := cfg.Schedule(epoch, cfg.LearnRate)
@@ -481,6 +555,7 @@ func Train(cfg TrainConfig) *Result {
 		}
 
 		iters := e.iterPerEpoch(k)
+		totalIters += iters
 		start := time.Now()
 		rt.RunEpoch(iters)
 		wall := time.Since(start).Seconds()
@@ -547,7 +622,35 @@ func Train(cfg TrainConfig) *Result {
 	if tuner != nil {
 		res.TuneHistory = tuner.History()
 	}
+	res.Mem = e.memoryStats(k, totalIters, &memBefore)
 	return res
+}
+
+// memoryStats assembles the run's memory-plane report from the network
+// plan, the shared pool's accounting and MemStats deltas over the epoch
+// loop.
+func (e *trainEnv) memoryStats(k, iters int, before *runtime.MemStats) metrics.MemoryStats {
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	plan := e.nets[0].MemPlan()
+	ps := e.memPool.PoolStats()
+	m := metrics.MemoryStats{
+		ArenaBytesPerTask:  plan.ArenaBytes(),
+		NaiveBytesPerTask:  plan.NaiveBytes(),
+		Learners:           k,
+		PoolAllocatedBytes: ps.AllocatedBytes,
+		PoolPeakBytes:      ps.PeakBytes,
+		PoolAllocs:         ps.Allocs,
+		PoolReuses:         ps.Reuses,
+		PoolBudgetWaits:    ps.BudgetWaits,
+		GCPauseNs:          after.PauseTotalNs - before.PauseTotalNs,
+		NumGC:              after.NumGC - before.NumGC,
+		HeapAllocBytes:     after.HeapAlloc,
+	}
+	if iters > 0 {
+		m.AllocsPerIter = float64(after.Mallocs-before.Mallocs) / float64(iters)
+	}
+	return m
 }
 
 func setLearnRate(s stepper, lr float32) {

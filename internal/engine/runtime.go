@@ -64,6 +64,16 @@ type RuntimeConfig struct {
 	// returns the loss. It must leave the gradient wherever the sync
 	// closures below expect it; the runtime only schedules.
 	Task func(j int, s *data.Slot) float64
+	// AcquireTask, if set, runs on the learner's worker goroutine
+	// immediately before each learning task: the driver uses it to check
+	// learner j's planned task buffers out of the shared §4.5 pool
+	// (memplan.OnlinePlanner) and attach them to the learner's network.
+	// ReleaseTask returns them right after the task, before any
+	// synchronisation work, so parked or waiting learners never hold task
+	// memory — which is what lets the pool's footprint track actual
+	// concurrency instead of learner count.
+	AcquireTask func(j int)
+	ReleaseTask func(j int)
 	// Step applies the optimiser across all learners after a joined
 	// iteration (Lockstep mode only).
 	Step func()
@@ -127,10 +137,12 @@ type Runtime struct {
 	losses    []float64
 
 	// Lockstep reorder buffer: staged slots held until their turn in the
-	// batcher's draw sequence.
+	// batcher's draw sequence. taskFns are the per-learner dispatch
+	// closures, built once so the per-iteration hot loop allocates nothing.
 	held    map[int]*data.Slot
 	nextSeq int
 	slots   []*data.Slot
+	taskFns []func()
 
 	// FCFS round state. zRound is the number of rounds folded into the
 	// central average model (its version); contrib counts contributions to
@@ -200,6 +212,14 @@ func NewRuntime(cfg RuntimeConfig) *Runtime {
 	}
 	r.cond = sync.NewCond(&r.mu)
 	r.stats.Tasks = make([]int, k)
+	r.taskFns = make([]func(), k)
+	for j := 0; j < k; j++ {
+		j := j
+		r.taskFns[j] = func() {
+			r.losses[j] = r.runTask(j, r.slots[j])
+			r.done <- struct{}{}
+		}
+	}
 	for j := 0; j < k; j++ {
 		r.work[j] = make(chan func())
 		r.wg.Add(1)
@@ -318,11 +338,7 @@ func (r *Runtime) lockstepEpoch(iters int) {
 			r.seqLog[j] = append(r.seqLog[j], r.slots[j].Seq)
 		}
 		for j := 0; j < r.k; j++ {
-			j := j
-			r.work[j] <- func() {
-				r.losses[j] = r.cfg.Task(j, r.slots[j])
-				r.done <- struct{}{}
-			}
+			r.work[j] <- r.taskFns[j]
 		}
 		for j := 0; j < r.k; j++ {
 			<-r.done
@@ -339,6 +355,20 @@ func (r *Runtime) lockstepEpoch(iters int) {
 			r.stats.Rounds++
 		}
 	}
+}
+
+// runTask brackets one learning task with the driver's buffer-pool hooks:
+// planned task memory is checked out for exactly the task's duration, on the
+// worker goroutine, in both scheduling modes.
+func (r *Runtime) runTask(j int, s *data.Slot) float64 {
+	if r.cfg.AcquireTask != nil {
+		r.cfg.AcquireTask(j)
+	}
+	loss := r.cfg.Task(j, s)
+	if r.cfg.ReleaseTask != nil {
+		r.cfg.ReleaseTask(j)
+	}
+	return loss
 }
 
 // nextOrdered returns staged slots in draw-sequence order, holding
@@ -371,7 +401,7 @@ func (r *Runtime) fcfsEpoch(j, iters int) {
 			panic("engine: pipeline closed during epoch")
 		}
 		r.seqLog[j] = append(r.seqLog[j], s.Seq)
-		loss := r.cfg.Task(j, s)
+		loss := r.runTask(j, s)
 		r.cfg.Pipeline.Release(s)
 		r.lossSum[j] += loss
 		r.lossN[j]++

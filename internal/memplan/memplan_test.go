@@ -5,7 +5,6 @@ import (
 	"testing"
 	"testing/quick"
 
-	"crossbow/internal/nn"
 	"crossbow/internal/tensor"
 )
 
@@ -110,35 +109,28 @@ func TestPlanOfflineProperty(t *testing.T) {
 	}
 }
 
-func TestTrainingGraphSavings(t *testing.T) {
-	// §4.5: the offline plan reduces a learner's footprint by up to 50%
-	// because outputs are mostly reused during the backward phase.
-	for _, id := range nn.AllModels {
-		spec := nn.FullSpec(id)
-		g := TrainingGraph(spec, 32)
-		if err := g.Validate(); err != nil {
-			t.Fatalf("%s: %v", id, err)
-		}
-		p, err := PlanOffline(g)
-		if err != nil {
-			t.Fatalf("%s: %v", id, err)
-		}
-		if err := CheckNoLiveOverlap(g, p); err != nil {
-			t.Fatalf("%s: %v", id, err)
-		}
-		s := p.Savings(g)
-		if s < 0.2 || s > 0.7 {
-			t.Errorf("%s: savings = %.2f, want roughly the paper's ≤50%% scale", id, s)
-		}
+func TestTrainingGraphChainShape(t *testing.T) {
+	// The spec-level lowering keeps its dependency structure: forward op i
+	// reads i−1, backward op of layer i reads the incoming gradient and the
+	// layer's forward input. (The full-scale benchmark-model savings tests
+	// live in internal/autotune, which owns the spec adapter.)
+	ops := []SpecOp{{Kind: "conv", OutElems: 100}, {Kind: "relu", OutElems: 100}, {Kind: "dense", OutElems: 10}}
+	g := TrainingGraph(ops, 64, 8)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
 	}
-}
-
-func TestTrainingGraphResNet50FootprintScale(t *testing.T) {
-	// §4.5: ResNet-50 at batch 32 consumes ~7.5 GB for operator outputs.
-	g := TrainingGraph(nn.FullSpec(nn.ResNet50), 32)
-	gb := float64(g.TotalOutBytes()) / 1e9
-	if gb < 2 || gb > 20 {
-		t.Fatalf("ResNet-50 naive output footprint = %.1f GB, want the ~7.5 GB scale", gb)
+	if len(g.Ops) != 6 {
+		t.Fatalf("graph has %d ops, want 6", len(g.Ops))
+	}
+	p, err := PlanOffline(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckNoLiveOverlap(g, p); err != nil {
+		t.Fatal(err)
+	}
+	if p.PlannedBytes() >= g.TotalOutBytes() {
+		t.Fatalf("plan %d bytes, naive %d: backward reuse missing", p.PlannedBytes(), g.TotalOutBytes())
 	}
 }
 

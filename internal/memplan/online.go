@@ -4,11 +4,15 @@ import (
 	"sync"
 )
 
-// Buffer is one GPU output buffer managed by the online planner.
+// Buffer is one output buffer managed by the online planner. Since PR 4 the
+// planner manages real memory, not just byte accounting: Data is the backing
+// float32 block handed to whichever learner checks the buffer out.
 type Buffer struct {
-	Size int64
-	pool *opPool
-	refs int
+	Size    int64     // bytes (len(Data)*4 once backed)
+	Data    []float32 // backing storage, sized Size/4 elements
+	pool    *opPool
+	refs    int
+	charged int64 // bytes charged against the budget while checked out
 }
 
 // opPool is the per-operator pool of output buffers (§4.5: "for each
@@ -23,65 +27,118 @@ type opPool struct {
 // execute concurrently, learners can share output buffers instead of each
 // replicating the offline plan — the over-allocation §4.5 avoids.
 //
+// An optional budget bounds the bytes checked out concurrently: Acquire
+// blocks until enough buffers return when granting the request would exceed
+// it. A request is always admitted when nothing is checked out, so progress
+// is guaranteed under any budget; the effect of a tight budget is that
+// surplus learners wait for task buffers instead of growing the footprint —
+// memory is sized by actual concurrency, not by learner count.
+//
 // All methods are safe for concurrent use by learner goroutines.
 type OnlinePlanner struct {
 	mu    sync.Mutex
+	cond  *sync.Cond
 	pools map[string]*opPool
 
-	// Stats.
-	allocated int64 // total bytes ever allocated
-	allocs    int   // number of fresh allocations
-	reuses    int   // number of pool hits
+	budget int64 // max concurrently checked-out bytes; 0 = unlimited
+
+	// Stats. allocated tracks the bytes *currently backing* the pools (a
+	// grow replaces a buffer's block, so the delta is what changes hands);
+	// inUse/peak track requested demand — the budget bounds demand, since
+	// an incidentally oversized pooled buffer costs a small request
+	// nothing extra.
+	allocated int64
+	inUse     int64
+	peak      int64
+	allocs    int // number of fresh allocations
+	reuses    int // number of pool hits
+	waits     int // acquisitions that blocked on the budget
 }
 
-// NewOnlinePlanner creates an empty planner.
+// NewOnlinePlanner creates an empty planner with no budget.
 func NewOnlinePlanner() *OnlinePlanner {
-	return &OnlinePlanner{pools: map[string]*opPool{}}
+	p := &OnlinePlanner{pools: map[string]*opPool{}}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// SetBudget bounds the bytes that may be checked out concurrently; 0 removes
+// the bound. Lowering the budget never strands a waiter: one request is
+// always admitted when the planner is idle.
+func (p *OnlinePlanner) SetBudget(bytes int64) {
+	p.mu.Lock()
+	p.budget = bytes
+	p.mu.Unlock()
+	p.cond.Broadcast()
 }
 
 // Acquire returns an output buffer for the given operator, reusing the
 // first available pooled buffer or allocating a new one (growing a pooled
 // buffer counts as reuse of its slot). The buffer starts with the given
-// reference count (its consumer count in the dataflow).
+// reference count (its consumer count in the dataflow). Acquire blocks while
+// granting the request would exceed the planner's budget and other buffers
+// are checked out.
 func (p *OnlinePlanner) Acquire(opID string, size int64, refs int) *Buffer {
 	if refs < 1 {
 		refs = 1
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	waited := false
+	for p.budget > 0 && p.inUse > 0 && p.inUse+size > p.budget {
+		if !waited {
+			waited = true
+			p.waits++
+		}
+		p.cond.Wait()
+	}
 	pool, ok := p.pools[opID]
 	if !ok {
 		pool = &opPool{}
 		p.pools[opID] = pool
 	}
+	var b *Buffer
 	if n := len(pool.free); n > 0 {
-		b := pool.free[n-1]
+		b = pool.free[n-1]
 		pool.free = pool.free[:n-1]
 		if b.Size < size {
 			p.allocated += size - b.Size
 			b.Size = size
+			b.Data = make([]float32, (size+3)/4)
 		}
 		b.refs = refs
 		p.reuses++
-		return b
+	} else {
+		p.allocated += size
+		p.allocs++
+		b = &Buffer{Size: size, Data: make([]float32, (size+3)/4), pool: pool, refs: refs}
 	}
-	p.allocated += size
-	p.allocs++
-	b := &Buffer{Size: size, pool: pool, refs: refs}
+	b.charged = size
+	p.inUse += size
+	if p.inUse > p.peak {
+		p.peak = p.inUse
+	}
 	return b
 }
 
 // Release decrements a buffer's reference count (the task manager does this
-// as operators complete); at zero the buffer returns to its pool.
+// as operators complete); at zero the buffer returns to its pool and any
+// learner blocked on the budget is woken.
 func (p *OnlinePlanner) Release(b *Buffer) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if b.refs <= 0 {
+		p.mu.Unlock()
 		panic("memplan: Release of buffer with no references")
 	}
 	b.refs--
-	if b.refs == 0 {
+	done := b.refs == 0
+	if done {
 		b.pool.free = append(b.pool.free, b)
+		p.inUse -= b.charged
+	}
+	p.mu.Unlock()
+	if done {
+		p.cond.Broadcast()
 	}
 }
 
@@ -100,4 +157,34 @@ func (p *OnlinePlanner) Stats() (bytes int64, allocs, reuses int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.allocated, p.allocs, p.reuses
+}
+
+// PoolStats is a full snapshot of the planner's accounting. (The derived
+// hit rate lives on metrics.MemoryStats, which consumers read.)
+type PoolStats struct {
+	// AllocatedBytes is the memory currently backing the pools (the
+	// footprint; a grown buffer's replaced block counts at its new size).
+	AllocatedBytes int64
+	// InUseBytes / PeakBytes are the current and high-water *requested*
+	// checked-out bytes — peak concurrent demand, which under sharing
+	// stays below learners × task size.
+	InUseBytes, PeakBytes int64
+	// Allocs and Reuses count fresh allocations vs pool hits.
+	Allocs, Reuses int
+	// BudgetWaits counts acquisitions that blocked on the budget.
+	BudgetWaits int
+}
+
+// PoolStats returns a full snapshot of the planner's accounting.
+func (p *OnlinePlanner) PoolStats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PoolStats{
+		AllocatedBytes: p.allocated,
+		InUseBytes:     p.inUse,
+		PeakBytes:      p.peak,
+		Allocs:         p.allocs,
+		Reuses:         p.reuses,
+		BudgetWaits:    p.waits,
+	}
 }

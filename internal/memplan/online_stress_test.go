@@ -1,0 +1,145 @@
+package memplan
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"crossbow/internal/tensor"
+)
+
+// TestOnlinePlannerConcurrentAccounting hammers Acquire/Release from k
+// goroutines (run under -race in CI) and asserts the planner's accounting
+// stays consistent: at quiescence nothing is checked out, every acquisition
+// was either a fresh allocation or a pool hit, allocated bytes equal the
+// bytes backing the pools, and the peak never exceeded what the goroutines
+// could concurrently hold.
+func TestOnlinePlannerConcurrentAccounting(t *testing.T) {
+	p := NewOnlinePlanner()
+	const (
+		goroutines = 8
+		iters      = 500
+	)
+	ops := []struct {
+		id   string
+		size int64
+	}{{"conv.col", 4096}, {"bn.xhat", 1024}, {"task-arena", 16384}}
+
+	var acquires atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := tensor.NewRNG(uint64(g) + 1)
+			// held carries one outstanding reference per buffer across loop
+			// iterations, so concurrent-hold accounting (inUse spanning
+			// acquisitions, multi-buffer peaks, regrowth of a held buffer's
+			// pool twin) is genuinely exercised.
+			held := make([]*Buffer, 0, 4)
+			for i := 0; i < iters; i++ {
+				op := ops[rng.Intn(len(ops))]
+				refs := 1 + rng.Intn(3)
+				b := p.Acquire(op.id, op.size, refs)
+				acquires.Add(1)
+				if int64(len(b.Data))*4 < op.size {
+					t.Errorf("buffer %s backed by %d bytes, want ≥ %d", op.id, len(b.Data)*4, op.size)
+					return
+				}
+				if rng.Float64() < 0.3 {
+					p.AddRef(b)
+					refs++
+				}
+				// Drop all but one reference now; the last is held.
+				for r := 0; r < refs-1; r++ {
+					p.Release(b)
+				}
+				held = append(held, b)
+				if len(held) > 3 {
+					for _, h := range held {
+						p.Release(h)
+					}
+					held = held[:0]
+				}
+			}
+			for _, h := range held {
+				p.Release(h)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	ps := p.PoolStats()
+	if ps.InUseBytes != 0 {
+		t.Fatalf("quiescent planner has %d bytes checked out", ps.InUseBytes)
+	}
+	if got := int64(ps.Allocs + ps.Reuses); got != acquires.Load() {
+		t.Fatalf("allocs(%d)+reuses(%d) = %d, want %d acquisitions", ps.Allocs, ps.Reuses, got, acquires.Load())
+	}
+	// Every live buffer sits in some pool; allocated bytes must equal the
+	// sum of pooled buffer sizes.
+	var pooled int64
+	for _, pool := range p.pools {
+		for _, b := range pool.free {
+			pooled += b.Size
+		}
+	}
+	if pooled != ps.AllocatedBytes {
+		t.Fatalf("pools hold %d bytes, stats say %d allocated", pooled, ps.AllocatedBytes)
+	}
+	// Peak demand cannot exceed goroutines × the largest working set one
+	// goroutine holds (up to 4 held buffers of the largest op).
+	if maxPeak := int64(goroutines) * 4 * 16384; ps.PeakBytes > maxPeak {
+		t.Fatalf("peak %d bytes exceeds concurrency bound %d", ps.PeakBytes, maxPeak)
+	}
+	if ps.Reuses == 0 {
+		t.Fatal("expected pool hits under contention")
+	}
+}
+
+// TestOnlinePlannerBudgetBlocks runs learners against a budget that admits
+// exactly two task arenas: the footprint must stay capped at the budget,
+// waiters must be accounted, and the run must complete (no deadlock —
+// one admission is always possible).
+func TestOnlinePlannerBudgetBlocks(t *testing.T) {
+	p := NewOnlinePlanner()
+	const arena = int64(1 << 12)
+	p.SetBudget(2 * arena)
+
+	const learners = 6
+	var wg sync.WaitGroup
+	for l := 0; l < learners; l++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				b := p.Acquire("task-arena", arena, 1)
+				p.Release(b)
+			}
+		}()
+	}
+	wg.Wait()
+
+	ps := p.PoolStats()
+	if ps.PeakBytes > 2*arena {
+		t.Fatalf("peak %d bytes exceeds the %d budget", ps.PeakBytes, 2*arena)
+	}
+	if ps.AllocatedBytes > 2*arena {
+		t.Fatalf("allocated %d bytes under a %d budget", ps.AllocatedBytes, 2*arena)
+	}
+	if ps.InUseBytes != 0 {
+		t.Fatalf("%d bytes still checked out", ps.InUseBytes)
+	}
+}
+
+// TestOnlinePlannerOversizedRequestAdmittedWhenIdle: a request larger than
+// the whole budget must still be admitted once the planner is idle.
+func TestOnlinePlannerOversizedRequestAdmittedWhenIdle(t *testing.T) {
+	p := NewOnlinePlanner()
+	p.SetBudget(100)
+	b := p.Acquire("big", 1000, 1)
+	if b == nil || int64(len(b.Data))*4 < 1000 {
+		t.Fatal("oversized request not admitted on idle planner")
+	}
+	p.Release(b)
+}

@@ -1,9 +1,18 @@
 package memplan
 
-import "crossbow/internal/nn"
+// SpecOp is one operator of a model described by per-operator metadata — a
+// dependency-free mirror of nn's full-scale OpSpec, so the planner stays
+// importable from the layer library itself (which plans its real dataflow
+// through a Graph; see internal/nn's memory planner).
+type SpecOp struct {
+	Kind     string
+	OutElems int64 // output activation elements per sample
+}
 
-// TrainingGraph lowers a full-scale model spec into the operator graph of
+// TrainingGraph lowers a sequential model spec into the operator graph of
 // one learning task: the forward pass followed by the backward pass.
+// sampleBytes is the byte size of one input sample (the first backward op's
+// output has the input's shape).
 //
 // Dependency structure: forward op i reads forward op i−1's output; the
 // backward op of layer i reads (a) the incoming gradient — the previous
@@ -12,11 +21,16 @@ import "crossbow/internal/nn"
 // one by one as the backward pass retires them — the effect §4.5 exploits
 // ("outputs are mostly reused during the backwards phase", up to 50%
 // footprint reduction).
-func TrainingGraph(spec *nn.ModelSpec, batch int) *Graph {
-	n := len(spec.Ops)
+//
+// This spec-level lowering remains the coarse model for synthetic studies;
+// the live runtime plans the layer library's real dataflow instead (conv
+// lowering scratch, batch-norm statistics, residual joins), which internal/nn
+// builds as a Graph at sub-operator granularity.
+func TrainingGraph(ops []SpecOp, sampleBytes int64, batch int) *Graph {
+	n := len(ops)
 	g := &Graph{Ops: make([]Op, 0, 2*n)}
 	b := int64(batch)
-	for i, op := range spec.Ops {
+	for i, op := range ops {
 		var in []int
 		if i > 0 {
 			in = []int{i - 1}
@@ -37,12 +51,12 @@ func TrainingGraph(spec *nn.ModelSpec, batch int) *Graph {
 		// The gradient w.r.t. a layer's input has the shape of that input.
 		var outBytes int64
 		if layer > 0 {
-			outBytes = spec.Ops[layer-1].OutElems * 4 * b
+			outBytes = ops[layer-1].OutElems * 4 * b
 		} else {
-			outBytes = spec.SampleBytes() * b
+			outBytes = sampleBytes * b
 		}
 		g.Ops = append(g.Ops, Op{
-			Name:     spec.Ops[layer].Kind + "_bwd",
+			Name:     ops[layer].Kind + "_bwd",
 			OutBytes: outBytes,
 			Inputs:   in,
 		})

@@ -1,0 +1,30 @@
+package metrics
+
+import "testing"
+
+func TestMemoryStatsDerived(t *testing.T) {
+	m := MemoryStats{
+		ArenaBytesPerTask:  600,
+		NaiveBytesPerTask:  1000,
+		Learners:           4,
+		PoolAllocatedBytes: 1200,
+		PoolAllocs:         2,
+		PoolReuses:         6,
+	}
+	if s := m.PlanSavings(); s < 0.39 || s > 0.41 {
+		t.Fatalf("plan savings = %v, want 0.4", s)
+	}
+	if hr := m.PoolHitRate(); hr != 0.75 {
+		t.Fatalf("hit rate = %v, want 0.75", hr)
+	}
+	if b := m.ActivationBytesPerLearner(); b != 300 {
+		t.Fatalf("bytes per learner = %v, want 300", b)
+	}
+}
+
+func TestMemoryStatsZeroValueSafe(t *testing.T) {
+	var m MemoryStats
+	if m.PlanSavings() != 0 || m.PoolHitRate() != 0 || m.ActivationBytesPerLearner() != 0 {
+		t.Fatal("zero value must not divide by zero")
+	}
+}

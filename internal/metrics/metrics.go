@@ -13,7 +13,6 @@ type EpochPoint struct {
 	Loss    float64
 }
 
-
 // TTAWindow is the smoothing window of the TTA metric (§5.1: "the median
 // test accuracy of the last 5 epochs").
 const TTAWindow = 5

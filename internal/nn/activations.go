@@ -10,49 +10,86 @@ type ReLU struct {
 
 	y  *tensor.Tensor
 	dx *tensor.Tensor
+
+	fwdLoop func(lo, hi int)
+	bwdLoop func(lo, hi int)
+	xd, dyd []float32
+
+	pbY, pbDx *plannedBuf
 }
 
 // NewReLU constructs a ReLU over per-sample shape inShape.
 func NewReLU(batch int, inShape []int) *ReLU {
 	full := append([]int{batch}, inShape...)
-	return &ReLU{
+	r := &ReLU{
 		shape: append([]int(nil), inShape...),
 		batch: batch,
-		y:     tensor.New(full...),
-		dx:    tensor.New(full...),
+		y:     tensor.NewShell(full...),
+		dx:    tensor.NewShell(full...),
 	}
+	r.fwdLoop = r.forwardChunk
+	r.bwdLoop = r.backwardChunk
+	return r
+}
+
+func (r *ReLU) ensure() {
+	if r.y.HasData() {
+		return
+	}
+	n := tensor.Volume(r.y.Shape())
+	r.y.SetData(make([]float32, n))
+	r.dx.SetData(make([]float32, n))
+}
+
+func (r *ReLU) planFwd(p *taskPlanner, in *plannedBuf) *plannedBuf {
+	r.pbY = p.shell("relu.y", r.y, bufActivation)
+	p.touch(in)
+	return r.pbY
+}
+
+func (r *ReLU) planBwd(p *taskPlanner, dout *plannedBuf) *plannedBuf {
+	r.pbDx = p.shell("relu.dx", r.dx, bufGradient)
+	p.touch(dout, r.pbY) // the cached output doubles as the gradient mask
+	return r.pbDx
 }
 
 func (r *ReLU) Name() string    { return "relu" }
 func (r *ReLU) OutShape() []int { return r.shape }
 
-func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	xd, yd := x.Data(), r.y.Data()
-	tensor.ParallelFor(len(xd), 8192, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			if v := xd[i]; v > 0 {
-				yd[i] = v
-			} else {
-				yd[i] = 0
-			}
+func (r *ReLU) forwardChunk(lo, hi int) {
+	xd, yd := r.xd, r.y.Data()
+	for i := lo; i < hi; i++ {
+		if v := xd[i]; v > 0 {
+			yd[i] = v
+		} else {
+			yd[i] = 0
 		}
-	})
+	}
+}
+
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	r.ensure()
+	r.xd = x.Data()
+	tensor.ParallelFor(len(r.xd), 8192, r.fwdLoop)
 	return r.y
 }
 
-func (r *ReLU) Backward(dy *tensor.Tensor) *tensor.Tensor {
+func (r *ReLU) backwardChunk(lo, hi int) {
 	// y > 0 ⇔ the forward input was positive, so the cached output doubles
 	// as the gradient mask.
-	dyd, dxd, yd := dy.Data(), r.dx.Data(), r.y.Data()
-	tensor.ParallelFor(len(yd), 8192, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			if yd[i] > 0 {
-				dxd[i] = dyd[i]
-			} else {
-				dxd[i] = 0
-			}
+	dyd, dxd, yd := r.dyd, r.dx.Data(), r.y.Data()
+	for i := lo; i < hi; i++ {
+		if yd[i] > 0 {
+			dxd[i] = dyd[i]
+		} else {
+			dxd[i] = 0
 		}
-	})
+	}
+}
+
+func (r *ReLU) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	r.dyd = dy.Data()
+	tensor.ParallelFor(r.y.Len(), 8192, r.bwdLoop)
 	return r.dx
 }
 
@@ -69,24 +106,48 @@ type Dropout struct {
 	keep []float32
 	y    *tensor.Tensor
 	dx   *tensor.Tensor
+
+	pbKeep, pbY, pbDx *plannedBuf
 }
 
 // NewDropout constructs a dropout layer with drop probability p.
 func NewDropout(batch int, inShape []int, p float64, rng *tensor.RNG) *Dropout {
 	full := append([]int{batch}, inShape...)
-	n := tensor.Volume(full)
 	return &Dropout{
 		P: p, shape: append([]int(nil), inShape...), batch: batch, rng: rng,
-		keep: make([]float32, n),
-		y:    tensor.New(full...),
-		dx:   tensor.New(full...),
+		y:  tensor.NewShell(full...),
+		dx: tensor.NewShell(full...),
 	}
+}
+
+func (d *Dropout) ensure() {
+	if d.keep != nil {
+		return
+	}
+	n := tensor.Volume(d.y.Shape())
+	d.keep = make([]float32, n)
+	d.y.SetData(make([]float32, n))
+	d.dx.SetData(make([]float32, n))
+}
+
+func (d *Dropout) planFwd(p *taskPlanner, in *plannedBuf) *plannedBuf {
+	d.pbKeep = p.slice("dropout.keep", &d.keep, tensor.Volume(d.y.Shape()), bufActivation)
+	d.pbY = p.shell("dropout.y", d.y, bufActivation)
+	p.touch(in)
+	return d.pbY
+}
+
+func (d *Dropout) planBwd(p *taskPlanner, dout *plannedBuf) *plannedBuf {
+	d.pbDx = p.shell("dropout.dx", d.dx, bufGradient)
+	p.touch(dout, d.pbKeep)
+	return d.pbDx
 }
 
 func (d *Dropout) Name() string    { return "dropout" }
 func (d *Dropout) OutShape() []int { return d.shape }
 
 func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	d.ensure()
 	xd, yd := x.Data(), d.y.Data()
 	if !train || d.P <= 0 {
 		copy(yd, xd)
@@ -116,27 +177,42 @@ func (d *Dropout) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	return d.dx
 }
 
-// Flatten reshapes [B, ...] to [B, V]. It shares data with its input, so
-// Backward likewise just reshapes.
+// Flatten reshapes [B, ...] to [B, V]. It shares data with its input — the
+// shell tensors y and dx are rebound to the caller's storage per pass, so
+// no reshape allocation happens on the hot path, and the memory planner
+// sees the buffer pass straight through.
 type Flatten struct {
 	stateless
 	in    []int
 	vol   int
 	batch int
+
+	y  *tensor.Tensor // [B, V] view of the forward input
+	dx *tensor.Tensor // [B, ...] view of the backward input
 }
 
 // NewFlatten constructs a flatten layer.
 func NewFlatten(batch int, inShape []int) *Flatten {
-	return &Flatten{in: append([]int(nil), inShape...), vol: tensor.Volume(inShape), batch: batch}
+	return &Flatten{
+		in: append([]int(nil), inShape...), vol: tensor.Volume(inShape), batch: batch,
+		y:  tensor.NewShell(batch, tensor.Volume(inShape)),
+		dx: tensor.NewShell(append([]int{batch}, inShape...)...),
+	}
 }
 
 func (f *Flatten) Name() string    { return "flatten" }
 func (f *Flatten) OutShape() []int { return []int{f.vol} }
 
+// planFwd/planBwd: flatten owns no buffers; the input buffer passes through.
+func (f *Flatten) planFwd(p *taskPlanner, in *plannedBuf) *plannedBuf   { return in }
+func (f *Flatten) planBwd(p *taskPlanner, dout *plannedBuf) *plannedBuf { return dout }
+
 func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	return x.Reshape(f.batch, f.vol)
+	f.y.SetData(x.Data())
+	return f.y
 }
 
 func (f *Flatten) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	return dy.Reshape(append([]int{f.batch}, f.in...)...)
+	f.dx.SetData(dy.Data())
+	return f.dx
 }

@@ -15,6 +15,11 @@ import (
 // vector makes every replica fully self-contained: averaging replicas (SMA)
 // averages their statistics too, and binding the central average model to a
 // network for evaluation needs no side state.
+//
+// The batch statistics (mean, invStd) and the normalised activations (xhat)
+// are planned buffers: they are written in the training-mode forward pass
+// and read back in backward, so the task planner keeps them live from the
+// layer's forward to its backward step.
 type BatchNorm struct {
 	C     int // channels
 	batch int
@@ -34,9 +39,16 @@ type BatchNorm struct {
 	y      *tensor.Tensor
 	dx     *tensor.Tensor
 	train  bool
+
+	fwdLoop func(lo, hi int)
+	bwdLoop func(lo, hi int)
+	xd, dyd []float32 // per-call kernel inputs for the hoisted loops
+
+	pbXhat, pbMean, pbInv, pbY, pbDx *plannedBuf
 }
 
 // NewBatchNorm constructs a batch-norm layer over inShape = [C, H, W] or [C].
+// Buffers are declared to the memory planner, not allocated here.
 func NewBatchNorm(batch int, inShape []int) *BatchNorm {
 	c := inShape[0]
 	h, w := 1, 1
@@ -47,16 +59,44 @@ func NewBatchNorm(batch int, inShape []int) *BatchNorm {
 	if len(inShape) == 1 {
 		full = []int{batch, c}
 	}
-	n := tensor.Volume(full)
-	return &BatchNorm{
+	b := &BatchNorm{
 		C: c, batch: batch, h: h, w: w,
 		Momentum: 0.9, Eps: 1e-5,
-		xhat:   make([]float32, n),
-		mean:   make([]float32, c),
-		invStd: make([]float32, c),
-		y:      tensor.New(full...),
-		dx:     tensor.New(full...),
+		y:  tensor.NewShell(full...),
+		dx: tensor.NewShell(full...),
 	}
+	b.fwdLoop = b.forwardChunk
+	b.bwdLoop = b.backwardChunk
+	return b
+}
+
+func (b *BatchNorm) ensure() {
+	if b.xhat != nil {
+		return
+	}
+	n := tensor.Volume(b.y.Shape())
+	b.xhat = make([]float32, n)
+	b.mean = make([]float32, b.C)
+	b.invStd = make([]float32, b.C)
+	b.y.SetData(make([]float32, n))
+	b.dx.SetData(make([]float32, n))
+}
+
+func (b *BatchNorm) planFwd(p *taskPlanner, in *plannedBuf) *plannedBuf {
+	// Outputs first, inputs after (memory.go's sub-op rule): the channel
+	// loop reads x throughout while writing statistics, xhat and y.
+	b.pbMean = p.slice("bn.mean", &b.mean, b.C, bufActivation)
+	b.pbInv = p.slice("bn.invstd", &b.invStd, b.C, bufActivation)
+	b.pbXhat = p.slice("bn.xhat", &b.xhat, tensor.Volume(b.y.Shape()), bufActivation)
+	b.pbY = p.shell("bn.y", b.y, bufActivation)
+	p.touch(in)
+	return b.pbY
+}
+
+func (b *BatchNorm) planBwd(p *taskPlanner, dout *plannedBuf) *plannedBuf {
+	b.pbDx = p.shell("bn.dx", b.dx, bufGradient)
+	p.touch(dout, b.pbXhat, b.pbMean, b.pbInv)
+	return b.pbDx
 }
 
 func (b *BatchNorm) Name() string { return "batchnorm" }
@@ -89,19 +129,22 @@ func (b *BatchNorm) InitParams(r *tensor.RNG, w []float32) {
 func (b *BatchNorm) plane() int { return b.h * b.w }
 
 func (b *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	b.ensure()
 	b.x = x
 	b.train = train
-	xd, yd := x.Data(), b.y.Data()
+	b.xd = x.Data()
 	plane := b.plane()
 	count := b.batch * plane
 
 	// Channels are fully independent (statistics, outputs and the
 	// per-channel parameter entries), so channel-parallel execution is
 	// bit-deterministic at any worker count.
-	tensor.ParallelFor(b.C, 1+(1<<12)/max(1, count), func(cLo, cHi int) {
-		b.forwardChannels(xd, yd, plane, count, train, cLo, cHi)
-	})
+	tensor.ParallelFor(b.C, 1+(1<<12)/max(1, count), b.fwdLoop)
 	return b.y
+}
+
+func (b *BatchNorm) forwardChunk(cLo, cHi int) {
+	b.forwardChannels(b.xd, b.y.Data(), b.plane(), b.batch*b.plane(), b.train, cLo, cHi)
 }
 
 func (b *BatchNorm) forwardChannels(xd, yd []float32, plane, count int, train bool, cLo, cHi int) {
@@ -147,14 +190,15 @@ func (b *BatchNorm) forwardChannels(xd, yd []float32, plane, count int, train bo
 }
 
 func (b *BatchNorm) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	dyd, dxd := dy.Data(), b.dx.Data()
+	b.dyd = dy.Data()
 	plane := b.plane()
-	count := float32(b.batch * plane)
 
-	tensor.ParallelFor(b.C, 1+(1<<12)/max(1, b.batch*plane), func(cLo, cHi int) {
-		b.backwardChannels(dyd, dxd, plane, count, cLo, cHi)
-	})
+	tensor.ParallelFor(b.C, 1+(1<<12)/max(1, b.batch*plane), b.bwdLoop)
 	return b.dx
+}
+
+func (b *BatchNorm) backwardChunk(cLo, cHi int) {
+	b.backwardChannels(b.dyd, b.dx.Data(), b.plane(), float32(b.batch*b.plane()), cLo, cHi)
 }
 
 func (b *BatchNorm) backwardChannels(dyd, dxd []float32, plane int, count float32, cLo, cHi int) {

@@ -13,6 +13,13 @@ import "crossbow/internal/tensor"
 // element's dot product runs in the same order); only the weight gradient
 // sums the batch in one accumulation instead of batch partial sums, which
 // regroups the reduction — see DESIGN.md §8 and TestConv2DBatchedMatchesReference.
+//
+// Buffers are declared to the memory planner, not allocated here: a network
+// attaches them to slices of one planned arena (memory.go), and standalone
+// layers fall back to private allocation on first use. col is planned as a
+// pinned range because its static padding zeros are the one piece of
+// cross-task buffer state; pinning keeps the zeros valid as arenas migrate
+// between learners.
 type Conv2D struct {
 	Geom  tensor.ConvGeom
 	batch int
@@ -24,8 +31,8 @@ type Conv2D struct {
 	y  *tensor.Tensor
 	dx *tensor.Tensor
 
-	// Reusable batched scratch, allocated once for the layer's batch size:
-	// col/dcol hold the ColRows × batch·S column matrices, pack stages the
+	// Reusable batched scratch, planned for the layer's batch size: col/dcol
+	// hold the ColRows × batch·S column matrices, pack stages the
 	// OutC × batch·S GEMM operand (forward output, then dY in backward).
 	// col still holds im2col(x) from Forward when Backward runs, so the
 	// weight-gradient pass never recomputes it.
@@ -36,9 +43,19 @@ type Conv2D struct {
 	gwT      []float32 // ColRows × OutC staging for the transposed weight-grad GEMM
 	colFresh bool      // col currently holds im2col of c.x
 	colInit  bool      // col's static padding zeros are in place
+
+	// Hoisted kernel-loop closures (one allocation at construction instead
+	// of one per Forward/Backward call); dyd feeds the backward stage loop.
+	fwdLoop func(lo, hi int)
+	bwdLoop func(lo, hi int)
+	dyd     []float32
+
+	pbIn, pbCol, pbPack, pbPackT, pbGwT, pbDcol, pbY, pbDx *plannedBuf
 }
 
-// NewConv2D constructs a convolution layer. inShape is [C, H, W].
+// NewConv2D constructs a convolution layer. inShape is [C, H, W]. No
+// activation or scratch memory is allocated here — buffers are declared to
+// the network's memory planner (or lazily self-allocated on standalone use).
 func NewConv2D(batch int, inShape []int, outC, k, stride, pad int) *Conv2D {
 	g := tensor.ConvGeom{
 		InC: inShape[0], InH: inShape[1], InW: inShape[2],
@@ -46,18 +63,85 @@ func NewConv2D(batch int, inShape []int, outC, k, stride, pad int) *Conv2D {
 		StrideH: stride, StrideW: stride,
 		PadH: pad, PadW: pad,
 	}
-	ns := batch * g.ColCols()
-	return &Conv2D{
+	c := &Conv2D{
 		Geom:  g,
 		batch: batch,
-		y:     tensor.New(batch, outC, g.OutH(), g.OutW()),
-		dx:    tensor.New(batch, g.InC, g.InH, g.InW),
-		col:   make([]float32, g.ColRows()*ns),
-		dcol:  make([]float32, g.ColRows()*ns),
-		pack:  make([]float32, g.OutC*ns),
-		packT: make([]float32, ns*g.OutC),
-		gwT:   make([]float32, g.ColRows()*g.OutC),
+		y:     tensor.NewShell(batch, outC, g.OutH(), g.OutW()),
+		dx:    tensor.NewShell(batch, g.InC, g.InH, g.InW),
 	}
+	c.fwdLoop = c.unstageChunk
+	c.bwdLoop = c.stageChunk
+	return c
+}
+
+// ensure lazily allocates private buffers for standalone (arena-less) use.
+func (c *Conv2D) ensure() {
+	if c.col != nil {
+		return
+	}
+	g := c.Geom
+	ns := c.batch * g.ColCols()
+	c.col = make([]float32, g.ColRows()*ns)
+	c.dcol = make([]float32, g.ColRows()*ns)
+	c.pack = make([]float32, g.OutC*ns)
+	c.packT = make([]float32, ns*g.OutC)
+	c.gwT = make([]float32, g.ColRows()*g.OutC)
+	c.y.SetData(make([]float32, tensor.Volume(c.y.Shape())))
+	c.dx.SetData(make([]float32, tensor.Volume(c.dx.Shape())))
+	c.colInit, c.colFresh = false, false
+}
+
+func (c *Conv2D) planFwd(p *taskPlanner, in *plannedBuf) *plannedBuf {
+	g := c.Geom
+	ns := c.batch * g.ColCols()
+	c.pbIn = in
+	// im2col writes col (pinned: padding zeros are cross-task state), reading x.
+	c.pbCol = p.pin(p.slice("conv.col", &c.col, g.ColRows()*ns, bufActivation))
+	p.touch(in)
+	// Forward GEMM reads col, writes pack.
+	c.pbPack = p.slice("conv.pack", &c.pack, g.OutC*ns, bufScratch)
+	p.touch(c.pbCol)
+	// Un-staging reads pack, writes y.
+	c.pbY = p.shell("conv.y", c.y, bufActivation)
+	p.touch(c.pbPack)
+	return c.pbY
+}
+
+func (c *Conv2D) planBwd(p *taskPlanner, dout *plannedBuf) *plannedBuf {
+	g := c.Geom
+	ns := c.batch * g.ColCols()
+	// Sub-op rule (see memory.go): declare an op's outputs before touching
+	// its inputs, so an input's lifetime overlaps every output's and the
+	// planner can never overlay them.
+	p.touch(dout) // bias gradient reads dY
+	// Staging writes packT (and rewrites pack) while reading dY.
+	c.pbPackT = p.slice("conv.packT", &c.packT, ns*g.OutC, bufScratch)
+	p.touch(dout, c.pbPack)
+	// Weight-grad GEMM writes gwT reading col and packT; a stale col would
+	// re-read x first (shared-layer safety).
+	c.pbGwT = p.slice("conv.gwT", &c.gwT, g.ColRows()*g.OutC, bufScratch)
+	p.touch(c.pbIn)
+	p.touch(c.pbCol, c.pbPackT)
+	p.touch(c.pbGwT) // transposed accumulate into gw reads gwT
+	// Input-grad GEMM writes dcol reading pack (and w).
+	c.pbDcol = p.slice("conv.dcol", &c.dcol, g.ColRows()*ns, bufScratch)
+	p.touch(c.pbPack)
+	// col2im writes dx reading dcol.
+	c.pbDx = p.shell("conv.dx", c.dx, bufGradient)
+	p.touch(c.pbDcol)
+	return c.pbDx
+}
+
+// arenaReset revalidates col's cross-task state after an arena attach: every
+// arena pooled under this plan key has col's static padding zeros in place
+// (fresh blocks are zero-filled, used blocks were zeroed by this same layer
+// geometry, and AttachArena zeroes pinned ranges on first sight of any other
+// base), so the padding pass can be skipped from the first forward. col's
+// *interior* holds another task's values, so it is never fresh for this
+// layer's input.
+func (c *Conv2D) arenaReset() {
+	c.colInit = true
+	c.colFresh = false
 }
 
 func (c *Conv2D) Name() string { return "conv2d" }
@@ -84,9 +168,30 @@ func (c *Conv2D) InitParams(r *tensor.RNG, w []float32) {
 	tensor.InitConst(w[nw:nw+c.Geom.OutC], 0)
 }
 
+// unstageChunk copies pack rows [lo, hi) of the batch into NCHW order and
+// adds the bias (the forward un-staging loop).
+func (c *Conv2D) unstageChunk(lo, hi int) {
+	g := c.Geom
+	s := g.ColCols()
+	ns := c.batch * s
+	outVol := g.OutC * s
+	yd := c.y.Data()
+	for n := lo; n < hi; n++ {
+		for oc := 0; oc < g.OutC; oc++ {
+			src := c.pack[oc*ns+n*s : oc*ns+n*s+s]
+			dst := yd[n*outVol+oc*s : n*outVol+oc*s+s]
+			bias := c.b[oc]
+			for i, v := range src {
+				dst[i] = v + bias
+			}
+		}
+	}
+}
+
 func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	g := c.Geom
 	checkIn("conv2d", x, c.batch, []int{g.InC, g.InH, g.InW})
+	c.ensure()
 	c.x = x
 	s := g.ColCols()
 	ns := c.batch * s
@@ -98,20 +203,36 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	c.colFresh = true
 	tensor.Gemm(1, c.w, g.OutC, g.ColRows(), c.col, ns, 0, c.pack)
 	// Un-stage into NCHW and add the bias.
-	yd := c.y.Data()
-	tensor.ParallelFor(c.batch, 1+(1<<14)/max(1, outVol), func(lo, hi int) {
-		for n := lo; n < hi; n++ {
-			for oc := 0; oc < g.OutC; oc++ {
-				src := c.pack[oc*ns+n*s : oc*ns+n*s+s]
-				dst := yd[n*outVol+oc*s : n*outVol+oc*s+s]
-				bias := c.b[oc]
-				for i, v := range src {
-					dst[i] = v + bias
+	tensor.ParallelFor(c.batch, 1+(1<<14)/max(1, outVol), c.fwdLoop)
+	return c.y
+}
+
+// stageChunk stages dY rows [lo, hi) of the batch into pack (OutC × NS, for
+// the input-grad GEMM) and packT (NS × OutC, for the weight-grad GEMM).
+func (c *Conv2D) stageChunk(lo, hi int) {
+	g := c.Geom
+	s := g.ColCols()
+	ns := c.batch * s
+	outVol := g.OutC * s
+	dyd := c.dyd
+	for n := lo; n < hi; n++ {
+		for oc := 0; oc < g.OutC; oc++ {
+			dst := c.pack[oc*ns+n*s : oc*ns+n*s+s]
+			src := dyd[n*outVol+oc*s : n*outVol+oc*s+s]
+			if s < 16 {
+				for i := range dst {
+					dst[i] = src[i]
 				}
+			} else {
+				copy(dst, src)
+			}
+			ti := (n*s)*g.OutC + oc
+			for i := range src {
+				c.packT[ti] = src[i]
+				ti += g.OutC
 			}
 		}
-	})
-	return c.y
+	}
 }
 
 func (c *Conv2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
@@ -135,26 +256,8 @@ func (c *Conv2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	// Stage dY twice: pack (OutC × NS) feeds the input-grad GEMM, packT
 	// (NS × OutC) feeds the weight-grad GEMM as a directly streamable
 	// row-major operand.
-	tensor.ParallelFor(c.batch, 1+(1<<14)/max(1, outVol), func(lo, hi int) {
-		for n := lo; n < hi; n++ {
-			for oc := 0; oc < g.OutC; oc++ {
-				dst := c.pack[oc*ns+n*s : oc*ns+n*s+s]
-				src := dyd[n*outVol+oc*s : n*outVol+oc*s+s]
-				if s < 16 {
-					for i := range dst {
-						dst[i] = src[i]
-					}
-				} else {
-					copy(dst, src)
-				}
-				ti := (n*s)*g.OutC + oc
-				for i := range src {
-					c.packT[ti] = src[i]
-					ti += g.OutC
-				}
-			}
-		}
-	})
+	c.dyd = dyd
+	tensor.ParallelFor(c.batch, 1+(1<<14)/max(1, outVol), c.bwdLoop)
 	// Weight gradient: dW(OutC × ColRows) += dY(OutC × NS) · colᵀ. The
 	// forward pass already lowered x into col; recompute only if another
 	// forward ran since (shared-layer safety). The GEMM runs transposed —

@@ -15,15 +15,40 @@ type Dense struct {
 	x  *tensor.Tensor // cached input for backward
 	y  *tensor.Tensor
 	dx *tensor.Tensor
+
+	pbIn, pbY, pbDx *plannedBuf
 }
 
 // NewDense constructs a dense layer for a fixed batch size.
 func NewDense(batch, in, out int) *Dense {
 	return &Dense{
 		In: in, Out: out, batch: batch,
-		y:  tensor.New(batch, out),
-		dx: tensor.New(batch, in),
+		y:  tensor.NewShell(batch, out),
+		dx: tensor.NewShell(batch, in),
 	}
+}
+
+func (d *Dense) ensure() {
+	if d.y.HasData() {
+		return
+	}
+	d.y.SetData(make([]float32, tensor.Volume(d.y.Shape())))
+	d.dx.SetData(make([]float32, tensor.Volume(d.dx.Shape())))
+}
+
+func (d *Dense) planFwd(p *taskPlanner, in *plannedBuf) *plannedBuf {
+	d.pbIn = in
+	d.pbY = p.shell("dense.y", d.y, bufActivation)
+	p.touch(in) // forward GEMM reads x
+	return d.pbY
+}
+
+func (d *Dense) planBwd(p *taskPlanner, dout *plannedBuf) *plannedBuf {
+	// Weight/bias gradients read dY and the cached input; the input-grad
+	// GEMM reads dY and W while writing dx.
+	d.pbDx = p.shell("dense.dx", d.dx, bufGradient)
+	p.touch(dout, d.pbIn)
+	return d.pbDx
 }
 
 func (d *Dense) Name() string    { return "dense" }
@@ -44,6 +69,7 @@ func (d *Dense) InitParams(r *tensor.RNG, w []float32) {
 
 func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	checkIn("dense", x, d.batch, []int{d.In})
+	d.ensure()
 	d.x = x
 	// y = x (B×In) * Wᵀ (In×Out); W stored Out×In so use GemmTB.
 	tensor.GemmTB(1, x.Data(), d.batch, d.In, d.w, d.Out, 0, d.y.Data())

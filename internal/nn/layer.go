@@ -63,8 +63,21 @@ func shapeEq(a, b []int) bool {
 }
 
 func checkIn(name string, x *tensor.Tensor, batch int, inShape []int) {
-	want := append([]int{batch}, inShape...)
-	if !shapeEq(x.Shape(), want) {
-		panic(fmt.Sprintf("nn: %s: input shape %v, want %v", name, x.Shape(), want))
+	// Allocation-free on the happy path (this runs on every layer call of
+	// the training hot loop); the slice for the message is built only when
+	// the check fails.
+	s := x.Shape()
+	ok := len(s) == len(inShape)+1 && s[0] == batch
+	if ok {
+		for i, d := range inShape {
+			if s[i+1] != d {
+				ok = false
+				break
+			}
+		}
+	}
+	if !ok {
+		want := append([]int{batch}, inShape...)
+		panic(fmt.Sprintf("nn: %s: input shape %v, want %v", name, s, want))
 	}
 }

@@ -14,15 +14,36 @@ type SoftmaxCE struct {
 
 	probs *tensor.Tensor
 	dx    *tensor.Tensor
+
+	pbProbs, pbDx *plannedBuf
 }
 
-// NewSoftmaxCE constructs the loss for a fixed batch size.
+// NewSoftmaxCE constructs the loss for a fixed batch size. Buffers are
+// declared to the memory planner, not allocated here.
 func NewSoftmaxCE(batch, classes int) *SoftmaxCE {
 	return &SoftmaxCE{
 		Classes: classes, batch: batch,
-		probs: tensor.New(batch, classes),
-		dx:    tensor.New(batch, classes),
+		probs: tensor.NewShell(batch, classes),
+		dx:    tensor.NewShell(batch, classes),
 	}
+}
+
+func (s *SoftmaxCE) ensure() {
+	if s.probs.HasData() {
+		return
+	}
+	s.probs.SetData(make([]float32, s.batch*s.Classes))
+	s.dx.SetData(make([]float32, s.batch*s.Classes))
+}
+
+// planLoss declares the head's buffers: Loss writes probs and dx row by row
+// while reading the logits (so both outputs must coexist with them), and
+// Predictions may read probs back after the loss returns.
+func (s *SoftmaxCE) planLoss(p *taskPlanner, logits *plannedBuf) *plannedBuf {
+	s.pbProbs = p.shell("loss.probs", s.probs, bufActivation)
+	s.pbDx = p.shell("loss.dx", s.dx, bufGradient)
+	p.touch(logits, s.pbProbs)
+	return s.pbDx
 }
 
 // Loss computes the mean cross-entropy over the batch and the gradient with
@@ -32,6 +53,7 @@ func (s *SoftmaxCE) Loss(logits *tensor.Tensor, labels []int) (float64, *tensor.
 	if len(labels) != s.batch {
 		panic("nn: label count does not match batch size")
 	}
+	s.ensure()
 	ld, pd, dd := logits.Data(), s.probs.Data(), s.dx.Data()
 	var total float64
 	invB := float32(1) / float32(s.batch)

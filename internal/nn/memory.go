@@ -1,0 +1,406 @@
+package nn
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"crossbow/internal/memplan"
+	"crossbow/internal/tensor"
+)
+
+// This file is the bridge between the layer library and the §4.5 memory
+// planner: instead of allocating activations and scratch at construction,
+// layers *declare* their buffers to a task planner that walks one learning
+// task in execution order (forward layers, loss, backward layers — residual
+// internals included). The walk yields the real dataflow as a memplan.Graph
+// at sub-operator granularity (conv col/dcol/pack scratch, batch-norm
+// statistics, residual joins), memplan.PlanOffline turns it into a per-task
+// arena layout, and AttachArena binds every declared buffer to its planned
+// slice of one contiguous block.
+//
+// Correctness invariant: a buffer may carry *cross-task* state only if that
+// state is content-independent of which task wrote it. The single such
+// buffer is the conv im2col matrix, whose static padding zeros depend only
+// on layer geometry; it is planned as a pinned (exclusive) arena range so no
+// other operator can clobber the zeros, which is what lets arenas migrate
+// freely between learners through the shared online pools.
+
+// bufKind classifies planned buffers for footprint statistics.
+type bufKind uint8
+
+// Buffer classes.
+const (
+	bufActivation bufKind = iota // forward outputs and caches read by backward
+	bufScratch                   // lowering/staging scratch
+	bufGradient                  // backward outputs (dL/dx chain)
+)
+
+// plannedBuf is one declared buffer: its size, its [produce, last-access]
+// interval in the planning walk's tick order, and the layer field the
+// planned slice binds to (exactly one of dst, dstI32, t is set).
+type plannedBuf struct {
+	name   string
+	elems  int
+	kind   bufKind
+	pinned bool
+	prod   int // tick at which the buffer is (first) written
+	last   int // tick of the last access, read or write
+
+	dst    *[]float32
+	dstI32 *[]int32
+	t      *tensor.Tensor
+
+	off int // resolved arena offset, in elements
+}
+
+// taskPlanner drives one planning walk. Every declaration and every access
+// advances a global tick, so declaration order is execution order and the
+// lifetime intervals are exact.
+type taskPlanner struct {
+	tickN int
+	bufs  []*plannedBuf
+}
+
+func (p *taskPlanner) tick() int { t := p.tickN; p.tickN++; return t }
+
+func (p *taskPlanner) add(b *plannedBuf) *plannedBuf {
+	b.prod = p.tick()
+	b.last = b.prod
+	p.bufs = append(p.bufs, b)
+	return b
+}
+
+// slice declares a buffer bound to a []float32 layer field.
+func (p *taskPlanner) slice(name string, dst *[]float32, elems int, kind bufKind) *plannedBuf {
+	return p.add(&plannedBuf{name: name, elems: elems, kind: kind, dst: dst})
+}
+
+// int32s declares an index buffer bound to a []int32 layer field; it is
+// planned as float32 elements and attached through tensor.AsInt32.
+func (p *taskPlanner) int32s(name string, dst *[]int32, elems int, kind bufKind) *plannedBuf {
+	return p.add(&plannedBuf{name: name, elems: elems, kind: kind, dstI32: dst})
+}
+
+// shell declares a buffer backing a shell tensor.
+func (p *taskPlanner) shell(name string, t *tensor.Tensor, kind bufKind) *plannedBuf {
+	return p.add(&plannedBuf{name: name, elems: tensor.Volume(t.Shape()), kind: kind, t: t})
+}
+
+// pin marks a buffer as requiring an exclusive arena range (no slot sharing
+// in either direction): its cross-task content survives arena migration.
+func (p *taskPlanner) pin(b *plannedBuf) *plannedBuf {
+	b.pinned = true
+	return b
+}
+
+// touch records an access (read or write) to already-declared buffers at the
+// current point of the walk. Nil entries (buffers outside the arena, e.g.
+// the network input) are ignored.
+func (p *taskPlanner) touch(bufs ...*plannedBuf) {
+	t := p.tick()
+	for _, b := range bufs {
+		if b != nil && t > b.last {
+			b.last = t
+		}
+	}
+}
+
+// arenaLayer is implemented by every built-in layer: planFwd and planBwd
+// mirror Forward and Backward at buffer granularity, declaring outputs and
+// touching inputs in execution order. planFwd receives the layer's input
+// buffer (nil when it lives outside the arena) and returns its output
+// buffer; planBwd receives the incoming gradient buffer and returns the
+// layer's input-gradient buffer.
+//
+// Sub-op rule: declare ALL outputs of one kernel step before touching its
+// inputs. An input touched after the outputs outlives them in the interval
+// model, so the planner can never hand an output the input's slot — which
+// matters because kernels read their inputs interleaved with output writes
+// (batch-norm scans x across the whole channel loop, GEMMs stream operands
+// panel by panel).
+type arenaLayer interface {
+	planFwd(p *taskPlanner, in *plannedBuf) *plannedBuf
+	planBwd(p *taskPlanner, dout *plannedBuf) *plannedBuf
+}
+
+// arenaResetter is implemented by layers with cross-task buffer state to
+// revalidate when a (possibly different) arena is attached.
+type arenaResetter interface {
+	arenaReset()
+}
+
+// MemPlan is a network's planned task memory: the real dataflow graph, the
+// offline buffer assignment, and the arena layout derived from it.
+type MemPlan struct {
+	// Graph is the learning task's operator graph (shareable buffers only;
+	// pinned ranges are laid out after the planned region).
+	Graph *memplan.Graph
+	// Plan is the offline reference-count assignment over Graph.
+	Plan *memplan.Plan
+
+	bufs      []*plannedBuf
+	resetters []arenaResetter
+
+	// ArenaElems is the total arena size (planned + pinned) in elements.
+	ArenaElems int
+	// PlannedElems / PinnedElems split the arena into the shared-slot
+	// region and the exclusive ranges.
+	PlannedElems, PinnedElems int
+	// NaiveElems is the unplanned footprint: one slot per declared buffer.
+	NaiveElems int
+
+	key string
+}
+
+// ArenaBytes returns the planned per-task footprint in bytes.
+func (m *MemPlan) ArenaBytes() int64 { return int64(m.ArenaElems) * 4 }
+
+// NaiveBytes returns the footprint without buffer reuse.
+func (m *MemPlan) NaiveBytes() int64 { return int64(m.NaiveElems) * 4 }
+
+// Savings returns the fraction of the naive allocation the plan avoids.
+func (m *MemPlan) Savings() float64 {
+	if m.NaiveElems == 0 {
+		return 0
+	}
+	return 1 - float64(m.ArenaElems)/float64(m.NaiveElems)
+}
+
+// Buffers returns the number of declared buffers.
+func (m *MemPlan) Buffers() int { return len(m.bufs) }
+
+// Key identifies the plan's exact layout. Two networks share task arenas
+// through the online pools only when their keys match, which guarantees
+// every buffer sits at the same offset with the same geometry — the
+// invariant that makes pooled arenas interchangeable across learners.
+func (m *MemPlan) Key() string { return m.key }
+
+// KindElems returns the total elements declared under a buffer class.
+func (m *MemPlan) kindElems(k bufKind) int {
+	n := 0
+	for _, b := range m.bufs {
+		if b.kind == k {
+			n += b.elems
+		}
+	}
+	return n
+}
+
+// ActivationElems returns elements declared as activations (outputs and
+// forward caches) — the quantity §4.5's reuse attacks.
+func (m *MemPlan) ActivationElems() int { return m.kindElems(bufActivation) }
+
+// intervalsOverlap reports whether two planned buffers' lifetimes overlap.
+func intervalsOverlap(a, b *plannedBuf) bool {
+	return a.prod <= b.last && b.prod <= a.last
+}
+
+// checkPlan verifies the defining safety invariant against the *exact*
+// lifetime intervals of the planning walk (a stronger check than the graph
+// approximation): two buffers may share arena ranges only if their
+// intervals are disjoint. Pinned buffers must not overlap anything.
+func (m *MemPlan) checkPlan() error {
+	type rng struct{ lo, hi int }
+	ranges := make([]rng, len(m.bufs))
+	for i, b := range m.bufs {
+		ranges[i] = rng{b.off, b.off + b.elems}
+	}
+	for i, a := range m.bufs {
+		for j := i + 1; j < len(m.bufs); j++ {
+			b := m.bufs[j]
+			if ranges[i].lo >= ranges[j].hi || ranges[j].lo >= ranges[i].hi {
+				continue // disjoint arena ranges
+			}
+			if a.pinned || b.pinned {
+				return fmt.Errorf("nn: pinned buffer %s overlaps %s in the arena", a.name, b.name)
+			}
+			if intervalsOverlap(a, b) {
+				return fmt.Errorf("nn: buffers %s [%d,%d] and %s [%d,%d] share arena range with live overlap",
+					a.name, a.prod, a.last, b.name, b.prod, b.last)
+			}
+		}
+	}
+	return nil
+}
+
+// planMemory runs the planning walk over the network and lays out the arena.
+func (n *Network) planMemory() *MemPlan {
+	p := &taskPlanner{}
+	// Forward walk. The network input is staged by the data pipeline and
+	// lives outside the arena.
+	var cur *plannedBuf
+	for _, l := range n.layers {
+		al, ok := l.(arenaLayer)
+		if !ok {
+			// Foreign layer: it manages its own buffers; its input must stay
+			// live for its backward pass, which we cannot see — keep it live
+			// to the end of the task.
+			if cur != nil {
+				cur.last = 1 << 30
+			}
+			cur = nil
+			continue
+		}
+		cur = al.planFwd(p, cur)
+	}
+	// Loss head.
+	dcur := n.loss.planLoss(p, cur)
+	// Backward walk.
+	for i := len(n.layers) - 1; i >= 0; i-- {
+		al, ok := n.layers[i].(arenaLayer)
+		if !ok {
+			dcur = nil
+			continue
+		}
+		dcur = al.planBwd(p, dcur)
+	}
+
+	m := &MemPlan{bufs: p.bufs}
+	for _, l := range n.layers {
+		collectResetters(l, &m.resetters)
+	}
+
+	// Lower the walk into a memplan.Graph over the shareable buffers: one op
+	// per buffer in declaration (= production) order; each buffer's consumer
+	// is the first later op produced after its last access, so the offline
+	// planner frees its slot exactly when the walk says it is dead.
+	var share []*plannedBuf
+	for _, b := range m.bufs {
+		m.NaiveElems += b.elems
+		if b.pinned {
+			continue
+		}
+		share = append(share, b)
+	}
+	g := &memplan.Graph{Ops: make([]memplan.Op, len(share))}
+	for i, b := range share {
+		g.Ops[i] = memplan.Op{Name: b.name, OutBytes: int64(b.elems) * 4}
+	}
+	for i, b := range share {
+		for j := i + 1; j < len(share); j++ {
+			if share[j].prod > b.last {
+				g.Ops[j].Inputs = append(g.Ops[j].Inputs, i)
+				break
+			}
+		}
+		// No later producer: the buffer stays live to the end (PlanOffline's
+		// terminal-output rule keeps unread outputs allocated).
+	}
+	plan, err := memplan.PlanOffline(g)
+	if err != nil {
+		panic(fmt.Sprintf("nn: memory planning failed: %v", err))
+	}
+	m.Graph, m.Plan = g, plan
+
+	// Arena layout: planned slots first, then the pinned exclusive ranges.
+	slotOff := make([]int, len(plan.Buffers))
+	off := 0
+	for s, bytes := range plan.Buffers {
+		slotOff[s] = off
+		off += int(bytes / 4)
+	}
+	m.PlannedElems = off
+	for i, b := range share {
+		b.off = slotOff[plan.Assign[i]]
+	}
+	for _, b := range m.bufs {
+		if !b.pinned {
+			continue
+		}
+		b.off = off
+		off += b.elems
+		m.PinnedElems += b.elems
+	}
+	m.ArenaElems = off
+
+	if err := m.checkPlan(); err != nil {
+		panic(err)
+	}
+
+	// Layout key: batch, arena size and every (name, offset, size) triple.
+	h := fnv.New64a()
+	fmt.Fprintf(h, "b%d|%d", n.Batch, m.ArenaElems)
+	for _, b := range m.bufs {
+		fmt.Fprintf(h, "|%s@%d+%d", b.name, b.off, b.elems)
+	}
+	m.key = fmt.Sprintf("task/b%d/%016x", n.Batch, h.Sum64())
+	return m
+}
+
+// collectResetters flattens the layers needing arena-attach notification.
+func collectResetters(l Layer, out *[]arenaResetter) {
+	if r, ok := l.(*Residual); ok {
+		for _, inner := range r.Operators() {
+			collectResetters(inner, out)
+		}
+	}
+	if rs, ok := l.(arenaResetter); ok {
+		*out = append(*out, rs)
+	}
+}
+
+// MemPlan returns the network's planned task memory, computing it on first
+// use. The plan is structural: it depends only on the layer stack and batch
+// size, never on parameters or data.
+func (n *Network) MemPlan() *MemPlan {
+	if n.memPlan == nil {
+		n.memPlan = n.planMemory()
+	}
+	return n.memPlan
+}
+
+// AttachArena binds every planned buffer to its slice of the given arena,
+// which must hold at least MemPlan().ArenaElems elements. Layers whose
+// buffers were privately (lazily) allocated are rebound to the arena.
+// Attaching is cheap and allocation-free in steady state, so the runtime
+// re-attaches per learning task as arenas circulate through the shared
+// §4.5 pools; arenas produced for the same plan key are fully
+// interchangeable. Re-attaching the already-attached arena is a no-op.
+//
+// The first time this network sees a given arena base, the plan's pinned
+// ranges are zeroed: pinned buffers (the conv im2col matrices) rely on
+// their static padding zeros surviving across tasks, and zeroing on first
+// sight makes even a dirty caller-supplied ArenaOf block safe — pool
+// buffers and fresh arenas are already zero-filled, so for them this is a
+// once-per-(network, arena) memset of memory that is about to be used
+// anyway.
+func (n *Network) AttachArena(a tensor.Arena) {
+	m := n.MemPlan()
+	if a.Len() < m.ArenaElems {
+		panic(fmt.Sprintf("nn: arena holds %d elements, plan needs %d", a.Len(), m.ArenaElems))
+	}
+	base := a.Base()
+	if base != nil && base == n.arenaBase {
+		return
+	}
+	if base != nil && !n.seenArenas[base] {
+		if n.seenArenas == nil {
+			n.seenArenas = make(map[*float32]bool)
+		}
+		for _, b := range m.bufs {
+			if b.pinned {
+				clear(a.Slice(b.off, b.elems))
+			}
+		}
+		n.seenArenas[base] = true
+	}
+	for _, b := range m.bufs {
+		s := a.Slice(b.off, b.elems)
+		switch {
+		case b.dst != nil:
+			*b.dst = s
+		case b.dstI32 != nil:
+			*b.dstI32 = tensor.AsInt32(s)
+		default:
+			b.t.SetData(s)
+		}
+	}
+	for _, r := range m.resetters {
+		r.arenaReset()
+	}
+	n.arenaBase = base
+}
+
+// ArenaAttached reports whether the network currently executes against an
+// attached arena (as opposed to lazily self-allocated private buffers).
+func (n *Network) ArenaAttached() bool { return n.arenaBase != nil }

@@ -38,6 +38,67 @@ var ScaledConfigs = map[ModelID]ScaledConfig{
 	ResNet50: {Input: []int{3, 8, 8}, Classes: 10},
 }
 
+// BuildFull constructs the *full-scale* benchmark architecture (paper
+// Table 1) as a real layer stack. Since layers declare buffers to the memory
+// planner instead of allocating them, building a full-scale network is
+// cheap: the result's MemPlan describes the true per-learner footprint —
+// conv lowering scratch, batch-norm statistics and residual joins included —
+// which the auto-tuner's memory cap is derived from (§4.5). Training it
+// would require attaching a (multi-GB) arena; the planner never does.
+func BuildFull(id ModelID, batch int) *Network {
+	spec := FullSpec(id)
+	b := NewBuilder(batch, []int{spec.Input[0], spec.Input[1], spec.Input[2]}, spec.Classes, tensor.NewRNG(1))
+	switch id {
+	case LeNet:
+		b.Conv(32, 5, 1, 2).ReLU().MaxPool(2).
+			Conv(64, 5, 1, 2).ReLU().MaxPool(2).
+			Flatten().Dense(300).ReLU().Dense(10)
+	case ResNet32:
+		b.Conv(16, 3, 1, 1).BN().ReLU()
+		for i := 0; i < 5; i++ {
+			b.BasicBlock(16, 1)
+		}
+		b.BasicBlock(32, 2)
+		for i := 0; i < 4; i++ {
+			b.BasicBlock(32, 1)
+		}
+		b.BasicBlock(64, 2)
+		for i := 0; i < 4; i++ {
+			b.BasicBlock(64, 1)
+		}
+		b.GlobalAvgPool().Dense(10)
+	case VGG16:
+		widths := [][]int{{64, 64}, {128, 128}, {256, 256, 256}, {512, 512, 512}, {512, 512, 512}}
+		for _, stage := range widths {
+			for _, w := range stage {
+				b.Conv(w, 3, 1, 1).BN().ReLU()
+			}
+			b.MaxPool(2)
+		}
+		b.Flatten().Dense(512).ReLU().Dropout(0.5).Dense(100)
+	case ResNet50:
+		b.Conv(64, 7, 2, 3).BN().ReLU().MaxPool(2)
+		stages := []struct {
+			mid, out, blocks, stride int
+		}{
+			{64, 256, 3, 1},
+			{128, 512, 4, 2},
+			{256, 1024, 6, 2},
+			{512, 2048, 3, 2},
+		}
+		for _, st := range stages {
+			b.BottleneckBlock(st.mid, st.out, st.stride)
+			for i := 1; i < st.blocks; i++ {
+				b.BottleneckBlock(st.mid, st.out, 1)
+			}
+		}
+		b.GlobalAvgPool().Dense(1000)
+	default:
+		panic(fmt.Sprintf("nn: unknown model %q", id))
+	}
+	return b.Build()
+}
+
 // BuildScaled constructs the scaled trainable network for a benchmark model
 // at the given batch size. rng drives stochastic layers (dropout).
 func BuildScaled(id ModelID, batch int, rng *tensor.RNG) *Network {

@@ -20,6 +20,15 @@ type Network struct {
 	size   int
 
 	boundW []float32 // currently bound parameter vector (for sanity checks)
+
+	// Planned task memory (computed lazily; see memory.go). arenaBase
+	// identifies the currently attached arena so re-attachment is a no-op;
+	// seenArenas tracks bases whose pinned ranges this network has zeroed.
+	memPlan    *MemPlan
+	arenaBase  *float32
+	seenArenas map[*float32]bool
+
+	preds []int // Evaluate's prediction scratch, allocated once
 }
 
 // Builder accumulates layers, threading the evolving per-sample shape so
@@ -228,7 +237,10 @@ func (n *Network) LossAndGrad(x *tensor.Tensor, labels []int) float64 {
 func (n *Network) Evaluate(x *tensor.Tensor, labels []int) int {
 	logits := n.Forward(x, false)
 	_, _ = n.loss.Loss(logits, labels)
-	preds := n.loss.Predictions(nil)
+	if n.preds == nil {
+		n.preds = make([]int, n.Batch) // once per network, not per batch
+	}
+	preds := n.loss.Predictions(n.preds)
 	correct := 0
 	for i, p := range preds {
 		if p == labels[i] {

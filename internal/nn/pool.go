@@ -12,78 +12,117 @@ type MaxPool struct {
 	inC, inH, inW int
 	outH, outW    int
 
-	argmax []int32 // flat input index of each output's max
+	argmax []int32 // flat input index of each output's max (planned as float32 storage)
 	y      *tensor.Tensor
 	dx     *tensor.Tensor
+
+	fwdLoop func(lo, hi int)
+	bwdLoop func(lo, hi int)
+	xd, dyd []float32
+
+	pbArg, pbY, pbDx *plannedBuf
 }
 
 // NewMaxPool constructs a max-pool layer with window and stride k.
 func NewMaxPool(batch int, inShape []int, k int) *MaxPool {
 	c, h, w := inShape[0], inShape[1], inShape[2]
 	oh, ow := h/k, w/k
-	return &MaxPool{
+	p := &MaxPool{
 		K: k, batch: batch, inC: c, inH: h, inW: w, outH: oh, outW: ow,
-		argmax: make([]int32, batch*c*oh*ow),
-		y:      tensor.New(batch, c, oh, ow),
-		dx:     tensor.New(batch, c, h, w),
+		y:  tensor.NewShell(batch, c, oh, ow),
+		dx: tensor.NewShell(batch, c, h, w),
 	}
+	p.fwdLoop = p.forwardChunk
+	p.bwdLoop = p.backwardChunk
+	return p
+}
+
+func (p *MaxPool) ensure() {
+	if p.argmax != nil {
+		return
+	}
+	p.argmax = make([]int32, p.batch*p.inC*p.outH*p.outW)
+	p.y.SetData(make([]float32, tensor.Volume(p.y.Shape())))
+	p.dx.SetData(make([]float32, tensor.Volume(p.dx.Shape())))
+}
+
+func (p *MaxPool) planFwd(pl *taskPlanner, in *plannedBuf) *plannedBuf {
+	p.pbArg = pl.int32s("maxpool.argmax", &p.argmax, p.batch*p.inC*p.outH*p.outW, bufActivation)
+	p.pbY = pl.shell("maxpool.y", p.y, bufActivation)
+	pl.touch(in)
+	return p.pbY
+}
+
+func (p *MaxPool) planBwd(pl *taskPlanner, dout *plannedBuf) *plannedBuf {
+	p.pbDx = pl.shell("maxpool.dx", p.dx, bufGradient)
+	pl.touch(dout, p.pbArg)
+	return p.pbDx
 }
 
 func (p *MaxPool) Name() string    { return "maxpool" }
 func (p *MaxPool) OutShape() []int { return []int{p.inC, p.outH, p.outW} }
 
-func (p *MaxPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	checkIn("maxpool", x, p.batch, []int{p.inC, p.inH, p.inW})
-	xd, yd := x.Data(), p.y.Data()
+func (p *MaxPool) forwardChunk(lo, hi int) {
+	xd, yd := p.xd, p.y.Data()
 	planeOut := p.outH * p.outW
-	// Samples write disjoint output ranges, so batch-parallel execution is
-	// bit-deterministic at any worker count.
-	tensor.ParallelFor(p.batch, 1+(1<<13)/max(1, p.inC*planeOut), func(lo, hi int) {
-		for n := lo; n < hi; n++ {
-			oi := n * p.inC * planeOut
-			for c := 0; c < p.inC; c++ {
-				base := (n*p.inC + c) * p.inH * p.inW
-				for oh := 0; oh < p.outH; oh++ {
-					for ow := 0; ow < p.outW; ow++ {
-						best := float32(0)
-						bi := -1
-						for kh := 0; kh < p.K; kh++ {
-							row := base + (oh*p.K+kh)*p.inW + ow*p.K
-							for kw := 0; kw < p.K; kw++ {
-								if v := xd[row+kw]; bi < 0 || v > best {
-									best, bi = v, row+kw
-								}
+	for n := lo; n < hi; n++ {
+		oi := n * p.inC * planeOut
+		for c := 0; c < p.inC; c++ {
+			base := (n*p.inC + c) * p.inH * p.inW
+			for oh := 0; oh < p.outH; oh++ {
+				for ow := 0; ow < p.outW; ow++ {
+					best := float32(0)
+					bi := -1
+					for kh := 0; kh < p.K; kh++ {
+						row := base + (oh*p.K+kh)*p.inW + ow*p.K
+						for kw := 0; kw < p.K; kw++ {
+							if v := xd[row+kw]; bi < 0 || v > best {
+								best, bi = v, row+kw
 							}
 						}
-						yd[oi] = best
-						p.argmax[oi] = int32(bi)
-						oi++
 					}
+					yd[oi] = best
+					p.argmax[oi] = int32(bi)
+					oi++
 				}
 			}
 		}
-	})
+	}
+}
+
+func (p *MaxPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkIn("maxpool", x, p.batch, []int{p.inC, p.inH, p.inW})
+	p.ensure()
+	p.xd = x.Data()
+	planeOut := p.outH * p.outW
+	// Samples write disjoint output ranges, so batch-parallel execution is
+	// bit-deterministic at any worker count.
+	tensor.ParallelFor(p.batch, 1+(1<<13)/max(1, p.inC*planeOut), p.fwdLoop)
 	return p.y
 }
 
-func (p *MaxPool) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	dyd, dxd := dy.Data(), p.dx.Data()
+func (p *MaxPool) backwardChunk(lo, hi int) {
+	dyd, dxd := p.dyd, p.dx.Data()
 	planeOut := p.outH * p.outW
+	inVol := p.inC * p.inH * p.inW
+	for n := lo; n < hi; n++ {
+		dst := dxd[n*inVol : (n+1)*inVol]
+		for i := range dst {
+			dst[i] = 0
+		}
+		o0 := n * p.inC * planeOut
+		for i := o0; i < o0+p.inC*planeOut; i++ {
+			dxd[p.argmax[i]] += dyd[i]
+		}
+	}
+}
+
+func (p *MaxPool) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	p.dyd = dy.Data()
 	inVol := p.inC * p.inH * p.inW
 	// Pooling windows are disjoint (stride == window), so each sample's
 	// argmax entries scatter into its own dx block only.
-	tensor.ParallelFor(p.batch, 1+(1<<13)/max(1, inVol), func(lo, hi int) {
-		for n := lo; n < hi; n++ {
-			dst := dxd[n*inVol : (n+1)*inVol]
-			for i := range dst {
-				dst[i] = 0
-			}
-			o0 := n * p.inC * planeOut
-			for i := o0; i < o0+p.inC*planeOut; i++ {
-				dxd[p.argmax[i]] += dyd[i]
-			}
-		}
-	})
+	tensor.ParallelFor(p.batch, 1+(1<<13)/max(1, inVol), p.bwdLoop)
 	return p.dx
 }
 
@@ -94,50 +133,88 @@ type GlobalAvgPool struct {
 	batch, c, h, w int
 	y              *tensor.Tensor
 	dx             *tensor.Tensor
+
+	fwdLoop func(lo, hi int)
+	bwdLoop func(lo, hi int)
+	xd, dyd []float32
+
+	pbY, pbDx *plannedBuf
 }
 
 // NewGlobalAvgPool constructs a global average pooling layer.
 func NewGlobalAvgPool(batch int, inShape []int) *GlobalAvgPool {
 	c, h, w := inShape[0], inShape[1], inShape[2]
-	return &GlobalAvgPool{
+	p := &GlobalAvgPool{
 		batch: batch, c: c, h: h, w: w,
-		y:  tensor.New(batch, c),
-		dx: tensor.New(batch, c, h, w),
+		y:  tensor.NewShell(batch, c),
+		dx: tensor.NewShell(batch, c, h, w),
 	}
+	p.fwdLoop = p.forwardChunk
+	p.bwdLoop = p.backwardChunk
+	return p
+}
+
+func (p *GlobalAvgPool) ensure() {
+	if p.y.HasData() {
+		return
+	}
+	p.y.SetData(make([]float32, tensor.Volume(p.y.Shape())))
+	p.dx.SetData(make([]float32, tensor.Volume(p.dx.Shape())))
+}
+
+func (p *GlobalAvgPool) planFwd(pl *taskPlanner, in *plannedBuf) *plannedBuf {
+	p.pbY = pl.shell("gavgpool.y", p.y, bufActivation)
+	pl.touch(in)
+	return p.pbY
+}
+
+func (p *GlobalAvgPool) planBwd(pl *taskPlanner, dout *plannedBuf) *plannedBuf {
+	p.pbDx = pl.shell("gavgpool.dx", p.dx, bufGradient)
+	pl.touch(dout)
+	return p.pbDx
 }
 
 func (p *GlobalAvgPool) Name() string    { return "gavgpool" }
 func (p *GlobalAvgPool) OutShape() []int { return []int{p.c} }
 
-func (p *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	checkIn("gavgpool", x, p.batch, []int{p.c, p.h, p.w})
-	xd, yd := x.Data(), p.y.Data()
+func (p *GlobalAvgPool) forwardChunk(lo, hi int) {
+	xd, yd := p.xd, p.y.Data()
 	plane := p.h * p.w
 	inv := 1 / float32(plane)
-	tensor.ParallelFor(p.batch*p.c, 1+(1<<13)/max(1, plane), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			var s float32
-			for _, v := range xd[i*plane : (i+1)*plane] {
-				s += v
-			}
-			yd[i] = s * inv
+	for i := lo; i < hi; i++ {
+		var s float32
+		for _, v := range xd[i*plane : (i+1)*plane] {
+			s += v
 		}
-	})
+		yd[i] = s * inv
+	}
+}
+
+func (p *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkIn("gavgpool", x, p.batch, []int{p.c, p.h, p.w})
+	p.ensure()
+	p.xd = x.Data()
+	plane := p.h * p.w
+	tensor.ParallelFor(p.batch*p.c, 1+(1<<13)/max(1, plane), p.fwdLoop)
 	return p.y
 }
 
-func (p *GlobalAvgPool) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	dyd, dxd := dy.Data(), p.dx.Data()
+func (p *GlobalAvgPool) backwardChunk(lo, hi int) {
+	dyd, dxd := p.dyd, p.dx.Data()
 	plane := p.h * p.w
 	inv := 1 / float32(plane)
-	tensor.ParallelFor(p.batch*p.c, 1+(1<<13)/max(1, plane), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			g := dyd[i] * inv
-			row := dxd[i*plane : (i+1)*plane]
-			for j := range row {
-				row[j] = g
-			}
+	for i := lo; i < hi; i++ {
+		g := dyd[i] * inv
+		row := dxd[i*plane : (i+1)*plane]
+		for j := range row {
+			row[j] = g
 		}
-	})
+	}
+}
+
+func (p *GlobalAvgPool) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	p.dyd = dy.Data()
+	plane := p.h * p.w
+	tensor.ParallelFor(p.batch*p.c, 1+(1<<13)/max(1, plane), p.bwdLoop)
 	return p.dx
 }

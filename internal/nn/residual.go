@@ -17,10 +17,18 @@ type Residual struct {
 	batch    int
 	outShape []int
 
-	sum  *tensor.Tensor
 	y    *tensor.Tensor
 	dsum *tensor.Tensor
 	dx   *tensor.Tensor
+
+	fwdLoop  func(lo, hi int)
+	maskLoop func(lo, hi int)
+	combLoop func(lo, hi int)
+	fd, sd   []float32 // branch/shortcut outputs for the join loop
+	dyd      []float32 // incoming gradient for the mask loop
+	dbd, dsd []float32 // branch/shortcut input-gradients for the combine loop
+
+	pbIn, pbY, pbDsum, pbDx *plannedBuf
 }
 
 // NewResidual builds a residual block. branch must be non-empty; shortcut
@@ -41,14 +49,94 @@ func NewResidual(batch int, inShape []int, branch, shortcut []Layer) *Residual {
 		}
 	}
 	full := append([]int{batch}, out...)
-	return &Residual{
+	r := &Residual{
 		branch: branch, shortcut: shortcut, batch: batch,
 		outShape: append([]int(nil), out...),
-		sum:      tensor.New(full...),
-		y:        tensor.New(full...),
-		dsum:     tensor.New(full...),
-		dx:       tensor.New(append([]int{batch}, inShape...)...),
+		y:        tensor.NewShell(full...),
+		dsum:     tensor.NewShell(full...),
+		dx:       tensor.NewShell(append([]int{batch}, inShape...)...),
 	}
+	r.fwdLoop = r.joinChunk
+	r.maskLoop = r.maskChunk
+	r.combLoop = r.combineChunk
+	return r
+}
+
+func (r *Residual) ensure() {
+	if r.y.HasData() {
+		return
+	}
+	n := tensor.Volume(r.y.Shape())
+	r.y.SetData(make([]float32, n))
+	r.dsum.SetData(make([]float32, n))
+	r.dx.SetData(make([]float32, tensor.Volume(r.dx.Shape())))
+}
+
+// planFwd walks the branch and shortcut forward passes, then declares the
+// join's masked output — the residual-join buffer the §4.5 graph must see
+// explicitly, because both inner outputs stay live until the join.
+func (r *Residual) planFwd(p *taskPlanner, in *plannedBuf) *plannedBuf {
+	r.pbIn = in
+	f := in
+	for _, l := range r.branch {
+		f = planLayerFwd(p, l, f)
+	}
+	s := in
+	for _, l := range r.shortcut {
+		s = planLayerFwd(p, l, s)
+	}
+	// Join reads both paths' outputs (the identity skip reads the block
+	// input directly) and writes y. Outputs declared before the input
+	// touches (memory.go's sub-op rule).
+	r.pbY = p.shell("residual.y", r.y, bufActivation)
+	p.touch(f, s)
+	if len(r.shortcut) == 0 {
+		p.touch(in)
+	}
+	return r.pbY
+}
+
+func (r *Residual) planBwd(p *taskPlanner, dout *plannedBuf) *plannedBuf {
+	// Mask: reads dY and the cached output, writes dsum.
+	r.pbDsum = p.shell("residual.dsum", r.dsum, bufGradient)
+	p.touch(dout, r.pbY)
+	// Branch backward chain, seeded by dsum, then the shortcut chain —
+	// dsum must stay live across both, which the walk records naturally.
+	db := r.pbDsum
+	for i := len(r.branch) - 1; i >= 0; i-- {
+		db = planLayerBwd(p, r.branch[i], db)
+	}
+	ds := r.pbDsum
+	for i := len(r.shortcut) - 1; i >= 0; i-- {
+		ds = planLayerBwd(p, r.shortcut[i], ds)
+	}
+	// Combine reads both input-gradients (the identity case reads dsum)
+	// while writing dx.
+	r.pbDx = p.shell("residual.dx", r.dx, bufGradient)
+	p.touch(db, ds)
+	if len(r.shortcut) == 0 {
+		p.touch(r.pbDsum)
+	}
+	return r.pbDx
+}
+
+// planLayerFwd/planLayerBwd plan one inner layer, treating non-planning
+// layers like the network planner does (input pinned live, output opaque).
+func planLayerFwd(p *taskPlanner, l Layer, in *plannedBuf) *plannedBuf {
+	if al, ok := l.(arenaLayer); ok {
+		return al.planFwd(p, in)
+	}
+	if in != nil {
+		in.last = 1 << 30
+	}
+	return nil
+}
+
+func planLayerBwd(p *taskPlanner, l Layer, dout *plannedBuf) *plannedBuf {
+	if al, ok := l.(arenaLayer); ok {
+		return al.planBwd(p, dout)
+	}
+	return nil
 }
 
 func (r *Residual) Name() string    { return "residual" }
@@ -93,7 +181,23 @@ func (r *Residual) InitParams(rng *tensor.RNG, w []float32) {
 	}
 }
 
+// joinChunk fuses the residual add with the ReLU. Only the masked output is
+// kept: y > 0 ⇔ the pre-activation sum was positive, so backward needs no
+// separate sum buffer.
+func (r *Residual) joinChunk(lo, hi int) {
+	sd, fd, yd := r.sd, r.fd, r.y.Data()
+	for i := lo; i < hi; i++ {
+		v := fd[i] + sd[i]
+		if v > 0 {
+			yd[i] = v
+		} else {
+			yd[i] = 0
+		}
+	}
+}
+
 func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	r.ensure()
 	f := x
 	for _, l := range r.branch {
 		f = l.Forward(f, train)
@@ -102,34 +206,34 @@ func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	for _, l := range r.shortcut {
 		s = l.Forward(s, train)
 	}
-	sd, fd, sumd, yd := s.Data(), f.Data(), r.sum.Data(), r.y.Data()
-	tensor.ParallelFor(len(sumd), 8192, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			v := fd[i] + sd[i]
-			sumd[i] = v
-			if v > 0 {
-				yd[i] = v
-			} else {
-				yd[i] = 0
-			}
-		}
-	})
+	r.fd, r.sd = f.Data(), s.Data()
+	tensor.ParallelFor(r.y.Len(), 8192, r.fwdLoop)
 	return r.y
 }
 
-func (r *Residual) Backward(dy *tensor.Tensor) *tensor.Tensor {
+func (r *Residual) maskChunk(lo, hi int) {
 	// y > 0 ⇔ the pre-activation sum was positive: the cached output is the
 	// gradient mask.
-	dyd, dsumd, yd := dy.Data(), r.dsum.Data(), r.y.Data()
-	tensor.ParallelFor(len(dsumd), 8192, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			if yd[i] > 0 {
-				dsumd[i] = dyd[i]
-			} else {
-				dsumd[i] = 0
-			}
+	dyd, dsumd, yd := r.dyd, r.dsum.Data(), r.y.Data()
+	for i := lo; i < hi; i++ {
+		if yd[i] > 0 {
+			dsumd[i] = dyd[i]
+		} else {
+			dsumd[i] = 0
 		}
-	})
+	}
+}
+
+func (r *Residual) combineChunk(lo, hi int) {
+	dbd, dsd, dxd := r.dbd, r.dsd, r.dx.Data()
+	for i := lo; i < hi; i++ {
+		dxd[i] = dbd[i] + dsd[i]
+	}
+}
+
+func (r *Residual) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	r.dyd = dy.Data()
+	tensor.ParallelFor(r.dsum.Len(), 8192, r.maskLoop)
 	// Branch path.
 	db := r.dsum
 	for i := len(r.branch) - 1; i >= 0; i-- {
@@ -140,17 +244,13 @@ func (r *Residual) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	for i := len(r.shortcut) - 1; i >= 0; i-- {
 		ds = r.shortcut[i].Backward(ds)
 	}
-	dbd, dsd, dxd := db.Data(), ds.Data(), r.dx.Data()
+	r.dbd, r.dsd = db.Data(), ds.Data()
 	if len(r.shortcut) == 0 {
 		// Identity skip: ds is dsum itself, shaped like the output, which
 		// equals the input shape in this case.
-		dsd = r.dsum.Data()
+		r.dsd = r.dsum.Data()
 	}
-	tensor.ParallelFor(len(dxd), 8192, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			dxd[i] = dbd[i] + dsd[i]
-		}
-	})
+	tensor.ParallelFor(r.dx.Len(), 8192, r.combLoop)
 	return r.dx
 }
 

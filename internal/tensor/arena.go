@@ -1,0 +1,56 @@
+package tensor
+
+import "fmt"
+
+// Arena is a contiguous block of float32 memory from which planned buffers
+// are carved at fixed offsets (§4.5: one learning task executes against one
+// planned allocation instead of per-operator mallocs). Arena is a value type
+// wrapping the backing slice, so passing and re-wrapping arenas never
+// allocates; the zero value is an empty arena.
+//
+// The arena itself is policy-free: the memory planner (internal/memplan via
+// internal/nn's task planner) decides which sub-range each buffer occupies,
+// and Slice hands the range out with a full-slice expression so out-of-plan
+// writes past a buffer's end fault instead of corrupting a neighbour.
+type Arena struct {
+	data []float32
+}
+
+// NewArena allocates a zero-filled arena of the given element count.
+func NewArena(elems int) Arena {
+	if elems < 0 {
+		panic(fmt.Sprintf("tensor: NewArena(%d)", elems))
+	}
+	return Arena{data: make([]float32, elems)}
+}
+
+// ArenaOf wraps an existing block (e.g. a pooled buffer) as an arena. The
+// slice is used directly, not copied.
+func ArenaOf(data []float32) Arena { return Arena{data: data} }
+
+// Len returns the arena's element count.
+func (a Arena) Len() int { return len(a.data) }
+
+// Data returns the backing slice.
+func (a Arena) Data() []float32 { return a.data }
+
+// Base returns a pointer to the arena's first element (nil when empty), the
+// cheap identity test callers use to skip re-binding an already-attached
+// arena.
+func (a Arena) Base() *float32 {
+	if len(a.data) == 0 {
+		return nil
+	}
+	return &a.data[0]
+}
+
+// Slice returns the planned sub-buffer [off, off+elems). The result's
+// capacity is clipped to its length, so a kernel overrunning one buffer
+// cannot silently scribble on the next planned range.
+func (a Arena) Slice(off, elems int) []float32 {
+	if off < 0 || elems < 0 || off+elems > len(a.data) {
+		panic(fmt.Sprintf("tensor: arena slice [%d, %d+%d) outside %d elements",
+			off, off, elems, len(a.data)))
+	}
+	return a.data[off : off+elems : off+elems]
+}

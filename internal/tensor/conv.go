@@ -65,6 +65,18 @@ func Im2colBatch(g ConvGeom, batch int, x, col []float32, skipPad bool) {
 		panic("tensor: Im2colBatch buffer too small")
 	}
 	ld := batch * s
+	if Parallelism() == 1 {
+		// Serial fast path: same loop, no closure materialised — the
+		// single-worker hot path stays allocation-free.
+		for n := 0; n < batch; n++ {
+			if skipPad {
+				im2colInterior(g, x[n*inVol:(n+1)*inVol], col, ld, n*s)
+			} else {
+				im2colStrided(g, x[n*inVol:(n+1)*inVol], col, ld, n*s)
+			}
+		}
+		return
+	}
 	grain := 1 + (1 << 14 / max(1, g.ColRows()*s))
 	ParallelFor(batch, grain, func(lo, hi int) {
 		for n := lo; n < hi; n++ {
@@ -262,6 +274,17 @@ func Col2imBatch(g ConvGeom, batch int, col, x []float32) {
 		panic("tensor: Col2imBatch buffer too small")
 	}
 	ld := batch * s
+	if Parallelism() == 1 {
+		// Serial fast path: no closure (see Im2colBatch).
+		for n := 0; n < batch; n++ {
+			dst := x[n*inVol : (n+1)*inVol]
+			for i := range dst {
+				dst[i] = 0
+			}
+			col2imStrided(g, col, ld, n*s, dst)
+		}
+		return
+	}
 	grain := 1 + (1 << 14 / max(1, g.ColRows()*s))
 	ParallelFor(batch, grain, func(lo, hi int) {
 		for n := lo; n < hi; n++ {

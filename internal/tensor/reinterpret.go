@@ -1,0 +1,16 @@
+package tensor
+
+import "unsafe"
+
+// AsInt32 reinterprets a float32 slice as int32 storage of the same length.
+// The memory planner deals exclusively in float32 elements; index-valued
+// buffers (max-pool argmax) are planned as float32 ranges and viewed through
+// this cast, which is safe because float32 and int32 share size and
+// alignment. The two views alias: writes through one are visible through the
+// other.
+func AsInt32(s []float32) []int32 {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&s[0])), len(s))
+}

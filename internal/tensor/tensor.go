@@ -26,6 +26,13 @@ func New(shape ...int) *Tensor {
 	return &Tensor{shape: cloneShape(shape), data: make([]float32, n)}
 }
 
+// NewShell returns a tensor with the given shape and no backing data yet.
+// Shell tensors carry layout while the memory planner decides where the
+// elements live; attach storage with SetData before any element access.
+func NewShell(shape ...int) *Tensor {
+	return &Tensor{shape: cloneShape(shape)}
+}
+
 // FromSlice wraps data in a tensor with the given shape. The slice is used
 // directly (not copied); its length must equal the shape volume.
 func FromSlice(data []float32, shape ...int) *Tensor {
@@ -63,6 +70,19 @@ func (t *Tensor) Shape() []int { return t.shape }
 
 // Data returns the backing slice. Mutating it mutates the tensor.
 func (t *Tensor) Data() []float32 { return t.data }
+
+// SetData rebinds the tensor to new backing storage of exactly the shape's
+// volume — how planned (arena) buffers are attached to a layer's stable
+// tensor objects without allocating.
+func (t *Tensor) SetData(data []float32) {
+	if len(data) != Volume(t.shape) {
+		panic(fmt.Sprintf("tensor: SetData length %d does not match shape %v", len(data), t.shape))
+	}
+	t.data = data
+}
+
+// HasData reports whether backing storage is attached.
+func (t *Tensor) HasData() bool { return t.data != nil }
 
 // Len returns the number of elements.
 func (t *Tensor) Len() int { return len(t.data) }

@@ -107,6 +107,7 @@ func trainCluster(cfg Config) (*Result, error) {
 		TestSamples:       cfg.TestSamples,
 		Scheduler:         cfg.Scheduler,
 		Prefetch:          cfg.Prefetch,
+		MemoryBudget:      cfg.MemoryBudget,
 	})
 	res.Series = tr.Series
 	res.EpochsToTarget = tr.EpochsToTarget
@@ -116,6 +117,7 @@ func trainCluster(cfg Config) (*Result, error) {
 	res.Wall = tr.Wall
 	res.WallImagesPerSec = metrics.MeanImagesPerSec(tr.Wall)
 	res.RuntimeStats = tr.RuntimeStats
+	res.Mem = tr.Mem
 	res.TTASeconds = -1
 	if cfg.TargetAccuracy > 0 {
 		if t, ok := metrics.TTA(tr.Series, cfg.TargetAccuracy); ok {
