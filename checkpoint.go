@@ -56,6 +56,13 @@ type Checkpoint struct {
 	// "servers" and "interconnect". Empty for single-server checkpoints
 	// and files written by older versions.
 	Meta map[string]string
+	// SnapshotRound and SnapshotIter identify the published snapshot this
+	// checkpoint carries (see Snapshot): the synchronisation-round version
+	// of the central average model and the per-learner iteration count it
+	// represents. Zero for end-of-training checkpoints (SaveModel) and
+	// files written before format v3.
+	SnapshotRound int64
+	SnapshotIter  int64
 	// Params is the flat model vector.
 	Params []float32
 }
@@ -69,10 +76,29 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 		return nil, err
 	}
 	return &Checkpoint{
-		Model:        Model(c.Model),
-		Epoch:        c.Epoch,
-		BestAccuracy: c.BestAccuracy,
-		Meta:         c.Meta,
-		Params:       c.Params,
+		Model:         Model(c.Model),
+		Epoch:         c.Epoch,
+		BestAccuracy:  c.BestAccuracy,
+		Meta:          c.Meta,
+		SnapshotRound: c.SnapshotRound,
+		SnapshotIter:  c.SnapshotIter,
+		Params:        c.Params,
 	}, nil
+}
+
+// SaveSnapshot writes a published training snapshot (Config.PublishEvery /
+// OnSnapshot) to path as an atomic, checksummed checkpoint carrying the
+// snapshot's round version — so a `crossbow-serve -ckpt` process serves the
+// exact published model and reports its version with every prediction.
+func SaveSnapshot(path string, s Snapshot) error {
+	if len(s.Params) == 0 {
+		return fmt.Errorf("crossbow: snapshot carries no parameters")
+	}
+	return ckpt.Save(path, &ckpt.Checkpoint{
+		Model:         string(s.Model),
+		Epoch:         s.Epoch,
+		SnapshotRound: int64(s.Round),
+		SnapshotIter:  int64(s.Iter),
+		Params:        s.Params,
+	})
 }

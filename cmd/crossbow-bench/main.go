@@ -30,7 +30,7 @@ func main() {
 }
 
 func benchMain() int {
-	exp := flag.String("exp", "all", "experiment: table1, fig2, fig3, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, autotune, kernels, runtime, memory, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig2, fig3, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, autotune, kernels, runtime, memory, serving, all")
 	model := flag.String("model", "resnet32", "benchmark model (lenet, resnet32, vgg16, resnet50)")
 	gpus := flag.Int("gpus", 8, "GPU count for per-g experiments")
 	full := flag.Bool("full", false, "paper-scale parameter sweeps (slow); default is a quick pass")
@@ -38,6 +38,7 @@ func benchMain() int {
 	kernelsOut := flag.String("out", "BENCH_kernels.json", "output path for the kernels experiment's JSON record")
 	runtimeOut := flag.String("runtime-out", "BENCH_runtime.json", "output path for the runtime experiment's JSON record")
 	memoryOut := flag.String("memory-out", "BENCH_memory.json", "output path for the memory experiment's JSON record")
+	servingOut := flag.String("serving-out", "BENCH_serving.json", "output path for the serving experiment's JSON record")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -154,6 +155,18 @@ func benchMain() int {
 			return 1
 		}
 		fmt.Printf("recorded %s\n[memory took %v]\n", *memoryOut, time.Since(start).Round(time.Millisecond))
+	}
+	// The serving benchmark also runs only on explicit request, so figure
+	// replays don't overwrite the committed baseline.
+	if *exp == "serving" {
+		start := time.Now()
+		rows := crossbow.ServingBench(quick)
+		crossbow.PrintServingBench(os.Stdout, rows)
+		if err := crossbow.WriteServingBenchJSON(*servingOut, rows, quick); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *servingOut, err)
+			return 1
+		}
+		fmt.Printf("recorded %s\n[serving took %v]\n", *servingOut, time.Since(start).Round(time.Millisecond))
 	}
 	run("autotune", func() {
 		m, hist := crossbow.TuneLearners(id, *gpus, 16)

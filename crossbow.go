@@ -156,7 +156,23 @@ type Config struct {
 	// to cover the kernel worker budget plus one — under which activation
 	// memory grows with actual task concurrency, not learner count.
 	MemoryBudget int64
+	// PublishEvery, with OnSnapshot set, publishes a versioned snapshot of
+	// the central average model every PublishEvery iterations, rounded up
+	// to the enclosing synchronisation round — the boundary at which the
+	// model is stable under both schedulers, so snapshots are never torn
+	// (DESIGN.md §11). Zero disables publishing.
+	PublishEvery int
+	// OnSnapshot receives each published snapshot while training runs.
+	// Typical consumers hand it to a Predictor's UpdateSnapshot (serving
+	// the freshest model) or to SaveSnapshot (durable export). The
+	// callback runs on runtime goroutines and must return quickly.
+	OnSnapshot func(Snapshot)
 }
+
+// Snapshot is a versioned copy of the central average model cut at a
+// synchronisation-round boundary — the servable artefact of a training run.
+// See Config.PublishEvery, Serve and SaveSnapshot.
+type Snapshot = core.Snapshot
 
 // Result is the outcome of a training run.
 type Result struct {
@@ -327,6 +343,8 @@ func Train(cfg Config) (*Result, error) {
 		Prefetch:          cfg.Prefetch,
 		AutoTuneLearners:  tuneOnline,
 		MemoryBudget:      cfg.MemoryBudget,
+		PublishEvery:      cfg.PublishEvery,
+		OnSnapshot:        cfg.OnSnapshot,
 	})
 	res.Series = tr.Series
 	res.EpochsToTarget = tr.EpochsToTarget

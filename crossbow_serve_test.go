@@ -1,0 +1,198 @@
+package crossbow
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// trainWithSnapshots runs a tiny training job publishing snapshots.
+func trainWithSnapshots(t *testing.T, every int, sched Scheduler) (*Result, []Snapshot, Config) {
+	t.Helper()
+	var snaps []Snapshot
+	cfg := Config{
+		Model: LeNet, GPUs: 1, LearnersPerGPU: 2, Batch: 8,
+		MaxEpochs: 2, Seed: 5, TrainSamples: 128, TestSamples: 32,
+		Scheduler:    sched,
+		PublishEvery: every,
+		OnSnapshot:   func(s Snapshot) { snaps = append(snaps, s) },
+	}
+	res, err := Train(cfg)
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	return res, snaps, cfg
+}
+
+// TestTrainPublishesSnapshots pins the publish contract at the public API:
+// snapshots arrive with increasing round versions, the right cadence, and
+// the final snapshot matches the run's final model bit for bit.
+func TestTrainPublishesSnapshots(t *testing.T) {
+	for _, sched := range []Scheduler{Lockstep, FCFS} {
+		res, snaps, _ := trainWithSnapshots(t, 2, sched)
+		if len(snaps) == 0 {
+			t.Fatalf("%s: no snapshots published", sched)
+		}
+		for i := 1; i < len(snaps); i++ {
+			if snaps[i].Round <= snaps[i-1].Round {
+				t.Fatalf("%s: snapshot rounds not increasing: %d then %d",
+					sched, snaps[i-1].Round, snaps[i].Round)
+			}
+		}
+		// τ=1 ⇒ one round per iteration: the final round of the run is the
+		// total iteration count, and the run's Params is z at that round.
+		last := snaps[len(snaps)-1]
+		if last.Round%2 != 0 {
+			t.Fatalf("%s: PublishEvery 2 published round %d", sched, last.Round)
+		}
+		// 128 samples / 8 batch / 2 learners = 8 iterations per epoch, 2
+		// epochs ⇒ 16 rounds: the last publication is the final model.
+		if last.Round != 16 {
+			t.Fatalf("%s: last round %d, want 16", sched, last.Round)
+		}
+		for i := range last.Params {
+			if math.Float32bits(last.Params[i]) != math.Float32bits(res.Params[i]) {
+				t.Fatalf("%s: final snapshot diverges from Result.Params at %d", sched, i)
+			}
+		}
+	}
+}
+
+// TestServeTrainedModelEndToEnd trains, serves the result, hot-swaps a
+// published snapshot, persists it, and serves it back from the checkpoint —
+// the full serving-plane loop at the public API.
+func TestServeTrainedModelEndToEnd(t *testing.T) {
+	res, snaps, cfg := trainWithSnapshots(t, 4, Lockstep)
+
+	p, err := Serve(ServeConfig{
+		Model: cfg.Model, Params: res.Params, Version: int64(snaps[len(snaps)-1].Round),
+		Replicas: 2, MaxBatch: 4, MaxDelay: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	sample := make([]float32, p.SampleVol())
+	for i := range sample {
+		sample[i] = float32(i%7) * 0.1
+	}
+	pred, err := p.Predict(sample)
+	if err != nil {
+		t.Fatalf("Predict: %v", err)
+	}
+	if pred.Class < 0 || pred.Class >= 10 || pred.Confidence <= 0 || pred.Confidence > 1 {
+		t.Fatalf("implausible prediction %+v", pred)
+	}
+
+	// Hot-swap to an earlier snapshot and confirm the version moves.
+	if err := p.UpdateSnapshot(snaps[0]); err != nil {
+		t.Fatalf("UpdateSnapshot: %v", err)
+	}
+	pred2, err := p.Predict(sample)
+	if err != nil {
+		t.Fatalf("Predict after swap: %v", err)
+	}
+	if pred2.Version != int64(snaps[0].Round) {
+		t.Fatalf("prediction version %d, want snapshot round %d", pred2.Version, snaps[0].Round)
+	}
+	p.Close()
+
+	// Persist the snapshot and serve it back from disk: the checkpointed
+	// service must report the same version and the same answer.
+	path := filepath.Join(t.TempDir(), "snap.ckpt")
+	if err := SaveSnapshot(path, snaps[0]); err != nil {
+		t.Fatalf("SaveSnapshot: %v", err)
+	}
+	c, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("LoadCheckpoint: %v", err)
+	}
+	if c.SnapshotRound != int64(snaps[0].Round) || c.SnapshotIter != int64(snaps[0].Iter) {
+		t.Fatalf("checkpoint snapshot version %d/%d, want %d/%d",
+			c.SnapshotRound, c.SnapshotIter, snaps[0].Round, snaps[0].Iter)
+	}
+	p2, err := Serve(ServeConfig{Checkpoint: path, MaxDelay: time.Millisecond})
+	if err != nil {
+		t.Fatalf("Serve from checkpoint: %v", err)
+	}
+	defer p2.Close()
+	pred3, err := p2.Predict(sample)
+	if err != nil {
+		t.Fatalf("Predict from checkpoint: %v", err)
+	}
+	if pred3.Version != int64(snaps[0].Round) {
+		t.Fatalf("checkpoint service version %d, want %d", pred3.Version, snaps[0].Round)
+	}
+	if pred3.Class != pred2.Class ||
+		math.Float32bits(pred3.Confidence) != math.Float32bits(pred2.Confidence) {
+		t.Fatalf("checkpoint service answers %+v, live swap answered %+v", pred3, pred2)
+	}
+}
+
+// TestServeWhileTraining wires OnSnapshot straight into a live Predictor:
+// the service keeps answering — with monotonically advancing versions —
+// while the model trains underneath it.
+func TestServeWhileTraining(t *testing.T) {
+	init, err := Train(Config{
+		Model: LeNet, GPUs: 1, LearnersPerGPU: 1, Batch: 8,
+		MaxEpochs: 1, Seed: 5, TrainSamples: 64, TestSamples: 32,
+	})
+	if err != nil {
+		t.Fatalf("warm-up Train: %v", err)
+	}
+	p, err := Serve(ServeConfig{Model: LeNet, Params: init.Params, MaxDelay: 0})
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer p.Close()
+
+	sample := make([]float32, p.SampleVol())
+	stopServing := make(chan struct{})
+	served := make(chan struct{})
+	go func() {
+		defer close(served)
+		var last int64 = -1
+		for {
+			select {
+			case <-stopServing:
+				return
+			default:
+			}
+			pred, err := p.Predict(sample)
+			if err != nil {
+				t.Errorf("Predict during training: %v", err)
+				return
+			}
+			if pred.Version < last {
+				t.Errorf("served version went backwards: %d after %d", pred.Version, last)
+				return
+			}
+			last = pred.Version
+		}
+	}()
+
+	_, err = Train(Config{
+		Model: LeNet, GPUs: 1, LearnersPerGPU: 2, Batch: 8,
+		MaxEpochs: 2, Seed: 6, TrainSamples: 128, TestSamples: 32,
+		Scheduler: FCFS, PublishEvery: 2,
+		OnSnapshot: func(s Snapshot) {
+			if err := p.UpdateSnapshot(s); err != nil {
+				t.Errorf("UpdateSnapshot: %v", err)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	close(stopServing)
+	<-served
+	// The last published snapshot (round 16: 8 iterations/epoch × 2
+	// epochs at τ=1) is now being served.
+	pred, err := p.Predict(sample)
+	if err != nil {
+		t.Fatalf("Predict after training: %v", err)
+	}
+	if pred.Version != 16 {
+		t.Errorf("post-training prediction carries version %d, want 16 (the last published round)", pred.Version)
+	}
+}

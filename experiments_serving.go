@@ -1,0 +1,235 @@
+package crossbow
+
+// Serving-plane benchmark (DESIGN.md §11): throughput and latency of the
+// dynamically-batched prediction runtime across replica counts and
+// micro-batch ceilings. Closed-loop clients (one outstanding request each)
+// drive the engine at its natural capacity, so the two claims the design
+// makes are directly visible in the record:
+//
+//   - throughput scales with the replica count until compute saturates, and
+//     grows with MaxBatch as the per-batch fixed costs amortise;
+//   - p99 request latency stays bounded by MaxDelay plus one batch service
+//     time (plus queueing when clients outnumber capacity).
+//
+// `crossbow-bench -exp serving` records the result in BENCH_serving.json so
+// serving PRs can show their effect.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"crossbow/internal/nn"
+	"crossbow/internal/serve"
+	"crossbow/internal/tensor"
+)
+
+// ServingBenchRow is one (replicas, maxBatch) measurement.
+type ServingBenchRow struct {
+	Replicas int `json:"replicas"`
+	MaxBatch int `json:"max_batch"`
+	Clients  int `json:"clients"`
+
+	Requests   int64   `json:"requests"`
+	Throughput float64 `json:"requests_per_sec"`
+	Occupancy  float64 `json:"batch_occupancy"`
+
+	P50Ms        float64 `json:"p50_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+	MaxMs        float64 `json:"max_ms"`
+	ServiceP99Ms float64 `json:"service_p99_ms"`
+	MaxDelayMs   float64 `json:"max_delay_ms"`
+	// P99BoundMs is the design bound: MaxDelay + one (p99) batch service
+	// time; WithinBound reports whether the measured p99 honoured it.
+	P99BoundMs  float64 `json:"p99_bound_ms"`
+	WithinBound bool    `json:"p99_within_bound"`
+}
+
+// ServingBenchReport is the JSON document written to BENCH_serving.json.
+type ServingBenchReport struct {
+	GOOS         string            `json:"goos"`
+	GOARCH       string            `json:"goarch"`
+	CPUs         int               `json:"cpus"`
+	WorkerBudget int               `json:"worker_budget"`
+	Generated    string            `json:"generated"`
+	Model        string            `json:"model"`
+	Rows         []ServingBenchRow `json:"rows"`
+	// ThroughputGrowth maps "b=N/r=R" to throughput at R replicas
+	// relative to 1 replica at the same MaxBatch: > 1 shows replica
+	// scaling.
+	ThroughputGrowth map[string]float64 `json:"throughput_growth_vs_r1"`
+}
+
+type servingBenchEnv struct {
+	model    nn.ModelID
+	requests int
+	replicas []int
+	batches  []int
+	maxDelay time.Duration
+}
+
+func servingBenchSetup(quick bool) servingBenchEnv {
+	env := servingBenchEnv{
+		model:    nn.ResNet32,
+		requests: 2000,
+		replicas: []int{1, 2, 4},
+		batches:  []int{1, 8, 32},
+		maxDelay: 2 * time.Millisecond,
+	}
+	if quick {
+		env.requests = 500
+	}
+	return env
+}
+
+// ServingBenchResult carries the rows plus the replica-scaling summary.
+type ServingBenchResult struct {
+	Rows   []ServingBenchRow
+	Growth map[string]float64
+}
+
+// ServingBench drives the prediction runtime with closed-loop clients for
+// every (replicas × maxBatch) point and reports throughput and latency.
+func ServingBench(quick bool) *ServingBenchResult {
+	env := servingBenchSetup(quick)
+	out := &ServingBenchResult{Growth: map[string]float64{}}
+
+	// One forward-only model for all points: serving benchmarks measure
+	// the runtime, not the weights.
+	probe := nn.BuildScaled(env.model, 1, tensor.NewRNG(1))
+	params := probe.Init(tensor.NewRNG(2))
+	vol := tensor.Volume(probe.InShape)
+	sample := make([]float32, vol)
+	r := tensor.NewRNG(3)
+	for i := range sample {
+		sample[i] = float32(r.NormFloat64())
+	}
+
+	base := map[int]float64{} // maxBatch → throughput at 1 replica
+	for _, replicas := range env.replicas {
+		for _, maxBatch := range env.batches {
+			row := servingBenchPoint(env, params, sample, replicas, maxBatch)
+			out.Rows = append(out.Rows, row)
+			if replicas == 1 {
+				base[maxBatch] = row.Throughput
+			}
+			if b := base[maxBatch]; b > 0 {
+				out.Growth[fmt.Sprintf("b=%d/r=%d", maxBatch, replicas)] = row.Throughput / b
+			}
+		}
+	}
+	return out
+}
+
+func servingBenchPoint(env servingBenchEnv, params, sample []float32, replicas, maxBatch int) ServingBenchRow {
+	eng, err := serve.New(serve.Config{
+		Model:    env.model,
+		Params:   append([]float32(nil), params...),
+		Replicas: replicas,
+		MaxBatch: maxBatch,
+		MaxDelay: env.maxDelay,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer eng.Close()
+
+	// Closed-loop load at capacity: one client per replica batch slot.
+	clients := replicas * maxBatch
+	perClient := env.requests / clients
+	if perClient < 1 {
+		perClient = 1
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				if _, err := eng.Predict(sample); err != nil {
+					panic(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+
+	s := eng.Stats()
+	row := ServingBenchRow{
+		Replicas: replicas, MaxBatch: maxBatch, Clients: clients,
+		Requests:     s.Requests,
+		Occupancy:    s.BatchOccupancy,
+		P50Ms:        s.P50Ms,
+		P99Ms:        s.P99Ms,
+		MaxMs:        s.MaxMs,
+		ServiceP99Ms: s.ServiceP99Ms,
+		MaxDelayMs:   float64(env.maxDelay) / 1e6,
+	}
+	if wall > 0 {
+		row.Throughput = float64(s.Requests) / wall
+	}
+	// The design bound on p99: a request waits at most MaxDelay for its
+	// batch to close, then one batch service time. Closed-loop clients at
+	// capacity can additionally queue behind at most one in-flight batch
+	// per replica, so the bound includes one more service time.
+	row.P99BoundMs = row.MaxDelayMs + 2*row.ServiceP99Ms
+	row.WithinBound = row.P99Ms <= row.P99BoundMs
+	return row
+}
+
+// PrintServingBench renders the serving table.
+func PrintServingBench(w io.Writer, r *ServingBenchResult) {
+	fmt.Fprintf(w, "Serving plane, ResNet-32 forward (budget=%d workers)\n", tensor.WorkerBudget())
+	fmt.Fprintf(w, "%3s %5s %7s %9s %6s %8s %8s %8s %9s %7s\n",
+		"r", "batch", "clients", "req/s", "occ", "p50(ms)", "p99(ms)", "svc99", "bound(ms)", "ok")
+	for _, row := range r.Rows {
+		ok := "yes"
+		if !row.WithinBound {
+			ok = "NO"
+		}
+		fmt.Fprintf(w, "%3d %5d %7d %9.0f %6.1f %8.2f %8.2f %8.2f %9.2f %7s\n",
+			row.Replicas, row.MaxBatch, row.Clients, row.Throughput, row.Occupancy,
+			row.P50Ms, row.P99Ms, row.ServiceP99Ms, row.P99BoundMs, ok)
+	}
+	// Summarise scaling at the largest swept replica count, per batch size
+	// actually present in the rows (not a hardcoded list).
+	maxR, batches, seen := 0, []int(nil), map[int]bool{}
+	for _, row := range r.Rows {
+		if row.Replicas > maxR {
+			maxR = row.Replicas
+		}
+		if !seen[row.MaxBatch] {
+			seen[row.MaxBatch] = true
+			batches = append(batches, row.MaxBatch)
+		}
+	}
+	for _, b := range batches {
+		if g, ok := r.Growth[fmt.Sprintf("b=%d/r=%d", b, maxR)]; ok && maxR > 1 {
+			fmt.Fprintf(w, "throughput growth r=1→%d at batch %d: %.2fx\n", maxR, b, g)
+		}
+	}
+}
+
+// WriteServingBenchJSON records the result (plus environment) at path.
+func WriteServingBenchJSON(path string, r *ServingBenchResult, quick bool) error {
+	env := servingBenchSetup(quick)
+	rep := ServingBenchReport{
+		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		CPUs: runtime.NumCPU(), WorkerBudget: tensor.WorkerBudget(),
+		Generated:        time.Now().UTC().Format(time.RFC3339),
+		Model:            string(env.model),
+		Rows:             r.Rows,
+		ThroughputGrowth: r.Growth,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

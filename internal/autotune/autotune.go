@@ -1,13 +1,3 @@
-// Package autotune implements Crossbow's learner auto-tuning (Algorithm 2,
-// §3.4/§4.4): starting from one learner per GPU, it observes training
-// throughput and adds learners while throughput keeps improving beyond a
-// tolerance threshold, backing off once it decreases — settling on the
-// learner count that saturates the GPU, which the paper shows coincides
-// with the lowest time-to-accuracy (Figure 14).
-//
-// Learner counts are additionally capped by device memory: each learner
-// needs its replica, gradients and the (offline-planned) operator output
-// buffers, so large models admit only a few learners per GPU (§4.5).
 package autotune
 
 import (

@@ -1,8 +1,3 @@
-// Package ckpt persists trained models and training state. Checkpoints are
-// a small binary format (magic, version, metadata, raw little-endian
-// float32 parameters) written atomically, so long training runs can resume
-// after interruption and trained central average models can ship to
-// downstream users.
 package ckpt
 
 import (
@@ -21,9 +16,11 @@ import (
 const Magic = "CBOWCKPT"
 
 // Version is the current format version. Version 2 adds the Meta section
-// (the cluster plane's configuration context); version-1 files — which
-// predate it — still load, with an empty Meta.
-const Version = 2
+// (the cluster plane's configuration context); version 3 adds the snapshot
+// section (SnapshotRound/SnapshotIter — the serving plane's model version,
+// DESIGN.md §11). Files written by older versions still load, with the
+// missing sections zero.
+const Version = 3
 
 // Checkpoint is a model snapshot with its training context.
 type Checkpoint struct {
@@ -38,6 +35,16 @@ type Checkpoint struct {
 	// equivalent; entries are written sorted by key, so serialisation is
 	// deterministic.
 	Meta map[string]string
+	// SnapshotRound is the synchronisation-round version of the central
+	// average model this checkpoint carries (core.Snapshot.Round), and
+	// SnapshotIter the per-learner iteration count the round represents.
+	// Both are zero for end-of-training checkpoints and for files written
+	// before format version 3. A serving process started from a snapshot
+	// checkpoint reports SnapshotRound as its model version, so a
+	// prediction can always be traced to the exact published model that
+	// produced it.
+	SnapshotRound int64
+	SnapshotIter  int64
 	// Params is the flat model vector (weights, including batch-norm
 	// statistics — a Crossbow model is fully described by it).
 	Params []float32
@@ -83,6 +90,13 @@ func Write(w io.Writer, c *Checkpoint) error {
 		if err := writeString(bw, c.Meta[k]); err != nil {
 			return err
 		}
+	}
+	// Snapshot section (v3).
+	if err := binary.Write(bw, binary.LittleEndian, uint64(c.SnapshotRound)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(c.SnapshotIter)); err != nil {
+		return err
 	}
 	if err := binary.Write(bw, binary.LittleEndian, uint64(len(c.Params))); err != nil {
 		return err
@@ -159,6 +173,16 @@ func Read(r io.Reader) (*Checkpoint, error) {
 				c.Meta[k] = v
 			}
 		}
+	}
+	if version >= 3 {
+		var round, iter uint64
+		if err := binary.Read(br, binary.LittleEndian, &round); err != nil {
+			return nil, fmt.Errorf("ckpt: reading snapshot section: %w", err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &iter); err != nil {
+			return nil, fmt.Errorf("ckpt: reading snapshot section: %w", err)
+		}
+		c.SnapshotRound, c.SnapshotIter = int64(round), int64(iter)
 	}
 	var n uint64
 	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {

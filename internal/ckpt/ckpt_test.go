@@ -6,6 +6,7 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -213,6 +214,83 @@ func TestLegacyV1Loads(t *testing.T) {
 	}
 	if tensor.MaxAbsDiff(got.Params, want.Params) != 0 {
 		t.Fatalf("v1 params mismatch: %v", got.Params)
+	}
+}
+
+// writeV2 serialises a checkpoint in the pre-serving version-2 layout
+// (metadata section, no snapshot section), byte for byte as the old writer
+// produced it.
+func writeV2(c *Checkpoint) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(Magic)
+	binary.Write(&buf, binary.LittleEndian, uint32(2))
+	buf.WriteByte(byte(len(c.Model)))
+	buf.WriteString(c.Model)
+	binary.Write(&buf, binary.LittleEndian, uint64(c.Epoch))
+	binary.Write(&buf, binary.LittleEndian, c.BestAccuracy)
+	keys := make([]string, 0, len(c.Meta))
+	for k := range c.Meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	binary.Write(&buf, binary.LittleEndian, uint32(len(keys)))
+	for _, k := range keys {
+		binary.Write(&buf, binary.LittleEndian, uint16(len(k)))
+		buf.WriteString(k)
+		binary.Write(&buf, binary.LittleEndian, uint16(len(c.Meta[k])))
+		buf.WriteString(c.Meta[k])
+	}
+	binary.Write(&buf, binary.LittleEndian, uint64(len(c.Params)))
+	crc := crc32.NewIEEE()
+	b4 := make([]byte, 4)
+	for _, v := range c.Params {
+		binary.LittleEndian.PutUint32(b4, floatBits(v))
+		buf.Write(b4)
+		crc.Write(b4)
+	}
+	binary.Write(&buf, binary.LittleEndian, crc.Sum32())
+	return buf.Bytes()
+}
+
+// TestLegacyV2Loads pins backward compatibility across the v3 snapshot
+// section: version-2 files (written before the serving plane existed) load
+// with a zero snapshot version.
+func TestLegacyV2Loads(t *testing.T) {
+	want := sample()
+	want.Meta = map[string]string{"servers": "4", "interconnect": "IB"}
+	got, err := Read(bytes.NewReader(writeV2(want)))
+	if err != nil {
+		t.Fatalf("v2 checkpoint rejected: %v", err)
+	}
+	if got.Model != want.Model || got.Epoch != want.Epoch || got.BestAccuracy != want.BestAccuracy {
+		t.Fatalf("v2 metadata mismatch: %+v", got)
+	}
+	if len(got.Meta) != 2 || got.Meta["servers"] != "4" {
+		t.Fatalf("v2 meta mismatch: %v", got.Meta)
+	}
+	if got.SnapshotRound != 0 || got.SnapshotIter != 0 {
+		t.Fatalf("v2 checkpoint carries snapshot version %d/%d, want 0/0",
+			got.SnapshotRound, got.SnapshotIter)
+	}
+	if tensor.MaxAbsDiff(got.Params, want.Params) != 0 {
+		t.Fatalf("v2 params mismatch: %v", got.Params)
+	}
+}
+
+// TestRoundTripSnapshotVersion pins the v3 snapshot section.
+func TestRoundTripSnapshotVersion(t *testing.T) {
+	c := sample()
+	c.SnapshotRound, c.SnapshotIter = 1234, 2468
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SnapshotRound != 1234 || got.SnapshotIter != 2468 {
+		t.Fatalf("snapshot version %d/%d, want 1234/2468", got.SnapshotRound, got.SnapshotIter)
 	}
 }
 

@@ -1,0 +1,16 @@
+// Package cluster is the scale-out plane of the reproduction (DESIGN.md
+// §4): a discrete-event simulation of N multi-GPU servers — each an
+// internal/engine instance over its own slice of a shared internal/gpusim
+// simulator — connected by a configurable network interconnect. It extends
+// the paper's two-tier synchronisation (intra-GPU, inter-GPU; §3.3) with a
+// third tier: cross-server average tasks that exchange each server's
+// reference model over the network, overlapping the next iteration's
+// intra-server work exactly as Figure 8 overlaps global synchronisation
+// with the next iteration's learning tasks.
+//
+// The paper scopes Crossbow to a single server, where communication rides
+// PCIe/NVLink; across servers the interconnect is orders of magnitude
+// slower, so the cluster plane models it explicitly (latency + bandwidth +
+// collective algorithm) rather than treating communication as free — the
+// modelling stance that makes scale-out claims credible.
+package cluster

@@ -76,6 +76,11 @@ func ReplayFCFS(cfg TrainConfig, seqLog [][]int) *Result {
 	labels := make([]int, cfg.BatchPerLearner)
 	losses := make([]float64, k)
 
+	// Replayed runs publish snapshots at the same round boundaries as the
+	// live run they re-execute: round r's model is bit-identical to the
+	// live round-r model, so the snapshot stream is reproducible too.
+	pub := newSnapshotPublisher(&cfg)
+
 	res := &Result{K: k, EpochsToTarget: -1, Sched: SchedFCFS, SeqLog: seqLog}
 	lr := cfg.LearnRate
 	done := 0
@@ -90,6 +95,7 @@ func ReplayFCFS(cfg TrainConfig, seqLog [][]int) *Result {
 				}
 			}
 		}
+		pub.setEpoch(epoch)
 		perLearner := make([]float64, k)
 		for t := 1; t <= iterPerEpoch; t++ {
 			i := done + t // lifetime iteration, uniform across learners
@@ -110,6 +116,11 @@ func ReplayFCFS(cfg TrainConfig, seqLog [][]int) *Result {
 					sma.ContributeStep(j, e.ws[j], e.gs[j], corr[j])
 				}
 				sma.ApplyContributions(corr)
+				if pub != nil {
+					if r := i / cfg.Tau; r%pub.everyRnds == 0 {
+						pub.publish(sma, r)
+					}
+				}
 			} else {
 				for j := 0; j < k; j++ {
 					sma.LocalStep(j, e.ws[j], e.gs[j])

@@ -1,13 +1,3 @@
-// Package core implements the paper's primary contribution: synchronous
-// model averaging (SMA, Algorithm 1) with independent learners, plus the
-// training algorithms Crossbow is evaluated against — parallel synchronous
-// SGD (the TensorFlow baseline), elastic averaging SGD (EA-SGD) and
-// asynchronous SGD — and the trainer that drives them over the benchmark
-// models to measure statistical efficiency.
-//
-// All algorithms operate on flat model vectors (paper §4.4: weights and
-// gradients live in contiguous memory), so one package covers both the
-// scaled trainable models and any other contiguous parameterisation.
 package core
 
 import (
@@ -52,13 +42,14 @@ type SMA struct {
 	k     int
 	alpha float32
 
-	z     []float32   // central average model
-	zPrev []float32   // z at the beginning of the previous iteration
-	delta []float32   // scratch: Σ corrections + momentum term
-	zNew  []float32   // scratch: next z during Nesterov steps
-	vel   [][]float32 // per-learner local momentum velocity
-	state []bool      // state mask: true entries are exempt from corrections
-	iter  int
+	z      []float32   // central average model
+	zPrev  []float32   // z at the beginning of the previous iteration
+	delta  []float32   // scratch: Σ corrections + momentum term
+	zNew   []float32   // scratch: next z during Nesterov steps
+	vel    [][]float32 // per-learner local momentum velocity
+	state  []bool      // state mask: true entries are exempt from corrections
+	iter   int
+	rounds int // consensus exchanges folded into z (z's version)
 }
 
 // NewSMA creates the optimiser for k learners from initial model w0. The
@@ -130,6 +121,33 @@ func (s *SMA) Alpha() float32 { return s.alpha }
 // returns it on termination). The returned slice is live — do not modify.
 func (s *SMA) Average() []float32 { return s.z }
 
+// Rounds returns the number of consensus exchanges folded into the central
+// average model so far — z's version. Every lockstep τ-boundary Step and
+// every ApplyContributions advances it by one; the counter is monotone
+// across §3.2 restarts, so a larger round number always identifies a more
+// recent model.
+func (s *SMA) Rounds() int { return s.rounds }
+
+// SnapshotCentral copies the central average model into dst (len(dst) must
+// match the model size) and returns the round version the copy represents.
+// The copy is lock-cheap — one memcpy, no locks, no learner pause — because
+// consistency comes from the caller's position in the synchronisation
+// protocol, not from mutual exclusion: z is only ever written during a
+// consensus exchange (Step's τ-boundary branch, ApplyContributions), so any
+// call site that is ordered after one exchange and before the next observes
+// a stable, fully-folded z. The task runtime's Publish hook provides exactly
+// that window in both scheduling modes (lockstep: after the joined step, on
+// the stepping goroutine; FCFS: inside the round-completion critical
+// section, before the next round opens); at quiescence any goroutine
+// qualifies.
+func (s *SMA) SnapshotCentral(dst []float32) (round int) {
+	if len(dst) != len(s.z) {
+		panic(fmt.Sprintf("core: SnapshotCentral into %d values, want %d", len(dst), len(s.z)))
+	}
+	copy(dst, s.z)
+	return s.rounds
+}
+
 // Step performs one iteration of Algorithm 1 (lines 4-13). ws[j] is learner
 // j's replica and gs[j] the raw loss gradient ∇ℓ_Bj(wj) the learner just
 // computed; Step applies the learning rate internally. On non-sync
@@ -152,6 +170,7 @@ func (s *SMA) Step(ws, gs [][]float32) {
 	// steps; each replica takes correction and gradient in one iteration
 	// (line 10).
 	smaExchange(ws, s.z, s.zPrev, s.delta, s.state, s.alpha, s.cfg.Momentum)
+	s.rounds++
 	for j := range ws {
 		s.localStep(j, ws[j], gs[j])
 	}
@@ -279,6 +298,7 @@ func (s *SMA) ApplyContributions(corr [][]float32) {
 		panic(fmt.Sprintf("core: ApplyContributions with %d vectors, want %d", len(corr), s.k))
 	}
 	z, zPrev, state, mu := s.z, s.zPrev, s.state, s.cfg.Momentum
+	s.rounds++
 	if tensor.Parallelism() == 1 {
 		applyContributionsRange(corr, z, zPrev, state, mu, 0, len(z))
 		return

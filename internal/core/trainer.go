@@ -151,6 +151,18 @@ type TrainConfig struct {
 	// demand beyond available compute parallelism is waste, so the pool
 	// never needs to grow past it.
 	MemoryBudget int64
+	// PublishEvery, with OnSnapshot set, publishes a versioned snapshot of
+	// the central model every PublishEvery iterations, rounded up to the
+	// enclosing synchronisation round — snapshots are cut only at round
+	// boundaries, where the model is stable in both scheduling modes (see
+	// Snapshot). Zero disables publishing.
+	PublishEvery int
+	// OnSnapshot receives each published snapshot. It runs inside the
+	// runtime's Publish window — on the main goroutine under lockstep, on
+	// the round-completing learner's goroutine under FCFS — so it must be
+	// quick and must not call back into the trainer; hand the snapshot off
+	// (e.g. to a serving engine's UpdateModel) and return.
+	OnSnapshot func(Snapshot)
 }
 
 // K returns the total learner count n×g×m.
@@ -299,6 +311,10 @@ type trainEnv struct {
 	taskBufs   []*memplan.Buffer
 	planKey    string
 	arenaElems int
+
+	// pub cuts versioned model snapshots from the runtime's Publish
+	// window (nil when TrainConfig.PublishEvery is unset).
+	pub *snapshotPublisher
 }
 
 // newTrainEnv builds a run's long-lived pieces for k learners: datasets,
@@ -458,6 +474,7 @@ func (e *trainEnv) buildRuntime(opt stepper, k, firstSeq int, held map[int]*data
 			e.memPool.Release(e.taskBufs[j])
 			e.taskBufs[j] = nil
 		},
+		Publish: e.pub.hook(opt),
 	}
 	switch e.cfg.Scheduler {
 	case SchedFCFS:
@@ -503,6 +520,7 @@ func Train(cfg TrainConfig) *Result {
 	}
 
 	e := newTrainEnv(&cfg, k)
+	e.pub = newSnapshotPublisher(&cfg)
 	test := e.test
 	opt := buildOpt(&cfg, e.w0, k, e.nets[0].StateRanges())
 
@@ -556,6 +574,7 @@ func Train(cfg TrainConfig) *Result {
 
 		iters := e.iterPerEpoch(k)
 		totalIters += iters
+		e.pub.setEpoch(epoch)
 		start := time.Now()
 		rt.RunEpoch(iters)
 		wall := time.Since(start).Seconds()
@@ -589,7 +608,8 @@ func Train(cfg TrainConfig) *Result {
 		// wall-clock throughput, resizing the replica pool between epochs.
 		if tuner != nil && epoch < cfg.MaxEpochs {
 			if nextK := cfg.GPUs * tuner.Observe(wp.ImagesPerSec); nextK != k {
-				firstSeq, held := rt.Handoff() // pipeline position carries over
+				firstSeq, held := rt.Handoff()  // pipeline position carries over
+				e.pub.rebase(rt.Stats().Rounds) // keep snapshot versions monotone
 				rt.Close()
 				z := append([]float32(nil), centralModel(opt)...)
 				e.growLearners(nextK, z)

@@ -1,8 +1,3 @@
-// Package data provides the training-data substrate: deterministic
-// synthetic image datasets standing in for MNIST/CIFAR-10/CIFAR-100/ILSVRC
-// (the originals are unavailable offline; see DESIGN.md §1), epoch batch
-// iterators, and the multi-threaded pre-processor pipeline with a circular
-// buffer described in §4.5 of the paper.
 package data
 
 import (

@@ -1,0 +1,8 @@
+// Package data provides the training-data substrate (DESIGN.md §2):
+// deterministic synthetic image datasets standing in for
+// MNIST/CIFAR-10/CIFAR-100/ILSVRC (the originals are unavailable offline;
+// see DESIGN.md §1), epoch batch iterators, and the multi-threaded
+// pre-processor pipeline with a circular buffer described in §4.5 of the
+// paper — the staging layer both the task runtime's learners (DESIGN.md
+// §9) and the replayable assignment log are built on.
+package data

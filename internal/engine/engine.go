@@ -1,12 +1,3 @@
-// Package engine implements Crossbow's concurrent task engine (§4) on top
-// of the GPU simulator: learner streams and synchronisation streams per
-// device, learning / local-synchronisation / global-synchronisation tasks
-// wired by events exactly as in the paper's Figure 8 dataflow, with global
-// synchronisation overlapping the next iteration's learning tasks.
-//
-// The engine is the hardware-efficiency plane of the reproduction: it
-// yields iteration timing and throughput for any (model, g, m, b, τ)
-// configuration, while statistical efficiency comes from internal/core.
 package engine
 
 import (

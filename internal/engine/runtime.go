@@ -93,6 +93,18 @@ type RuntimeConfig struct {
 	// non-boundary iterations (FCFS mode only; in Lockstep mode Step
 	// covers it, and on boundary iterations Contribute does).
 	LocalStep func(j int)
+	// Publish, if set, runs once per synchronisation round, immediately
+	// after the round is folded into the central average model and at a
+	// point where the model is guaranteed stable: in lockstep mode on the
+	// main goroutine right after a τ-boundary Step (every learner is parked
+	// at the barrier), in FCFS mode on the round-completing learner's
+	// goroutine after Apply and *before* the round is published — no
+	// learner can contribute to the next round until Publish returns, so a
+	// driver may snapshot the average model without tearing. round counts
+	// folded rounds, 1-based. Keep the body short (a version check and, on
+	// publication rounds, one model copy): in FCFS mode it delays learners
+	// parked at the round gate.
+	Publish func(round int)
 	// FirstSeq and Held resume consumption of a pipeline a predecessor
 	// runtime already drew from (an online-autotuning resize): FirstSeq is
 	// the predecessor's next sequence number and Held its still-checked-out
@@ -353,6 +365,9 @@ func (r *Runtime) lockstepEpoch(iters int) {
 		r.cfg.Step()
 		if r.iters[0]%r.tau == 0 {
 			r.stats.Rounds++
+			if r.cfg.Publish != nil {
+				r.cfg.Publish(r.stats.Rounds)
+			}
 		}
 	}
 }
@@ -439,6 +454,12 @@ func (r *Runtime) contribute(j, c int) {
 		r.contrib.Store(0)
 		r.cfg.Apply()
 		r.stats.Rounds++
+		// The snapshot window: round c is folded, round c+1 is not yet
+		// open (its contributors are gated on the store below), so the
+		// central model is stable for the duration of the hook.
+		if r.cfg.Publish != nil {
+			r.cfg.Publish(c + 1)
+		}
 		r.mu.Lock()
 		r.zRound.Store(int64(c + 1))
 		r.cond.Broadcast()

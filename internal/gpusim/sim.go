@@ -1,14 +1,3 @@
-// Package gpusim is a discrete-event simulator of a single-server multi-GPU
-// machine: devices with a fixed pool of streaming multiprocessors (SMs),
-// in-order streams, cross-stream events, DMA copy transfers and a PCIe
-// interconnect with ring all-reduce.
-//
-// It stands in for the CUDA substrate the paper runs on (see DESIGN.md §1).
-// The simulator models the three quantities hardware efficiency depends on:
-// occupancy (kernels request SMs; a device runs concurrent kernels only
-// while SMs remain), serialisation (ops on one stream run in order; ops on
-// different streams may overlap) and transfer cost (bytes over PCIe links).
-// Virtual time is in microseconds.
 package gpusim
 
 import "container/heap"

@@ -1,12 +1,3 @@
-// Package memplan implements Crossbow's memory management (§4.5): an
-// offline, reference-count-driven plan that reuses operator output buffers
-// within one learning task, and an online planner with per-operator buffer
-// pools shared by all learners on a GPU.
-//
-// Deep-learning models need far more memory for operator outputs than for
-// weights (the paper's ResNet-50: 97.5 MB of weights vs 7.5 GB of outputs),
-// so training multiple learners per GPU is only feasible with aggressive
-// buffer reuse.
 package memplan
 
 import "fmt"

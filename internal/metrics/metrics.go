@@ -1,7 +1,3 @@
-// Package metrics implements the evaluation metrics of the paper: test
-// accuracy series, epochs-to-accuracy (ETA, statistical efficiency),
-// time-to-accuracy (TTA, §5.1), and the windowed throughput estimator the
-// auto-tuner consumes.
 package metrics
 
 // EpochPoint is one epoch's outcome: the (virtual or real) time at which

@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketRoundTrip pins the bucket mapping's defining property: every
+// latency lands in a bucket whose bounds contain it, and the relative
+// over-estimate of the upper bound is within one sub-bucket (~12.5%).
+func TestBucketRoundTrip(t *testing.T) {
+	for _, ns := range []int64{1, 2, 7, 8, 15, 16, 17, 100, 1023, 1024, 4097,
+		1e6, 12345678, 1e9, 5e12} {
+		b := bucketOf(ns)
+		up := bucketUpper(b)
+		if up < ns {
+			t.Errorf("ns=%d: bucket %d upper %d below the value", ns, b, up)
+		}
+		if float64(up) > float64(ns)*1.13+1 {
+			t.Errorf("ns=%d: bucket %d upper %d overestimates by more than a sub-bucket", ns, b, up)
+		}
+		if b > 0 && bucketUpper(b-1) >= ns {
+			t.Errorf("ns=%d: previous bucket %d upper %d already covers it", ns, b-1, bucketUpper(b-1))
+		}
+	}
+}
+
+// TestLatencyRecorderQuantiles feeds a known distribution and checks the
+// quantile estimates bracket the true values.
+func TestLatencyRecorderQuantiles(t *testing.T) {
+	var l LatencyRecorder
+	// 1..1000 µs, uniformly.
+	for i := 1; i <= 1000; i++ {
+		l.Record(time.Duration(i) * time.Microsecond)
+	}
+	if l.Count() != 1000 {
+		t.Fatalf("count %d, want 1000", l.Count())
+	}
+	checks := []struct {
+		q    float64
+		want time.Duration
+	}{{0.5, 500 * time.Microsecond}, {0.99, 990 * time.Microsecond}}
+	for _, c := range checks {
+		got := l.Quantile(c.q)
+		if got < c.want {
+			t.Errorf("q=%v: %v under-reports true quantile %v", c.q, got, c.want)
+		}
+		if float64(got) > float64(c.want)*1.15 {
+			t.Errorf("q=%v: %v over-reports true quantile %v by more than the bucket bound", c.q, got, c.want)
+		}
+	}
+	if max := l.Max(); max != time.Millisecond {
+		t.Errorf("max %v, want 1ms", max)
+	}
+	if l.Quantile(1) != time.Millisecond {
+		t.Errorf("q=1 is %v, want the max 1ms", l.Quantile(1))
+	}
+	if mean := l.Mean(); mean < 400*time.Microsecond || mean > 600*time.Microsecond {
+		t.Errorf("mean %v outside [400µs, 600µs]", mean)
+	}
+}
+
+// TestLatencyRecorderConcurrent hammers Record from many goroutines (run
+// under -race by CI) and checks the totals add up.
+func TestLatencyRecorderConcurrent(t *testing.T) {
+	var l LatencyRecorder
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				l.Record(time.Duration(g*per+i) * time.Nanosecond)
+				if i%100 == 0 {
+					l.Quantile(0.99) // concurrent reads must not disturb writes
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if l.Count() != goroutines*per {
+		t.Fatalf("count %d, want %d", l.Count(), goroutines*per)
+	}
+	var bucketSum int64
+	for i := range l.buckets {
+		bucketSum += l.buckets[i].Load()
+	}
+	if bucketSum != goroutines*per {
+		t.Fatalf("bucket sum %d, want %d", bucketSum, goroutines*per)
+	}
+}
+
+// TestLatencyRecorderZeroAlloc pins Record's hot-path contract.
+func TestLatencyRecorderZeroAlloc(t *testing.T) {
+	var l LatencyRecorder
+	if avg := testing.AllocsPerRun(100, func() { l.Record(time.Millisecond) }); avg > 0 {
+		t.Errorf("Record allocates %.1f times per call, want 0", avg)
+	}
+}

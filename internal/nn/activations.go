@@ -131,9 +131,12 @@ func (d *Dropout) ensure() {
 }
 
 func (d *Dropout) planFwd(p *taskPlanner, in *plannedBuf) *plannedBuf {
+	// keep is written interleaved with y, so the closing touch keeps it
+	// live across the step even in the forward-only plan (memory.go's
+	// sub-op rule — siblings of one kernel step must not share slots).
 	d.pbKeep = p.slice("dropout.keep", &d.keep, tensor.Volume(d.y.Shape()), bufActivation)
 	d.pbY = p.shell("dropout.y", d.y, bufActivation)
-	p.touch(in)
+	p.touch(in, d.pbKeep)
 	return d.pbY
 }
 

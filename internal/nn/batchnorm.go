@@ -84,12 +84,16 @@ func (b *BatchNorm) ensure() {
 
 func (b *BatchNorm) planFwd(p *taskPlanner, in *plannedBuf) *plannedBuf {
 	// Outputs first, inputs after (memory.go's sub-op rule): the channel
-	// loop reads x throughout while writing statistics, xhat and y.
+	// loop reads x throughout while writing statistics, xhat and y. The
+	// closing touch includes the secondary outputs so they stay live for
+	// the whole kernel step even when no backward walk follows (the
+	// forward-only plan): the loop writes them interleaved with y, so none
+	// may share y's slot.
 	b.pbMean = p.slice("bn.mean", &b.mean, b.C, bufActivation)
 	b.pbInv = p.slice("bn.invstd", &b.invStd, b.C, bufActivation)
 	b.pbXhat = p.slice("bn.xhat", &b.xhat, tensor.Volume(b.y.Shape()), bufActivation)
 	b.pbY = p.shell("bn.y", b.y, bufActivation)
-	p.touch(in)
+	p.touch(in, b.pbMean, b.pbInv, b.pbXhat)
 	return b.pbY
 }
 

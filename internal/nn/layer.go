@@ -1,14 +1,3 @@
-// Package nn implements the neural-network layer library used by Crossbow's
-// learners: convolution, dense, ReLU, pooling, batch normalisation, residual
-// blocks and a softmax cross-entropy loss, together with builders for the
-// four benchmark models of the paper (LeNet, ResNet-32, VGG-16, ResNet-50).
-//
-// A model's weights and gradients live in a single contiguous []float32
-// (paper §4.4), owned by the replica, not by the layers. Layers are bound to
-// a (w, g) vector pair with Bind before use; rebinding is cheap, so one
-// network structure can evaluate any replica or the central average model.
-// Activation buffers are pre-allocated per network for a fixed batch size,
-// making the training loop allocation-free in steady state.
 package nn
 
 import (

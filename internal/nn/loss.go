@@ -28,12 +28,17 @@ func NewSoftmaxCE(batch, classes int) *SoftmaxCE {
 	}
 }
 
+// ensure lazily allocates whichever buffers no arena has bound. The two are
+// independent because the forward-only inference plan attaches probs but
+// not dx: an Evaluate against an inference arena then self-allocates dx
+// once, while the serving path (Probs) never touches it.
 func (s *SoftmaxCE) ensure() {
-	if s.probs.HasData() {
-		return
+	if !s.probs.HasData() {
+		s.probs.SetData(make([]float32, s.batch*s.Classes))
 	}
-	s.probs.SetData(make([]float32, s.batch*s.Classes))
-	s.dx.SetData(make([]float32, s.batch*s.Classes))
+	if !s.dx.HasData() {
+		s.dx.SetData(make([]float32, s.batch*s.Classes))
+	}
 }
 
 // planLoss declares the head's buffers: Loss writes probs and dx row by row
@@ -46,22 +51,25 @@ func (s *SoftmaxCE) planLoss(p *taskPlanner, logits *plannedBuf) *plannedBuf {
 	return s.pbDx
 }
 
-// Loss computes the mean cross-entropy over the batch and the gradient with
-// respect to the logits (already divided by the batch size, matching
-// Eq. (2) of the paper: the gradient is averaged over batch samples).
-func (s *SoftmaxCE) Loss(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
-	if len(labels) != s.batch {
-		panic("nn: label count does not match batch size")
+// planProbs declares the head's forward-only buffer: the serving walk needs
+// the softmax probabilities for Predict but neither the loss value's
+// bookkeeping nor the logits gradient.
+func (s *SoftmaxCE) planProbs(p *taskPlanner, logits *plannedBuf) {
+	s.pbProbs = p.shell("loss.probs", s.probs, bufActivation)
+	p.touch(logits, s.pbProbs)
+}
+
+// Probs computes the row-wise softmax of the logits into the probs buffer —
+// the label-free half of Loss, used by the serving path. The returned
+// tensor is the head's probs buffer (live until the next Loss/Probs call).
+func (s *SoftmaxCE) Probs(logits *tensor.Tensor) *tensor.Tensor {
+	if !s.probs.HasData() {
+		s.probs.SetData(make([]float32, s.batch*s.Classes))
 	}
-	s.ensure()
-	ld, pd, dd := logits.Data(), s.probs.Data(), s.dx.Data()
-	var total float64
-	invB := float32(1) / float32(s.batch)
+	ld, pd := logits.Data(), s.probs.Data()
 	for n := 0; n < s.batch; n++ {
 		row := ld[n*s.Classes : (n+1)*s.Classes]
 		prow := pd[n*s.Classes : (n+1)*s.Classes]
-		drow := dd[n*s.Classes : (n+1)*s.Classes]
-		// Numerically stable softmax.
 		maxv := row[0]
 		for _, v := range row[1:] {
 			if v > maxv {
@@ -78,6 +86,27 @@ func (s *SoftmaxCE) Loss(logits *tensor.Tensor, labels []int) (float64, *tensor.
 		for j := range prow {
 			prow[j] *= inv
 		}
+	}
+	return s.probs
+}
+
+// Loss computes the mean cross-entropy over the batch and the gradient with
+// respect to the logits (already divided by the batch size, matching
+// Eq. (2) of the paper: the gradient is averaged over batch samples). The
+// softmax itself is Probs — one implementation serves both the training
+// and the serving path, so the two can never diverge numerically.
+func (s *SoftmaxCE) Loss(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	if len(labels) != s.batch {
+		panic("nn: label count does not match batch size")
+	}
+	s.ensure()
+	s.Probs(logits)
+	pd, dd := s.probs.Data(), s.dx.Data()
+	var total float64
+	invB := float32(1) / float32(s.batch)
+	for n := 0; n < s.batch; n++ {
+		prow := pd[n*s.Classes : (n+1)*s.Classes]
+		drow := dd[n*s.Classes : (n+1)*s.Classes]
 		y := labels[n]
 		if y < 0 || y >= s.Classes {
 			panic("nn: label out of range")

@@ -113,11 +113,17 @@ func (p *taskPlanner) touch(bufs ...*plannedBuf) {
 // layer's input-gradient buffer.
 //
 // Sub-op rule: declare ALL outputs of one kernel step before touching its
-// inputs. An input touched after the outputs outlives them in the interval
-// model, so the planner can never hand an output the input's slot — which
-// matters because kernels read their inputs interleaved with output writes
+// inputs, and include the step's secondary outputs in that closing touch.
+// An input touched after the outputs outlives them in the interval model,
+// so the planner can never hand an output the input's slot — which matters
+// because kernels read their inputs interleaved with output writes
 // (batch-norm scans x across the whole channel loop, GEMMs stream operands
-// panel by panel).
+// panel by panel). Touching the secondary outputs (batch-norm statistics,
+// pool argmax, dropout keep) alongside makes the step's siblings mutually
+// live too: without it, a sibling nothing later reads — which is exactly
+// what happens to backward-only caches in the forward-only serving plan —
+// would die at its declaration tick and could be overlaid onto the primary
+// output it is written interleaved with.
 type arenaLayer interface {
 	planFwd(p *taskPlanner, in *plannedBuf) *plannedBuf
 	planBwd(p *taskPlanner, dout *plannedBuf) *plannedBuf
@@ -223,11 +229,11 @@ func (m *MemPlan) checkPlan() error {
 	return nil
 }
 
-// planMemory runs the planning walk over the network and lays out the arena.
-func (n *Network) planMemory() *MemPlan {
-	p := &taskPlanner{}
-	// Forward walk. The network input is staged by the data pipeline and
-	// lives outside the arena.
+// planForward runs the forward half of a planning walk: every layer's
+// planFwd in execution order, returning the logits buffer. The network input
+// is staged by the data pipeline (or the serving batcher) and lives outside
+// the arena.
+func (n *Network) planForward(p *taskPlanner) *plannedBuf {
 	var cur *plannedBuf
 	for _, l := range n.layers {
 		al, ok := l.(arenaLayer)
@@ -243,6 +249,14 @@ func (n *Network) planMemory() *MemPlan {
 		}
 		cur = al.planFwd(p, cur)
 	}
+	return cur
+}
+
+// planMemory runs the full learning-task planning walk (forward, loss,
+// backward) over the network and lays out the arena.
+func (n *Network) planMemory() *MemPlan {
+	p := &taskPlanner{}
+	cur := n.planForward(p)
 	// Loss head.
 	dcur := n.loss.planLoss(p, cur)
 	// Backward walk.
@@ -254,7 +268,30 @@ func (n *Network) planMemory() *MemPlan {
 		}
 		dcur = al.planBwd(p, dcur)
 	}
+	return n.lowerPlan(p, "task")
+}
 
+// planInference runs the forward-only planning walk: every layer's planFwd
+// plus the loss head's softmax probabilities (Predict's output), no
+// backward. Forward caches that only backward reads (batch-norm x̂, conv
+// im2col scratch lifetimes, pre-activation copies) die immediately after
+// the consuming layer in this walk, so the planner reuses their slots
+// aggressively — a serving arena is a fraction of the training arena for
+// the same batch size, which is what lets a prediction runtime afford one
+// arena per replica (DESIGN.md §11).
+func (n *Network) planInference() *MemPlan {
+	p := &taskPlanner{}
+	cur := n.planForward(p)
+	n.loss.planProbs(p, cur)
+	return n.lowerPlan(p, "infer")
+}
+
+// lowerPlan turns a completed planning walk into a MemPlan: the walk is
+// lowered into a memplan.Graph, PlanOffline assigns buffers, and the arena
+// layout (planned slots, then pinned exclusive ranges) is derived. prefix
+// namespaces the plan key, so training and inference arenas — different
+// layouts over the same network — can never be confused in a shared pool.
+func (n *Network) lowerPlan(p *taskPlanner, prefix string) *MemPlan {
 	m := &MemPlan{bufs: p.bufs}
 	for _, l := range n.layers {
 		collectResetters(l, &m.resetters)
@@ -323,7 +360,7 @@ func (n *Network) planMemory() *MemPlan {
 	for _, b := range m.bufs {
 		fmt.Fprintf(h, "|%s@%d+%d", b.name, b.off, b.elems)
 	}
-	m.key = fmt.Sprintf("task/b%d/%016x", n.Batch, h.Sum64())
+	m.key = fmt.Sprintf("%s/b%d/%016x", prefix, n.Batch, h.Sum64())
 	return m
 }
 
@@ -349,6 +386,20 @@ func (n *Network) MemPlan() *MemPlan {
 	return n.memPlan
 }
 
+// InferPlan returns the network's planned forward-only (serving) memory,
+// computing it on first use. Like MemPlan it is structural; unlike MemPlan
+// it covers only the buffers a Predict call touches, so its arena is much
+// smaller. A network executes against one plan at a time: attach either a
+// training arena (AttachArena) or an inference arena
+// (AttachInferenceArena), not both interleaved — serving replicas are
+// inference-only networks, learner replicas training-only.
+func (n *Network) InferPlan() *MemPlan {
+	if n.inferPlan == nil {
+		n.inferPlan = n.planInference()
+	}
+	return n.inferPlan
+}
+
 // AttachArena binds every planned buffer to its slice of the given arena,
 // which must hold at least MemPlan().ArenaElems elements. Layers whose
 // buffers were privately (lazily) allocated are rebound to the arena.
@@ -364,8 +415,18 @@ func (n *Network) MemPlan() *MemPlan {
 // buffers and fresh arenas are already zero-filled, so for them this is a
 // once-per-(network, arena) memset of memory that is about to be used
 // anyway.
-func (n *Network) AttachArena(a tensor.Arena) {
-	m := n.MemPlan()
+func (n *Network) AttachArena(a tensor.Arena) { n.attachPlan(n.MemPlan(), a) }
+
+// AttachInferenceArena binds every buffer of the forward-only plan to its
+// slice of the given arena, which must hold at least
+// InferPlan().ArenaElems elements. Semantics match AttachArena (no-op
+// re-attach, pinned-range zeroing on first sight, allocation-free in steady
+// state); only the plan differs. Buffers outside the inference plan (the
+// backward chain) are untouched and must never be exercised against an
+// inference arena — Predict and Evaluate are the supported entry points.
+func (n *Network) AttachInferenceArena(a tensor.Arena) { n.attachPlan(n.InferPlan(), a) }
+
+func (n *Network) attachPlan(m *MemPlan, a tensor.Arena) {
 	if a.Len() < m.ArenaElems {
 		panic(fmt.Sprintf("nn: arena holds %d elements, plan needs %d", a.Len(), m.ArenaElems))
 	}

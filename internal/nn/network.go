@@ -21,10 +21,13 @@ type Network struct {
 
 	boundW []float32 // currently bound parameter vector (for sanity checks)
 
-	// Planned task memory (computed lazily; see memory.go). arenaBase
-	// identifies the currently attached arena so re-attachment is a no-op;
-	// seenArenas tracks bases whose pinned ranges this network has zeroed.
+	// Planned task memory (computed lazily; see memory.go): memPlan covers
+	// a full learning task, inferPlan the forward-only serving walk.
+	// arenaBase identifies the currently attached arena so re-attachment
+	// is a no-op; seenArenas tracks bases whose pinned ranges this network
+	// has zeroed.
 	memPlan    *MemPlan
+	inferPlan  *MemPlan
 	arenaBase  *float32
 	seenArenas map[*float32]bool
 
@@ -230,6 +233,38 @@ func (n *Network) LossAndGrad(x *tensor.Tensor, labels []int) float64 {
 		d = n.layers[i].Backward(d)
 	}
 	return loss
+}
+
+// Predict runs forward in evaluation mode and classifies the batch: preds[i]
+// receives sample i's arg-max class and conf[i] (when non-nil) the winning
+// softmax probability. Unlike Evaluate it needs no labels and touches no
+// gradient state, so it runs against a forward-only inference arena
+// (AttachInferenceArena) — the serving engine's hot path — and is
+// allocation-free in steady state. preds must hold Batch entries; conf, if
+// given, likewise.
+func (n *Network) Predict(x *tensor.Tensor, preds []int, conf []float32) {
+	if len(preds) < n.Batch {
+		panic(fmt.Sprintf("nn: Predict with %d prediction slots, want %d", len(preds), n.Batch))
+	}
+	if conf != nil && len(conf) < n.Batch {
+		panic(fmt.Sprintf("nn: Predict with %d confidence slots, want %d", len(conf), n.Batch))
+	}
+	logits := n.Forward(x, false)
+	probs := n.loss.Probs(logits).Data()
+	c := n.Classes
+	for i := 0; i < n.Batch; i++ {
+		row := probs[i*c : (i+1)*c]
+		best, bi := row[0], 0
+		for j, v := range row[1:] {
+			if v > best {
+				best, bi = v, j+1
+			}
+		}
+		preds[i] = bi
+		if conf != nil {
+			conf[i] = best
+		}
+	}
 }
 
 // Evaluate runs forward in evaluation mode and returns the number of

@@ -47,9 +47,12 @@ func (p *MaxPool) ensure() {
 }
 
 func (p *MaxPool) planFwd(pl *taskPlanner, in *plannedBuf) *plannedBuf {
+	// argmax is written interleaved with y, so the closing touch keeps it
+	// live across the step even in the forward-only plan (memory.go's
+	// sub-op rule — siblings of one kernel step must not share slots).
 	p.pbArg = pl.int32s("maxpool.argmax", &p.argmax, p.batch*p.inC*p.outH*p.outW, bufActivation)
 	p.pbY = pl.shell("maxpool.y", p.y, bufActivation)
-	pl.touch(in)
+	pl.touch(in, p.pbArg)
 	return p.pbY
 }
 

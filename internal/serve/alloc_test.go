@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"crossbow/internal/nn"
+	"crossbow/internal/tensor"
+)
+
+// Serving-plane allocation smoke (CI): the per-request hot path — free-list
+// checkout, enqueue, dynamic batching, replica staging, forward-only
+// inference against the planned arena, reply — must perform zero heap
+// allocations per request in steady state. Measured at kernel worker
+// budget 1, like the training-side TestHotPathAllocs: at higher budgets
+// ParallelFor's chunk closures intrinsically allocate.
+
+const servingAllocThreshold = 0.5
+
+func measureServeAllocs(t *testing.T, id nn.ModelID, maxBatch int) float64 {
+	t.Helper()
+	net := nn.BuildScaled(id, 1, tensor.NewRNG(1))
+	e, err := New(Config{
+		Model:    id,
+		Params:   net.Init(tensor.NewRNG(2)),
+		MaxBatch: maxBatch,
+		MaxDelay: 0, // dispatch immediately: a lone sequential client never waits
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(e.Close)
+	sample := randomSample(e.SampleVol(), 3)
+	for i := 0; i < 5; i++ { // warm the free lists and kernel pools
+		if _, err := e.Predict(sample); err != nil {
+			t.Fatalf("warm-up Predict: %v", err)
+		}
+	}
+	return testing.AllocsPerRun(50, func() {
+		if _, err := e.Predict(sample); err != nil {
+			t.Fatalf("Predict: %v", err)
+		}
+	})
+}
+
+func TestServeHotPathAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates on the instrumented path")
+	}
+	prev := tensor.WorkerBudget()
+	defer tensor.SetWorkerBudget(prev)
+	tensor.SetWorkerBudget(1)
+	for _, id := range nn.AllModels {
+		if avg := measureServeAllocs(t, id, 4); avg > servingAllocThreshold {
+			t.Errorf("%s: %.2f allocs/request, want ~0", id, avg)
+		}
+	}
+}
+
+// TestServeHotPathAllocsBatched repeats the check with the batcher actually
+// coalescing (MaxDelay > 0, several in-flight clients): the shared path —
+// timer resets, partial batches, multi-request replies — must stay
+// allocation-free too. Allocations are measured process-wide while worker
+// goroutines run, so the threshold tolerates scheduler noise.
+func TestServeHotPathAllocsBatched(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates on the instrumented path")
+	}
+	prev := tensor.WorkerBudget()
+	defer tensor.SetWorkerBudget(prev)
+	tensor.SetWorkerBudget(1)
+
+	net := nn.BuildScaled(nn.LeNet, 1, tensor.NewRNG(1))
+	e, err := New(Config{
+		Model:    nn.LeNet,
+		Params:   net.Init(tensor.NewRNG(2)),
+		MaxBatch: 4,
+		MaxDelay: 200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer e.Close()
+	sample := randomSample(e.SampleVol(), 3)
+
+	issue := func() {
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			if _, err := e.Predict(sample); err != nil {
+				t.Errorf("Predict: %v", err)
+			}
+		}()
+		if _, err := e.Predict(sample); err != nil {
+			t.Errorf("Predict: %v", err)
+		}
+		<-done
+	}
+	issue() // warm
+	// The spawned goroutine + its done channel cost a handful of allocs per
+	// run; everything else (requests, batches, replies) must be free. The
+	// bound is the harness cost with no per-request term.
+	if avg := testing.AllocsPerRun(30, issue); avg > 6 {
+		t.Errorf("batched path: %.2f allocs per 2-request run — serving objects are leaking out of the free lists", avg)
+	}
+}

@@ -1,0 +1,36 @@
+// Package serve is the inference plane: a forward-only prediction runtime
+// over snapshots of the central average model (DESIGN.md §11).
+//
+// Training and serving want different execution disciplines over the same
+// state. Training runs k small-batch learners that own mutable replicas and
+// synchronise through SMA; serving runs R read-only replicas of one
+// published snapshot and cares about request latency and throughput. The
+// engine here reuses the training stack's fast substrate — the blocked
+// GEMM/conv kernels (DESIGN.md §8) and the §4.5 memory planner, in its
+// forward-only form (nn.InferPlan) — so prediction is fast and
+// allocation-free from the first request.
+//
+// Three pieces:
+//
+//   - Requests enter through Engine.Predict, which parks the caller on a
+//     bounded queue. Request objects come from a fixed free list, so the
+//     steady-state hot path performs zero heap allocations per request
+//     (enforced by an AllocsPerRun test).
+//
+//   - A dispatcher coalesces queued requests into batches of up to MaxBatch,
+//     waiting at most MaxDelay for stragglers once a batch has an occupant —
+//     the dynamic micro-batching trade between occupancy (throughput) and
+//     tail latency.
+//
+//   - R replicas claim batches first-come-first-served from a shared channel
+//     (the same FCFS claim discipline the training runtime uses for staged
+//     batches), copy the samples into their fixed-batch input tensor, run
+//     the forward-only network against a per-replica planned arena, and
+//     answer each request with its arg-max class and softmax confidence.
+//
+// Snapshots version the model: UpdateModel hot-swaps all replicas onto a
+// newer published snapshot between batches, so a serving engine can trail a
+// live training run (core.Snapshot, Config.PublishEvery) without dropping
+// requests. metrics.ServingStats reports latency quantiles, batch occupancy
+// and queue pressure.
+package serve

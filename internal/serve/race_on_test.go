@@ -1,0 +1,8 @@
+//go:build race
+
+package serve
+
+// raceEnabled reports whether the race detector instruments this build; its
+// shadow allocations would fail the zero-alloc assertions, so those tests
+// skip themselves (CI runs them in a separate non-race step).
+const raceEnabled = true

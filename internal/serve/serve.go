@@ -1,0 +1,449 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"crossbow/internal/metrics"
+	"crossbow/internal/nn"
+	"crossbow/internal/tensor"
+)
+
+// ErrClosed is returned by Predict once the engine has been closed.
+var ErrClosed = errors.New("serve: engine closed")
+
+// Config configures a prediction engine.
+type Config struct {
+	// Model names the architecture Params belongs to. Required.
+	Model nn.ModelID
+	// Params is the model to serve — a published training snapshot
+	// (core.Snapshot.Params) or a loaded checkpoint. The engine takes
+	// ownership; do not modify after New. Required.
+	Params []float32
+	// Version tags the initial model (the snapshot round); reported with
+	// every prediction and in Stats.
+	Version int64
+	// Replicas is the number of forward-only model replicas serving
+	// batches concurrently, each with its own planned inference arena
+	// (default 1). Replicas claim batches first-come-first-served.
+	Replicas int
+	// MaxBatch is the micro-batching ceiling: the dispatcher coalesces at
+	// most MaxBatch queued requests into one forward pass (default 8).
+	// Replicas are built at this batch size, so it also fixes the
+	// per-replica arena.
+	MaxBatch int
+	// MaxDelay bounds how long a non-full batch waits for stragglers
+	// after its first request arrives. Zero — the zero value, hence the
+	// default — dispatches immediately with whatever is queued: minimum
+	// latency, lower occupancy. Set a small positive delay (the binaries
+	// default to 2ms) to trade per-request latency for batch occupancy.
+	MaxDelay time.Duration
+	// QueueDepth bounds the request queue; Predict blocks while it is
+	// full — backpressure, not load shedding (default Replicas×MaxBatch×4).
+	QueueDepth int
+}
+
+func (c *Config) fillDefaults() error {
+	if c.Model == "" {
+		return errors.New("serve: Config.Model is required")
+	}
+	if _, ok := nn.ScaledConfigs[c.Model]; !ok {
+		return fmt.Errorf("serve: unknown model %q", c.Model)
+	}
+	if len(c.Params) == 0 {
+		return errors.New("serve: Config.Params is required (train a model or load a checkpoint)")
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 1
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.MaxDelay < 0 {
+		c.MaxDelay = 0
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = c.Replicas * c.MaxBatch * 4
+	}
+	return nil
+}
+
+// Prediction is one request's answer.
+type Prediction struct {
+	// Class is the arg-max class index.
+	Class int
+	// Confidence is the winning class's softmax probability.
+	Confidence float32
+	// Version identifies the model snapshot that produced the answer.
+	Version int64
+}
+
+// request is the internal unit of work. Requests are recycled through a
+// fixed free list so the steady-state hot path allocates nothing.
+type request struct {
+	sample []float32 // caller's slice; read until the reply is sent
+	enq    time.Time
+	resp   chan Prediction // buffered(1); reused across checkouts
+}
+
+// batch is a dispatched group of requests, recycled like requests.
+type batch struct {
+	reqs []*request
+}
+
+// modelState is the immutable (params, version) pair replicas serve;
+// UpdateModel swaps the pointer, replicas rebind lazily between batches.
+type modelState struct {
+	w       []float32
+	version int64
+}
+
+// replica is one forward-only copy of the network with its planned
+// inference arena and fixed-batch staging buffers.
+type replica struct {
+	net   *nn.Network
+	x     *tensor.Tensor
+	vol   int // per-sample volume
+	preds []int
+	conf  []float32
+	bound *modelState // model the net is currently bound to
+}
+
+// Engine is the batched prediction runtime. Create with New, submit with
+// Predict from any number of goroutines, retire with Close.
+type Engine struct {
+	cfg   Config
+	model atomic.Pointer[modelState]
+
+	queue       chan *request
+	batches     chan *batch
+	freeReqs    chan *request
+	freeBatches chan *batch
+	stop        chan struct{} // tells the dispatcher to drain and exit
+
+	mu     sync.RWMutex // guards closed against in-flight enqueues
+	closed bool
+	wg     sync.WaitGroup
+
+	sampleVol   int
+	gradScratch []float32 // shared Bind scratch; forward passes never write it
+
+	// Stats. occupancy = requests/batches; queuePeak is a CAS-maxed gauge.
+	requests  atomic.Int64
+	nbatches  atomic.Int64
+	rejected  atomic.Int64
+	swaps     atomic.Int64
+	queuePeak atomic.Int64
+	latency   metrics.LatencyRecorder
+	service   metrics.LatencyRecorder
+}
+
+// New validates cfg, builds the replica pool (each replica plans and
+// attaches its forward-only arena up front, so no allocation is left for
+// the hot path) and starts the dispatcher and replica goroutines.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	probe := nn.BuildScaled(cfg.Model, cfg.MaxBatch, tensor.NewRNG(1))
+	if len(cfg.Params) != probe.ParamSize() {
+		return nil, fmt.Errorf("serve: %q takes %d parameters, got %d",
+			cfg.Model, probe.ParamSize(), len(cfg.Params))
+	}
+	e := &Engine{
+		cfg:         cfg,
+		queue:       make(chan *request, cfg.QueueDepth),
+		batches:     make(chan *batch, cfg.Replicas),
+		freeReqs:    make(chan *request, cfg.QueueDepth+cfg.Replicas*cfg.MaxBatch),
+		freeBatches: make(chan *batch, cfg.Replicas+2),
+		stop:        make(chan struct{}),
+		sampleVol:   tensor.Volume(probe.InShape),
+		gradScratch: make([]float32, probe.ParamSize()),
+	}
+	e.model.Store(&modelState{w: cfg.Params, version: cfg.Version})
+
+	for i := 0; i < cfg.Replicas; i++ {
+		net := probe
+		if i > 0 {
+			net = nn.BuildScaled(cfg.Model, cfg.MaxBatch, tensor.NewRNG(1))
+		}
+		net.Bind(cfg.Params, e.gradScratch)
+		net.AttachInferenceArena(tensor.NewArena(net.InferPlan().ArenaElems))
+		r := &replica{
+			net:   net,
+			x:     tensor.New(append([]int{cfg.MaxBatch}, net.InShape...)...),
+			vol:   tensor.Volume(net.InShape),
+			preds: make([]int, cfg.MaxBatch),
+			conf:  make([]float32, cfg.MaxBatch),
+			bound: e.model.Load(),
+		}
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			for b := range e.batches {
+				e.runBatch(r, b)
+			}
+		}()
+	}
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		e.dispatch()
+	}()
+	return e, nil
+}
+
+// SampleVol returns the expected per-sample element count of Predict inputs.
+func (e *Engine) SampleVol() int { return e.sampleVol }
+
+// Model returns the served architecture.
+func (e *Engine) Model() nn.ModelID { return e.cfg.Model }
+
+// Version returns the currently served model version.
+func (e *Engine) Version() int64 { return e.model.Load().version }
+
+// UpdateModel hot-swaps the served model: replicas rebind to the new
+// parameters before their next batch, without dropping or delaying queued
+// requests. The engine takes ownership of params (hand it a snapshot's
+// Params directly). In-flight batches answer with the version they were
+// computed under.
+func (e *Engine) UpdateModel(params []float32, version int64) error {
+	if len(params) != len(e.gradScratch) {
+		return fmt.Errorf("serve: UpdateModel with %d parameters, want %d",
+			len(params), len(e.gradScratch))
+	}
+	e.model.Store(&modelState{w: params, version: version})
+	e.swaps.Add(1)
+	return nil
+}
+
+// Predict classifies one sample (len must equal SampleVol; the slice is
+// read until Predict returns). It blocks while the request queue is full —
+// backpressure — and through batching and execution; the answer carries the
+// class, its softmax confidence and the model version that computed it.
+// Safe for concurrent use; zero heap allocations per call in steady state.
+func (e *Engine) Predict(sample []float32) (Prediction, error) {
+	if len(sample) != e.sampleVol {
+		// A short sample would silently classify a hybrid of this request
+		// and stale staging data; reject it like every other shape
+		// mismatch in the codebase.
+		return Prediction{}, fmt.Errorf("serve: sample has %d values, %q takes %d",
+			len(sample), e.cfg.Model, e.sampleVol)
+	}
+	req := e.getReq()
+	req.sample = sample
+	req.enq = time.Now()
+
+	// The closed flag is checked under a read lock held across the
+	// enqueue, and Close flips it under the write lock *before* telling
+	// the dispatcher to drain: every request that passes this gate is
+	// therefore enqueued before the drain starts and will be served, and
+	// no request can slip into the queue after it.
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		e.putReq(req)
+		e.rejected.Add(1)
+		return Prediction{}, ErrClosed
+	}
+	e.queue <- req
+	e.mu.RUnlock()
+
+	for d := int64(len(e.queue)); ; {
+		cur := e.queuePeak.Load()
+		if d <= cur || e.queuePeak.CompareAndSwap(cur, d) {
+			break
+		}
+	}
+	p := <-req.resp
+	e.putReq(req)
+	return p, nil
+}
+
+// Close stops accepting requests, serves everything already queued, waits
+// for the dispatcher and replicas to finish, and returns. Safe to call
+// once; Predict calls racing Close either complete normally or return
+// ErrClosed.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		e.wg.Wait()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	close(e.stop)
+	e.wg.Wait()
+}
+
+// Stats returns a point-in-time snapshot of the runtime's behaviour.
+func (e *Engine) Stats() metrics.ServingStats {
+	reqs, bat := e.requests.Load(), e.nbatches.Load()
+	s := metrics.ServingStats{
+		Requests:     reqs,
+		Batches:      bat,
+		Rejected:     e.rejected.Load(),
+		QueueDepth:   len(e.queue),
+		QueuePeak:    int(e.queuePeak.Load()),
+		P50Ms:        metrics.Ms(e.latency.Quantile(0.50)),
+		P95Ms:        metrics.Ms(e.latency.Quantile(0.95)),
+		P99Ms:        metrics.Ms(e.latency.Quantile(0.99)),
+		MaxMs:        metrics.Ms(e.latency.Max()),
+		MeanMs:       metrics.Ms(e.latency.Mean()),
+		ServiceP50Ms: metrics.Ms(e.service.Quantile(0.50)),
+		ServiceP99Ms: metrics.Ms(e.service.Quantile(0.99)),
+		ModelVersion: e.model.Load().version,
+		ModelSwaps:   e.swaps.Load(),
+	}
+	if bat > 0 {
+		s.BatchOccupancy = float64(reqs) / float64(bat)
+	}
+	return s
+}
+
+// dispatch is the micro-batching scheduler: it blocks for a first request,
+// then coalesces up to MaxBatch-1 more, waiting at most MaxDelay once the
+// batch has an occupant (a full batch dispatches immediately; MaxDelay 0
+// takes only what is already queued). On stop it keeps batching — without
+// the delay — until the queue is drained, so every accepted request is
+// answered.
+func (e *Engine) dispatch() {
+	defer close(e.batches)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		var first *request
+		select {
+		case first = <-e.queue:
+		case <-e.stop:
+			e.drain()
+			return
+		}
+		b := e.getBatch()
+		b.reqs = append(b.reqs[:0], first)
+		if e.cfg.MaxDelay > 0 {
+			timer.Reset(e.cfg.MaxDelay)
+			expired := false
+			for !expired && len(b.reqs) < e.cfg.MaxBatch {
+				select {
+				case r := <-e.queue:
+					b.reqs = append(b.reqs, r)
+				case <-timer.C:
+					expired = true
+				case <-e.stop:
+					expired = true // drain after this batch ships
+				}
+			}
+			if !expired && !timer.Stop() {
+				<-timer.C
+			}
+		} else {
+		gather:
+			for len(b.reqs) < e.cfg.MaxBatch {
+				select {
+				case r := <-e.queue:
+					b.reqs = append(b.reqs, r)
+				default:
+					break gather
+				}
+			}
+		}
+		e.batches <- b
+	}
+}
+
+// drain batches the queue's remnant after stop, with no straggler waits.
+func (e *Engine) drain() {
+	for {
+		var b *batch
+	fill:
+		for b == nil || len(b.reqs) < e.cfg.MaxBatch {
+			select {
+			case r := <-e.queue:
+				if b == nil {
+					b = e.getBatch()
+					b.reqs = b.reqs[:0]
+				}
+				b.reqs = append(b.reqs, r)
+			default:
+				break fill
+			}
+		}
+		if b == nil {
+			return
+		}
+		e.batches <- b
+	}
+}
+
+// runBatch executes one batch on a replica: rebind if the model was
+// swapped, stage the samples into the replica's fixed-batch input, run the
+// forward-only network, answer every request. Tail rows of a partial batch
+// compute over stale staging data and are ignored.
+func (e *Engine) runBatch(r *replica, b *batch) {
+	start := time.Now()
+	ms := e.model.Load()
+	if ms != r.bound {
+		r.net.Bind(ms.w, e.gradScratch)
+		r.bound = ms
+	}
+	xd := r.x.Data()
+	for i, req := range b.reqs {
+		copy(xd[i*r.vol:(i+1)*r.vol], req.sample)
+	}
+	r.net.Predict(r.x, r.preds, r.conf)
+	e.service.Record(time.Since(start))
+
+	now := time.Now()
+	for i, req := range b.reqs {
+		e.latency.Record(now.Sub(req.enq))
+		req.resp <- Prediction{Class: r.preds[i], Confidence: r.conf[i], Version: ms.version}
+	}
+	e.requests.Add(int64(len(b.reqs)))
+	e.nbatches.Add(1)
+	e.putBatch(b)
+}
+
+// getReq / putReq recycle request objects through a fixed free list (a
+// channel, not a sync.Pool: pool entries can be dropped by GC, which would
+// re-introduce steady-state allocations). Under burst the list may run dry;
+// the fresh allocations feed back into it afterwards.
+func (e *Engine) getReq() *request {
+	select {
+	case r := <-e.freeReqs:
+		return r
+	default:
+		return &request{resp: make(chan Prediction, 1)}
+	}
+}
+
+func (e *Engine) putReq(r *request) {
+	r.sample = nil
+	select {
+	case e.freeReqs <- r:
+	default:
+	}
+}
+
+func (e *Engine) getBatch() *batch {
+	select {
+	case b := <-e.freeBatches:
+		return b
+	default:
+		return &batch{reqs: make([]*request, 0, e.cfg.MaxBatch)}
+	}
+}
+
+func (e *Engine) putBatch(b *batch) {
+	b.reqs = b.reqs[:0]
+	select {
+	case e.freeBatches <- b:
+	default:
+	}
+}

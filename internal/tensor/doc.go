@@ -1,0 +1,16 @@
+// Package tensor provides the dense float32 tensor type and the numeric
+// kernels — blocked, register-tiled GEMM with SIMD micro-kernels, batched
+// im2col convolution lowering, pooling and element-wise vector ops — that
+// the layer library in internal/nn is built on (DESIGN.md §8).
+//
+// Tensors are row-major and backed by a flat []float32; Arena carves many
+// buffers out of one block for the §4.5 memory planner. The package is
+// deliberately allocation-conscious: kernels write into caller-provided
+// buffers, so steady-state training and serving loops perform no
+// per-iteration allocation. Intra-op parallelism comes from a shared,
+// bounded worker pool (ParallelFor) sized by a process-wide budget that
+// concurrent learners divide between themselves; every kernel partitions
+// output ranges disjointly, so results are bit-identical at any worker
+// count — the determinism contract DESIGN.md §8 documents and the
+// determinism tests pin.
+package tensor

@@ -1,11 +1,3 @@
-// Package tensor provides the dense float32 tensor type and the numeric
-// kernels (GEMM, im2col convolution, pooling, element-wise vector ops) that
-// the neural-network layer library in internal/nn is built on.
-//
-// Tensors are row-major and backed by a flat []float32. The package is
-// deliberately small and allocation-conscious: layers pre-allocate their
-// output tensors once and the kernels write into caller-provided buffers, so
-// the steady-state training loop performs no per-iteration allocation.
 package tensor
 
 import (

@@ -108,6 +108,8 @@ func trainCluster(cfg Config) (*Result, error) {
 		Scheduler:         cfg.Scheduler,
 		Prefetch:          cfg.Prefetch,
 		MemoryBudget:      cfg.MemoryBudget,
+		PublishEvery:      cfg.PublishEvery,
+		OnSnapshot:        cfg.OnSnapshot,
 	})
 	res.Series = tr.Series
 	res.EpochsToTarget = tr.EpochsToTarget

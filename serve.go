@@ -1,0 +1,144 @@
+package crossbow
+
+import (
+	"fmt"
+	"time"
+
+	"crossbow/internal/metrics"
+	"crossbow/internal/serve"
+)
+
+// ServeConfig configures a prediction service over a trained model. Exactly
+// one model source must be set: Params (e.g. a Result.Params or a published
+// Snapshot) or Checkpoint (a path written by SaveModel/SaveSnapshot).
+type ServeConfig struct {
+	// Model is the architecture to serve. Required with Params; inferred
+	// from the file with Checkpoint (and validated against it if set).
+	Model Model
+	// Params is the flat model vector to serve. The service takes
+	// ownership.
+	Params []float32
+	// Version tags Params (use the snapshot round; zero is fine for
+	// end-of-training models). Ignored with Checkpoint, which carries its
+	// own snapshot version.
+	Version int64
+	// Checkpoint loads the model from a checkpoint file instead: the
+	// service then serves exactly the published model the file carries,
+	// reporting its recorded snapshot round as the model version.
+	Checkpoint string
+	// Replicas is the number of concurrent forward-only model replicas
+	// (default 1). Throughput scales with replicas until compute saturates.
+	Replicas int
+	// MaxBatch bounds dynamic micro-batching: up to MaxBatch queued
+	// requests coalesce into one forward pass (default 8).
+	MaxBatch int
+	// MaxDelay bounds how long a non-full batch waits for stragglers.
+	// Zero (the default) dispatches immediately with whatever is queued —
+	// minimum latency; set a small positive delay (crossbow-serve
+	// defaults to 2ms) to trade latency for batch occupancy.
+	MaxDelay time.Duration
+	// QueueDepth bounds the request queue; Predict blocks (backpressure)
+	// while it is full (default Replicas×MaxBatch×4).
+	QueueDepth int
+}
+
+// Prediction is one served answer: the arg-max class, its softmax
+// confidence, and the model version that computed it.
+type Prediction = serve.Prediction
+
+// ServingStats is a point-in-time snapshot of a Predictor's behaviour:
+// request/batch counts, batch occupancy, queue pressure and latency
+// quantiles.
+type ServingStats = metrics.ServingStats
+
+// Predictor is a running prediction service. Predict is safe for
+// concurrent use from any number of goroutines; Close drains and stops it.
+type Predictor struct {
+	eng *serve.Engine
+}
+
+// Serve starts a batched prediction service for a trained model (DESIGN.md
+// §11): requests coalesce into micro-batches executed by forward-only
+// replicas on the blocked kernels, allocation-free per request in steady
+// state.
+//
+// Serving the model a run just trained:
+//
+//	res, _ := crossbow.Train(cfg)
+//	p, _ := crossbow.Serve(crossbow.ServeConfig{Model: cfg.Model, Params: res.Params})
+//	defer p.Close()
+//	pred, _ := p.Predict(sample)
+//
+// To serve while training, publish snapshots into the predictor:
+//
+//	cfg.PublishEvery = 100
+//	cfg.OnSnapshot = func(s crossbow.Snapshot) { p.UpdateSnapshot(s) }
+func Serve(cfg ServeConfig) (*Predictor, error) {
+	params, version := cfg.Params, cfg.Version
+	model := cfg.Model
+	if cfg.Checkpoint != "" {
+		if params != nil {
+			return nil, fmt.Errorf("crossbow: ServeConfig.Params and Checkpoint are mutually exclusive")
+		}
+		c, err := LoadCheckpoint(cfg.Checkpoint)
+		if err != nil {
+			return nil, fmt.Errorf("crossbow: loading %s: %w", cfg.Checkpoint, err)
+		}
+		if model != "" && model != c.Model {
+			return nil, fmt.Errorf("crossbow: checkpoint %s holds %q, config says %q",
+				cfg.Checkpoint, c.Model, model)
+		}
+		model, params, version = c.Model, c.Params, c.SnapshotRound
+	}
+	eng, err := serve.New(serve.Config{
+		Model:      model,
+		Params:     params,
+		Version:    version,
+		Replicas:   cfg.Replicas,
+		MaxBatch:   cfg.MaxBatch,
+		MaxDelay:   cfg.MaxDelay,
+		QueueDepth: cfg.QueueDepth,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Predictor{eng: eng}, nil
+}
+
+// Predict classifies one sample (a flat [C×H×W] image, SampleVol elements).
+// It blocks through queueing, batching and execution — typically one
+// MaxDelay plus one batch service time — and is allocation-free per call in
+// steady state.
+func (p *Predictor) Predict(sample []float32) (Prediction, error) {
+	return p.eng.Predict(sample)
+}
+
+// UpdateSnapshot hot-swaps the served model to a newer published snapshot
+// without dropping or delaying queued requests — the serving half of
+// Config.OnSnapshot.
+func (p *Predictor) UpdateSnapshot(s Snapshot) error {
+	return p.eng.UpdateModel(s.Params, int64(s.Round))
+}
+
+// UpdateParams hot-swaps the served model to an arbitrary parameter vector
+// under the given version.
+func (p *Predictor) UpdateParams(params []float32, version int64) error {
+	return p.eng.UpdateModel(params, version)
+}
+
+// Model returns the served architecture.
+func (p *Predictor) Model() Model { return p.eng.Model() }
+
+// Version returns the version of the currently served model.
+func (p *Predictor) Version() int64 { return p.eng.Version() }
+
+// SampleVol returns the expected per-sample element count of Predict inputs.
+func (p *Predictor) SampleVol() int { return p.eng.SampleVol() }
+
+// Stats reports the service's behaviour so far.
+func (p *Predictor) Stats() ServingStats { return p.eng.Stats() }
+
+// Close stops accepting requests, answers everything already queued, and
+// shuts the service down. Predict calls racing Close either complete or
+// return serve.ErrClosed.
+func (p *Predictor) Close() { p.eng.Close() }
