@@ -99,8 +99,19 @@ type Config struct {
 	// is exactly the paper's single-server system.
 	Servers int
 	// Interconnect is the cross-server network cost model (zero value:
-	// 10 Gb/s Ethernet). Only meaningful with Servers > 1.
+	// 10 Gb/s Ethernet). Only meaningful with Servers > 1. On a TCP run
+	// it doubles as the cost-model oracle reported next to the measured
+	// transport statistics, and Interconnect.Tree selects the real
+	// collective's topology too.
 	Interconnect Interconnect
+	// Transport selects the cross-server exchange plane with Servers > 1:
+	// TransportSimulated (default) trains every server in this process
+	// against the Interconnect cost model; TransportTCP runs one server
+	// per OS process, exchanging the average model over real sockets.
+	Transport Transport
+	// Node describes this process's rank and the cluster's address list
+	// with Transport: TransportTCP.
+	Node NodeConfig
 	// GPUs is the number of simulated GPUs g per server (default 1).
 	GPUs int
 	// LearnersPerGPU is m, the model replicas trained per GPU; AutoTune
@@ -185,6 +196,18 @@ type Result struct {
 	// Interconnect is the network cost model the cluster run used (zero
 	// value on single-server runs).
 	Interconnect Interconnect
+	// Transport is the exchange plane the run used (TransportSimulated on
+	// single-process runs).
+	Transport Transport
+	// TransportStats reports the TCP transport's counters for this
+	// process — bytes and frames on the wire, reconnects, membership
+	// churn, and round synchronisation wall times (the measured
+	// counterpart of Interconnect.AllReduceUS). Zero unless
+	// Transport == TransportTCP.
+	TransportStats metrics.TransportStats
+	// WarmStartRound is the snapshot round this process resumed from when
+	// it rejoined a running cluster (0 on cold starts).
+	WarmStartRound int
 	// ThroughputImgSec is the simulated training throughput.
 	ThroughputImgSec float64
 	// EpochSeconds is the simulated duration of one paper-scale epoch.
@@ -263,6 +286,20 @@ func (c *Config) fillDefaults() error {
 	default:
 		return fmt.Errorf("crossbow: unknown scheduler %q", c.Scheduler)
 	}
+	switch c.Transport {
+	case "", TransportSimulated:
+		c.Transport = TransportSimulated
+	case TransportTCP:
+		// One process per server: Servers defaults to the peer count.
+		if c.Servers <= 1 && len(c.Node.Peers) > 0 {
+			c.Servers = len(c.Node.Peers)
+		}
+		if err := c.validateTCP(); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("crossbow: unknown transport %q", c.Transport)
+	}
 	return nil
 }
 
@@ -273,10 +310,13 @@ func Train(cfg Config) (*Result, error) {
 	if err := cfg.fillDefaults(); err != nil {
 		return nil, err
 	}
+	if cfg.Transport == TransportTCP {
+		return trainNodeTCP(cfg)
+	}
 	if cfg.Servers > 1 {
 		return trainCluster(cfg)
 	}
-	res := &Result{LearnersPerGPU: cfg.LearnersPerGPU, Servers: 1, Scheduler: cfg.Scheduler}
+	res := &Result{LearnersPerGPU: cfg.LearnersPerGPU, Servers: 1, Scheduler: cfg.Scheduler, Transport: TransportSimulated}
 
 	// With the FCFS runtime, AutoTune means the *online* Algorithm 2: the
 	// statistical plane below starts at one learner per GPU and resizes

@@ -1,0 +1,299 @@
+package crossbow
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"crossbow/internal/autotune"
+	"crossbow/internal/ckpt"
+	"crossbow/internal/core"
+	"crossbow/internal/metrics"
+	"crossbow/internal/nn"
+	"crossbow/internal/transport"
+)
+
+// Transport selects how the cross-server tier of a cluster run exchanges
+// the central average model.
+type Transport string
+
+const (
+	// TransportSimulated (the default) trains every server in one process
+	// and charges the Interconnect cost model for each exchange — the
+	// original cluster plane, useful as a deterministic oracle.
+	TransportSimulated Transport = "simulated"
+	// TransportTCP runs ONE server per process: this process trains its
+	// local learners and all-reduces the server reference model with its
+	// peers over real TCP connections (Config.Node describes the mesh).
+	// Launch one process per entry of Node.Peers; every process must use
+	// the same Config apart from Node.Rank.
+	TransportTCP Transport = "tcp"
+)
+
+// NodeConfig describes this process's place in a TCP cluster
+// (Config.Transport: TransportTCP).
+type NodeConfig struct {
+	// Rank is this process's index into Peers.
+	Rank int
+	// Peers lists every member's listen address, indexed by rank
+	// (Peers[Rank] is this process's own listen address).
+	Peers []string
+	// Listener optionally supplies a pre-bound listener for Peers[Rank]
+	// (tests bind :0 listeners first so ports are collision-free).
+	Listener net.Listener
+	// BootstrapWait bounds the wait for the full mesh to come up before
+	// training starts (default 10s). A partial mesh trains with whoever
+	// arrived; stragglers join at the next synchronisation round.
+	BootstrapWait time.Duration
+	// WarmStartWait bounds the snapshot probe at startup (default 2s): a
+	// rejoining process pulls the latest published cluster model from a
+	// live peer and resumes from it; on a cold bootstrap no peer holds a
+	// snapshot and every rank initialises from the shared seed.
+	WarmStartWait time.Duration
+	// HeartbeatEvery / PeerTimeout / DialBackoff tune the failure
+	// detector (defaults 100ms / 10× / 25ms; see transport.Config).
+	HeartbeatEvery time.Duration
+	PeerTimeout    time.Duration
+	DialBackoff    time.Duration
+	// Logf receives transport debug lines (nil: silent).
+	Logf func(format string, args ...any)
+}
+
+// nodeExchanger adapts transport.Node to the core trainer's network
+// interface (core redeclares the round report so it never imports the
+// transport package).
+type nodeExchanger struct{ n *transport.Node }
+
+func (e nodeExchanger) AllReduce(buf []float32) (core.ExchangeRound, error) {
+	r, err := e.n.AllReduce(buf)
+	if err != nil {
+		return core.ExchangeRound{}, err
+	}
+	return core.ExchangeRound{
+		Seq:          r.Seq,
+		Participants: r.Participants,
+		Restart:      r.Restart,
+		Aborted:      r.Aborted,
+	}, nil
+}
+
+// snapshotHolder retains the latest published training snapshot and serves
+// it to rejoining peers as a checkpoint-v3 document. It chains to the
+// user's OnSnapshot callback, so serving rejoin does not displace serving
+// predictions.
+type snapshotHolder struct {
+	mu    sync.Mutex
+	last  Snapshot
+	valid bool
+	next  func(Snapshot)
+}
+
+func (h *snapshotHolder) onSnapshot(s Snapshot) {
+	h.mu.Lock()
+	h.last = s
+	h.valid = true
+	h.mu.Unlock()
+	if h.next != nil {
+		h.next(s)
+	}
+}
+
+// checkpoint converts the held snapshot for the transport's rejoin
+// protocol. Snapshot params are immutable after publication, so the slice
+// is shared, not copied.
+func (h *snapshotHolder) checkpoint() *ckpt.Checkpoint {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.valid {
+		return nil
+	}
+	return &ckpt.Checkpoint{
+		Model:         string(h.last.Model),
+		Epoch:         h.last.Epoch,
+		SnapshotRound: int64(h.last.Round),
+		SnapshotIter:  int64(h.last.Iter),
+		Params:        h.last.Params,
+	}
+}
+
+// shuffleSeedFor derives a per-rank input-pipeline seed: every process must
+// stream a DIFFERENT batch sequence (they are different servers of one
+// cluster), while the model seed stays shared so cold starts boot with a
+// replicated w0. Always non-zero, so it overrides the trainer's default.
+func shuffleSeedFor(seed uint64, rank int) uint64 {
+	s := seed + 21 + 1_000_003*uint64(rank+1)
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+// validateTCP checks the TCP-plane knobs after fillDefaults.
+func (c *Config) validateTCP() error {
+	n := len(c.Node.Peers)
+	if n < 1 || n > 64 {
+		return fmt.Errorf("crossbow: TransportTCP needs 1..64 Node.Peers, got %d", n)
+	}
+	if c.Node.Rank < 0 || c.Node.Rank >= n {
+		return fmt.Errorf("crossbow: Node.Rank %d outside peer list of %d", c.Node.Rank, n)
+	}
+	if c.Servers != n {
+		return fmt.Errorf("crossbow: Servers (%d) must equal len(Node.Peers) (%d) on a TCP run", c.Servers, n)
+	}
+	if c.Scheduler != Lockstep {
+		return fmt.Errorf("crossbow: TransportTCP requires the Lockstep scheduler (got %q)", c.Scheduler)
+	}
+	return nil
+}
+
+// trainNodeTCP is Train's path for Transport: TransportTCP. It runs ONE
+// server of the cluster: bring up the transport mesh, warm-start from a
+// peer snapshot when one exists (a rejoin), then train with the networked
+// two-level SMA. The returned Result is this process's view; the central
+// average model in Params is bit-identical across processes that finished
+// the same rounds together.
+func trainNodeTCP(cfg Config) (*Result, error) {
+	algo, err := clusterAlgo(cfg.Algo)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Interconnect == (Interconnect{}) {
+		cfg.Interconnect = Ethernet()
+	}
+	res := &Result{
+		LearnersPerGPU: cfg.LearnersPerGPU,
+		Servers:        cfg.Servers,
+		Interconnect:   cfg.Interconnect,
+		Transport:      TransportTCP,
+	}
+
+	// The learner count must agree across processes. The offline tuner is
+	// deterministic in (model, gpus, batch, cluster shape), so AutoTune
+	// resolves to the same m on every rank.
+	if cfg.LearnersPerGPU == AutoTune {
+		tuned := autotune.Tune(autotune.Config{
+			Model: cfg.Model, GPUs: cfg.GPUs, Batch: cfg.Batch,
+			Servers: cfg.Servers, TauGlobal: cfg.TauGlobal, Net: cfg.Interconnect,
+		})
+		res.LearnersPerGPU = tuned.Chosen
+		res.TuneHistory = tuned.History
+	} else if cfg.LearnersPerGPU <= 0 {
+		res.LearnersPerGPU = 1
+	}
+
+	// Hardware plane: the simulated cluster stays the cost-model oracle —
+	// the simulated throughput/epoch duration published next to the
+	// measured transport stats (Result.TransportStats) so runs can compare
+	// predicted and real exchange costs.
+	spec := nn.FullSpec(cfg.Model)
+	res.ThroughputImgSec = clusterThroughput(cfg, res.LearnersPerGPU, 30)
+	if res.ThroughputImgSec > 0 {
+		res.EpochSeconds = float64(spec.TrainSamples) / res.ThroughputImgSec
+	}
+
+	// Snapshots feed two consumers: the user's OnSnapshot and the rejoin
+	// protocol (peers seed from the latest published cluster model). With
+	// publishing off, default to one snapshot per global round so a
+	// rejoining peer always finds a fresh model to resume from.
+	holder := &snapshotHolder{next: cfg.OnSnapshot}
+	publishEvery := cfg.PublishEvery
+	if publishEvery <= 0 {
+		publishEvery = max(1, cfg.Tau) * max(1, cfg.TauGlobal)
+	}
+
+	node, err := transport.Listen(transport.Config{
+		Rank:           cfg.Node.Rank,
+		Peers:          cfg.Node.Peers,
+		Listener:       cfg.Node.Listener,
+		Tree:           cfg.Interconnect.Tree,
+		HeartbeatEvery: cfg.Node.HeartbeatEvery,
+		PeerTimeout:    cfg.Node.PeerTimeout,
+		DialBackoff:    cfg.Node.DialBackoff,
+		Snapshot:       holder.checkpoint,
+		Logf:           cfg.Node.Logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer node.Close()
+
+	bootstrap := cfg.Node.BootstrapWait
+	if bootstrap <= 0 {
+		bootstrap = 10 * time.Second
+	}
+	node.WaitPeers(bootstrap)
+
+	// Warm start: a rejoining process resumes from the cluster's latest
+	// published model; its first (Restart-flagged) round re-aligns every
+	// participant bit-exactly. Cold bootstraps find no snapshot and fall
+	// through to the shared-seed w0.
+	warmWait := cfg.Node.WarmStartWait
+	if warmWait <= 0 {
+		warmWait = 2 * time.Second
+	}
+	var initModel []float32
+	if len(cfg.Node.Peers) > 1 {
+		if snap, err := node.FetchSnapshot(warmWait); err == nil && snap != nil {
+			if snap.Model != string(cfg.Model) {
+				return nil, fmt.Errorf("crossbow: peer snapshot is for model %q, this run trains %q", snap.Model, cfg.Model)
+			}
+			initModel = snap.Params
+			res.WarmStartRound = int(snap.SnapshotRound)
+		}
+	}
+
+	tr := core.Train(core.TrainConfig{
+		Model:           cfg.Model,
+		Algo:            algo,
+		Servers:         cfg.Servers,
+		GPUs:            cfg.GPUs,
+		LearnersPerGPU:  res.LearnersPerGPU,
+		BatchPerLearner: cfg.Batch,
+		LearnRate:       cfg.LearnRate,
+		Momentum:        cfg.Momentum,
+		LocalMomentum:   cfg.Momentum,
+
+		Tau:               cfg.Tau,
+		TauGlobal:         cfg.TauGlobal,
+		MaxEpochs:         cfg.MaxEpochs,
+		TargetAcc:         cfg.TargetAccuracy,
+		Seed:              cfg.Seed,
+		Schedule:          cfg.Schedule,
+		RestartOnLRChange: cfg.Restart,
+		EpochSeconds:      res.EpochSeconds,
+		TrainSamples:      cfg.TrainSamples,
+		TestSamples:       cfg.TestSamples,
+		Scheduler:         cfg.Scheduler,
+		Prefetch:          cfg.Prefetch,
+		MemoryBudget:      cfg.MemoryBudget,
+		PublishEvery:      publishEvery,
+		OnSnapshot:        holder.onSnapshot,
+
+		GlobalExchange: nodeExchanger{node},
+		InitModel:      initModel,
+		ShuffleSeed:    shuffleSeedFor(cfg.Seed, cfg.Node.Rank),
+	})
+	res.Series = tr.Series
+	res.EpochsToTarget = tr.EpochsToTarget
+	res.BestAccuracy = tr.FinalAccuracy
+	res.Params = tr.Model
+	res.Scheduler = tr.Sched
+	res.Wall = tr.Wall
+	res.WallImagesPerSec = metrics.MeanImagesPerSec(tr.Wall)
+	res.RuntimeStats = tr.RuntimeStats
+	res.Mem = tr.Mem
+	res.TTASeconds = -1
+	if cfg.TargetAccuracy > 0 {
+		if t, ok := metrics.TTA(tr.Series, cfg.TargetAccuracy); ok {
+			res.TTASeconds = t
+		}
+	}
+
+	// A graceful leave: peers stop waiting for this rank at the next
+	// barrier instead of suffering a heartbeat timeout. Stats are cut
+	// before the teardown so LivePeers reflects the training mesh.
+	res.TransportStats = node.Stats()
+	node.Close()
+	return res, nil
+}

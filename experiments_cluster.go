@@ -1,0 +1,256 @@
+package crossbow
+
+// Cluster-transport benchmark (DESIGN.md §12): measured all-reduce times of
+// the REAL TCP transport on localhost next to the simulated Interconnect
+// cost model's predictions, for both collective topologies. The point is not
+// that loopback matches a modelled NIC (it never will — no real wire, no
+// NIC serialisation) but that the two planes disagree only by a link-speed
+// factor: the structural costs — chunking, step counts, per-rank byte
+// volumes — come from the same algorithm, and the recorded rows let a
+// reader line the two up.
+//
+// `crossbow-bench -exp cluster-net` records the result in BENCH_cluster.json
+// so transport PRs can show their effect.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"crossbow/internal/cluster"
+	"crossbow/internal/transport"
+)
+
+// ClusterNetBenchRow is one (topology, tensor size) measurement: k real
+// processes-worth of transport nodes all-reducing over localhost TCP.
+type ClusterNetBenchRow struct {
+	Topology string `json:"topology"`
+	Servers  int    `json:"servers"`
+	Floats   int    `json:"floats"`
+	Bytes    int64  `json:"bytes"`
+	Rounds   int    `json:"rounds"`
+
+	// Collective times are the slowest rank's data phase per round —
+	// exactly the quantity Interconnect.AllReduceUS models.
+	CollectiveP50US  float64 `json:"collective_p50_us"`
+	CollectiveMeanUS float64 `json:"collective_mean_us"`
+	CollectiveMaxUS  float64 `json:"collective_max_us"`
+	// WireBytesPerNode is the mean payload+header traffic one node sent
+	// for the whole run (structural check: ring ≈ 2(k−1)/k of the tensor
+	// per round, tree ≈ the full tensor).
+	WireBytesPerNode int64 `json:"wire_bytes_per_node"`
+
+	// PredictedUS maps each cluster.Presets() cost model (at this row's
+	// topology) to its AllReduceUS prediction for the same bytes/servers.
+	PredictedUS map[string]float64 `json:"predicted_us"`
+}
+
+// ClusterNetBenchReport is the JSON document written to BENCH_cluster.json.
+type ClusterNetBenchReport struct {
+	GOOS      string               `json:"goos"`
+	GOARCH    string               `json:"goarch"`
+	CPUs      int                  `json:"cpus"`
+	Generated string               `json:"generated"`
+	Servers   int                  `json:"servers"`
+	Note      string               `json:"note"`
+	Rows      []ClusterNetBenchRow `json:"rows"`
+}
+
+type clusterNetEnv struct {
+	servers int
+	floats  []int
+	rounds  int
+}
+
+func clusterNetSetup(quick bool) clusterNetEnv {
+	env := clusterNetEnv{
+		servers: 3,
+		floats:  []int{16 << 10, 256 << 10, 1 << 20},
+		rounds:  30,
+	}
+	if quick {
+		env.floats = []int{16 << 10, 256 << 10}
+		env.rounds = 12
+	}
+	return env
+}
+
+// ClusterNetBench runs the real localhost all-reduce for every
+// (topology × tensor size) point and pairs each measurement with the
+// simulated predictions.
+func ClusterNetBench(quick bool) []ClusterNetBenchRow {
+	env := clusterNetSetup(quick)
+	var rows []ClusterNetBenchRow
+	for _, tree := range []bool{false, true} {
+		for _, floats := range env.floats {
+			rows = append(rows, clusterNetPoint(env.servers, floats, env.rounds, tree))
+		}
+	}
+	return rows
+}
+
+func clusterNetPoint(k, floats, rounds int, tree bool) ClusterNetBenchRow {
+	lns := make([]net.Listener, k)
+	addrs := make([]string, k)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			panic(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	nodes := make([]*transport.Node, k)
+	var wg sync.WaitGroup
+	for r := 0; r < k; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			n, err := transport.Listen(transport.Config{
+				Rank: r, Peers: addrs, Listener: lns[r], Tree: tree,
+				HeartbeatEvery: 50 * time.Millisecond,
+				// Generous liveness window: the bench shares one machine
+				// across all ranks, and real crashes surface as connection
+				// resets anyway.
+				PeerTimeout: 5 * time.Second,
+			})
+			if err != nil {
+				panic(err)
+			}
+			nodes[r] = n
+		}(r)
+	}
+	wg.Wait()
+	for _, n := range nodes {
+		n.WaitPeers(10 * time.Second)
+	}
+
+	bufs := make([][]float32, k)
+	for r := range bufs {
+		bufs[r] = make([]float32, floats)
+		for i := range bufs[r] {
+			bufs[r][i] = 1
+		}
+	}
+
+	samples := make([]float64, 0, rounds)
+	for round := 0; round < rounds; round++ {
+		// Keep magnitudes bounded across rounds: every rank contributes 1s,
+		// so the sum is exactly k everywhere and we reset it each round.
+		for r := range bufs {
+			for i := range bufs[r] {
+				bufs[r][i] = 1
+			}
+		}
+		res := make([]transport.Round, k)
+		var rw sync.WaitGroup
+		for r := 0; r < k; r++ {
+			rw.Add(1)
+			go func(r int) {
+				defer rw.Done()
+				rr, err := nodes[r].AllReduce(bufs[r])
+				if err != nil {
+					panic(err)
+				}
+				res[r] = rr
+			}(r)
+		}
+		rw.Wait()
+		var worst int64
+		for r, rr := range res {
+			if rr.Aborted || rr.Participants != k {
+				panic(fmt.Sprintf("cluster-net bench: rank %d round %d: %+v", r, round, rr))
+			}
+			if rr.CollectiveNs > worst {
+				worst = rr.CollectiveNs
+			}
+		}
+		samples = append(samples, float64(worst)/1e3)
+	}
+
+	var wire int64
+	for _, n := range nodes {
+		wire += n.Stats().BytesSent
+	}
+	for _, n := range nodes {
+		n.Close()
+	}
+
+	sort.Float64s(samples)
+	var mean float64
+	for _, s := range samples {
+		mean += s
+	}
+	mean /= float64(len(samples))
+
+	bytes := int64(floats) * 4
+	row := ClusterNetBenchRow{
+		Topology: "ring", Servers: k, Floats: floats, Bytes: bytes, Rounds: rounds,
+		CollectiveP50US:  samples[len(samples)/2],
+		CollectiveMeanUS: mean,
+		CollectiveMaxUS:  samples[len(samples)-1],
+		WireBytesPerNode: wire / int64(k),
+		PredictedUS:      map[string]float64{},
+	}
+	if tree {
+		row.Topology = "tree"
+	}
+	for _, ic := range cluster.Presets() {
+		ic.Tree = tree
+		row.PredictedUS[ic.Name] = ic.AllReduceUS(bytes, k)
+	}
+	return row
+}
+
+// PrintClusterNetBench renders the real-vs-simulated table.
+func PrintClusterNetBench(w io.Writer, rows []ClusterNetBenchRow) {
+	if len(rows) == 0 {
+		return
+	}
+	var names []string
+	for name := range rows[0].PredictedUS {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "Real TCP all-reduce on localhost vs simulated cost models (%d servers)\n", rows[0].Servers)
+	fmt.Fprintf(w, "%5s %9s %9s %10s %10s", "topo", "floats", "MiB", "p50(us)", "mean(us)")
+	for _, name := range names {
+		fmt.Fprintf(w, " %10s", name)
+	}
+	fmt.Fprintln(w)
+	for _, row := range rows {
+		fmt.Fprintf(w, "%5s %9d %9.2f %10.0f %10.0f",
+			row.Topology, row.Floats, float64(row.Bytes)/(1<<20),
+			row.CollectiveP50US, row.CollectiveMeanUS)
+		for _, name := range names {
+			fmt.Fprintf(w, " %10.0f", row.PredictedUS[name])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "predicted columns are the simulated Interconnect's AllReduceUS for the modelled NIC")
+}
+
+// WriteClusterNetBenchJSON records the result (plus environment) at path.
+func WriteClusterNetBenchJSON(path string, rows []ClusterNetBenchRow, quick bool) error {
+	env := clusterNetSetup(quick)
+	rep := ClusterNetBenchReport{
+		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Servers:   env.servers,
+		Note: "measured on localhost loopback; predicted_us models real NICs, " +
+			"so compare shapes (topology and size scaling), not absolutes",
+		Rows: rows,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -35,6 +35,15 @@ func InfiniBandEDR() Interconnect {
 	return Interconnect{Name: "IB-EDR", LatencyUS: 2, BytesPerUS: 12_500}
 }
 
+// Presets returns every named interconnect cost model, in
+// slowest-to-fastest order. Sweeps and validation harnesses (the real TCP
+// transport reports its measured all-reduce time next to each preset's
+// AllReduceUS prediction) iterate this list instead of hard-coding the
+// constructors.
+func Presets() []Interconnect {
+	return []Interconnect{Ethernet10G(), Ethernet25G(), InfiniBandEDR()}
+}
+
 // AllReduceUS returns the duration of all-reducing n bytes across servers
 // server nodes.
 //

@@ -3,7 +3,7 @@ package cluster
 import "testing"
 
 func TestAllReduceDegenerate(t *testing.T) {
-	for _, ic := range []Interconnect{Ethernet10G(), Ethernet25G(), InfiniBandEDR()} {
+	for _, ic := range Presets() {
 		if d := ic.AllReduceUS(1<<20, 1); d != 0 {
 			t.Errorf("%s: all-reduce over 1 server costs %v µs, want 0", ic.Name, d)
 		}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"fmt"
+
+	"crossbow/internal/tensor"
+)
+
+// ExchangeRound reports one global all-reduce from the cluster transport's
+// point of view (a subset of transport.Round, redeclared here so core does
+// not depend on the transport package).
+type ExchangeRound struct {
+	// Seq is the cluster-wide round number.
+	Seq uint64
+	// Participants is the number of servers whose reference models were
+	// summed.
+	Participants int
+	// Restart marks a round whose participant view differs from the
+	// previous round's (a server died, left, or rejoined since).
+	Restart bool
+	// Aborted marks a collective cut short by a membership change; the
+	// buffer contents are undefined and the exchange must be skipped.
+	Aborted bool
+}
+
+// GlobalExchanger is the cluster plane's network: it sums a model vector
+// element-wise across every live server, in place, returning bit-identical
+// bytes on all participants (the transport's collectives reduce in a fixed
+// rank order to guarantee exactly that). transport.Node satisfies it
+// through a one-line adapter in the root package.
+type GlobalExchanger interface {
+	AllReduce(buf []float32) (ExchangeRound, error)
+}
+
+// DistClusterSMA is the multi-process form of ClusterSMA: this process
+// runs ONE server's learners (a flat intra-server SMA), and the
+// inter-server tier exchanges the server reference model over a real
+// network instead of iterating sibling servers in memory.
+//
+// The mathematics mirror ClusterSMA.Step's global tier. There, with all n
+// reference models in hand, the cluster average model z accumulates
+// per-server corrections: z ← z + Σ_s α_G(ref_s − z) + µ_G(z − z_prev).
+// Here each process holds only its own ref, but the all-reduce delivers
+// sum = Σ_s ref_s, and Σ_s α_G(ref_s − z) = α_G(sum − n·z), so every node
+// can apply the identical update. Because z starts replicated (same seed,
+// same w0), the sum is bit-identical on every node (fixed reduction
+// order), and the update reads only replicated values, z stays bit-for-bit
+// replicated across the cluster without ever being transmitted — each node
+// also folds its own correction α_G(ref − z) into its local reference
+// model, exactly as the simulated exchange does.
+//
+// Churn breaks the replication invariant (an aborted round updates z on
+// some nodes and not others; a rejoining node carries a stale or
+// snapshot-seeded z). Healing is the transport's Restart flag: any round
+// whose membership view changed re-derives z = sum/n on every participant
+// and clears the momentum history (z_prev ← z) — the §3.2 restart applied
+// at the membership boundary. One successful restart round later the
+// cluster is replicated again, whatever state the members arrived in.
+type DistClusterSMA struct {
+	cfg ClusterSMAConfig
+	sma *SMA // this server's intra-server tier
+	ex  GlobalExchanger
+
+	z, zPrev []float32 // cluster average model, replicated across nodes
+	buf      []float32 // all-reduce scratch
+	state    []bool
+	alphaG   float32 // 0 → 1/participants, resolved per round
+	muG      float32
+
+	iter       int
+	localSyncs int
+
+	rounds  int64 // successful global exchanges
+	aborted int64 // exchanges skipped because the collective aborted
+	lastRnd ExchangeRound
+}
+
+// NewDistClusterSMA creates the optimiser for this server's k local
+// learners. w0 must be identical on every cold-started node (same seed) —
+// a node warm-started from a peer snapshot gets healed by its first
+// (restart) round instead. ex is the cluster network.
+func NewDistClusterSMA(cfg ClusterSMAConfig, w0 []float32, k int, ex GlobalExchanger) *DistClusterSMA {
+	if ex == nil {
+		panic("core: DistClusterSMA needs a GlobalExchanger")
+	}
+	if cfg.Tau < 1 {
+		cfg.Tau = 1
+	}
+	if cfg.TauGlobal < 1 {
+		cfg.TauGlobal = 1
+	}
+	muG := cfg.GlobalMomentum
+	if muG == 0 {
+		muG = cfg.Momentum
+	}
+	d := &DistClusterSMA{
+		cfg:    cfg,
+		sma:    NewSMA(cfg.SMAConfig, w0, k),
+		ex:     ex,
+		z:      append([]float32(nil), w0...),
+		zPrev:  append([]float32(nil), w0...),
+		buf:    make([]float32, len(w0)),
+		alphaG: cfg.AlphaGlobal,
+		muG:    muG,
+	}
+	if len(cfg.StateRanges) > 0 {
+		d.state = make([]bool, len(w0))
+		for _, rg := range cfg.StateRanges {
+			for i := rg[0]; i < rg[1] && i < len(w0); i++ {
+				d.state[i] = true
+			}
+		}
+	}
+	return d
+}
+
+// Average returns the cluster average model z — the model the cluster
+// trains, bit-identical on every node after each successful round. Live
+// slice; do not modify.
+func (d *DistClusterSMA) Average() []float32 { return d.z }
+
+// Ref returns this server's reference model (the intra-server tier's
+// average model). Live slice; tests compare it against z.
+func (d *DistClusterSMA) Ref() []float32 { return d.sma.Average() }
+
+// SetLearnRate updates γ on the local learners.
+func (d *DistClusterSMA) SetLearnRate(lr float32) { d.sma.SetLearnRate(lr) }
+
+// Rounds returns the number of successful global exchanges folded into z.
+func (d *DistClusterSMA) Rounds() int64 { return d.rounds }
+
+// AbortedRounds returns the number of exchanges skipped due to churn.
+func (d *DistClusterSMA) AbortedRounds() int64 { return d.aborted }
+
+// LastRound returns the most recent exchange's report.
+func (d *DistClusterSMA) LastRound() ExchangeRound { return d.lastRnd }
+
+// Step performs one local iteration, and on every TauGlobal-th local
+// synchronisation runs the cross-server exchange over the network.
+func (d *DistClusterSMA) Step(ws, gs [][]float32) {
+	d.iter++
+	d.sma.Step(ws, gs)
+	if d.iter%d.cfg.Tau != 0 {
+		return
+	}
+	d.localSyncs++
+	if d.localSyncs%d.cfg.TauGlobal != 0 {
+		return
+	}
+	d.exchange()
+}
+
+// exchange runs one global round: all-reduce the server reference model,
+// then apply the replicated z update (or the restart re-derivation).
+func (d *DistClusterSMA) exchange() {
+	ref := d.sma.Average()
+	copy(d.buf, ref)
+	r, err := d.ex.AllReduce(d.buf)
+	if err != nil {
+		// The transport is closed (shutdown); train on locally.
+		d.aborted++
+		return
+	}
+	d.lastRnd = r
+	if r.Aborted || r.Participants < 1 {
+		d.aborted++
+		return
+	}
+	n := float32(r.Participants)
+	alphaG := d.alphaG
+	if alphaG == 0 {
+		alphaG = 1 / n
+	}
+	sum := d.buf
+	if r.Restart {
+		// Membership changed: z may not be replicated across the
+		// participants any more (an aborted round updated some nodes, a
+		// rejoiner carries a snapshot-seeded model), so re-derive it from
+		// the one value that is — the consensus sum — and clear the
+		// momentum history. Then pull the local reference model toward
+		// the fresh consensus with a plain correction. Cold starts never
+		// come through here: all nodes boot with z = w0 from the shared
+		// seed, so the incremental update below is already replicated.
+		for i := range d.z {
+			zn := sum[i] / n
+			d.z[i] = zn
+			d.zPrev[i] = zn
+			if d.state == nil || !d.state[i] {
+				ref[i] -= alphaG * (ref[i] - zn)
+			}
+		}
+		d.rounds++
+		return
+	}
+	// Steady state: the ClusterSMA global tier, factored through the sum.
+	zv, zp := d.z, d.zPrev
+	st, mu := d.state, d.muG
+	apply := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			zOld := zv[i]
+			if st != nil && st[i] {
+				// State (batch-norm statistics): the cluster average model
+				// carries the server average, no corrections.
+				zv[i] = sum[i] / n
+				zp[i] = zOld
+				continue
+			}
+			ref[i] -= alphaG * (ref[i] - zOld)
+			zv[i] = zOld + alphaG*(sum[i]-n*zOld) + mu*(zOld-zp[i])
+			zp[i] = zOld
+		}
+	}
+	if tensor.Parallelism() == 1 {
+		apply(0, len(zv))
+	} else {
+		tensor.ParallelFor(len(zv), 16384, apply)
+	}
+	d.rounds++
+}
+
+// Restart re-initialises the averaging process from the cluster average
+// model (§3.2): the server reference model and all local replicas reset to
+// z, momentum history cleared. Every node restarts at the same epoch with
+// a replicated z, so the cluster stays replicated.
+func (d *DistClusterSMA) Restart(ws [][]float32) {
+	if len(ws) != d.sma.K() {
+		panic(fmt.Sprintf("core: DistClusterSMA.Restart with %d replicas, want %d", len(ws), d.sma.K()))
+	}
+	copy(d.zPrev, d.z)
+	tensor.Copy(d.sma.z, d.z)
+	tensor.Copy(d.sma.zPrev, d.z)
+	d.sma.Restart(ws)
+	d.iter = 0
+	d.localSyncs = 0
+}

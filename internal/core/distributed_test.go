@@ -1,0 +1,280 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"crossbow/internal/nn"
+	"crossbow/internal/tensor"
+)
+
+// memExchange is an in-memory GlobalExchanger for tests: n handles barrier
+// per round, the contributions are summed in rank order (the same
+// fixed-order contract the TCP transport provides), and the sum is copied
+// back into every buffer.
+type memExchange struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	bufs    [][]float32
+	arrived int
+	seq     uint64
+
+	// Fault injection for the next round.
+	forceRestart bool
+	forceAbort   bool
+}
+
+func newMemExchange(n int) *memExchange {
+	m := &memExchange{n: n, bufs: make([][]float32, n)}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// handle returns rank r's GlobalExchanger view.
+func (m *memExchange) handle(rank int) GlobalExchanger { return &memHandle{m: m, rank: rank} }
+
+type memHandle struct {
+	m    *memExchange
+	rank int
+}
+
+func (h *memHandle) AllReduce(buf []float32) (ExchangeRound, error) {
+	m := h.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	my := m.seq
+	// Injected faults are set between rounds and stable during one, so
+	// every participant reads them on entry.
+	restart, abort := m.forceRestart, m.forceAbort
+	m.bufs[h.rank] = buf
+	m.arrived++
+	if m.arrived == m.n {
+		sum := make([]float32, len(buf))
+		for _, b := range m.bufs { // rank order: deterministic reduction
+			for i := range sum {
+				sum[i] += b[i]
+			}
+		}
+		for _, b := range m.bufs {
+			copy(b, sum)
+		}
+		m.arrived = 0
+		m.seq++
+		m.forceRestart, m.forceAbort = false, false
+		m.cond.Broadcast()
+	} else {
+		for m.seq == my {
+			m.cond.Wait()
+		}
+	}
+	return ExchangeRound{Seq: my + 1, Participants: m.n, Restart: restart, Aborted: abort}, nil
+}
+
+// stepDist drives n DistClusterSMA nodes through one iteration each,
+// concurrently (the exchanger barriers them on τ_global boundaries).
+func stepDist(nodes []*DistClusterSMA, ws, gs [][][]float32) {
+	var wg sync.WaitGroup
+	for s := range nodes {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			nodes[s].Step(ws[s], gs[s])
+		}(s)
+	}
+	wg.Wait()
+}
+
+// TestDistClusterMatchesSimulated compares the networked cluster plane
+// against the in-process ClusterSMA oracle on the same gradient schedule:
+// two servers with two learners each, τ=2, τ_global=2, momentum and state
+// ranges on. The distributed form computes Σα(ref−z) as α(sum − n·z), so
+// floating-point rounding may differ from the simulated per-server
+// accumulation — trajectories must agree to tight tolerance, and the
+// distributed z must be bit-identical across nodes at every step.
+func TestDistClusterMatchesSimulated(t *testing.T) {
+	const servers, perServer, dim = 2, 2, 32
+	cfg := ClusterSMAConfig{
+		SMAConfig: SMAConfig{
+			LearnRate: 0.05, Momentum: 0.9, LocalMomentum: 0.6,
+			Tau: 2, StateRanges: [][2]int{{28, 32}},
+		},
+		TauGlobal: 2,
+	}
+
+	// Simulated oracle: all four learners in one process.
+	wsSim, gsSim, w0 := makeReplicas(servers*perServer, dim)
+	sim := NewClusterSMA(cfg, w0, GroupsFor(servers, perServer))
+
+	// Distributed: one node per server, each holding its two learners.
+	ex := newMemExchange(servers)
+	nodes := make([]*DistClusterSMA, servers)
+	wsD := make([][][]float32, servers)
+	gsD := make([][][]float32, servers)
+	for s := 0; s < servers; s++ {
+		ws, gs, _ := makeReplicas(perServer, dim)
+		wsD[s], gsD[s] = ws, gs
+		nodes[s] = NewDistClusterSMA(cfg, w0, perServer, ex.handle(s))
+	}
+
+	for iter := 1; iter <= 12; iter++ {
+		fakeGrads(gsSim, iter)
+		for s := 0; s < servers; s++ {
+			// Learner j of server s is global learner s*perServer+j.
+			for j := 0; j < perServer; j++ {
+				copy(gsD[s][j], gsSim[s*perServer+j])
+			}
+		}
+		sim.Step(wsSim, gsSim)
+		stepDist(nodes, wsD, gsD)
+
+		// Replication invariant: z bit-identical across nodes.
+		if d := tensor.MaxAbsDiff(nodes[0].Average(), nodes[1].Average()); d != 0 {
+			t.Fatalf("iter %d: distributed z diverges across nodes by %v", iter, d)
+		}
+		// Against the oracle: tight tolerance (operand-order rounding only).
+		if d := tensor.MaxAbsDiff(sim.Average(), nodes[0].Average()); d > 2e-6 {
+			t.Fatalf("iter %d: distributed z off the simulated oracle by %v", iter, d)
+		}
+		for s := 0; s < servers; s++ {
+			if d := tensor.MaxAbsDiff(sim.smas[s].Average(), nodes[s].Ref()); d > 2e-6 {
+				t.Fatalf("iter %d: server %d reference model off oracle by %v", iter, s, d)
+			}
+			for j := 0; j < perServer; j++ {
+				if d := tensor.MaxAbsDiff(wsSim[s*perServer+j], wsD[s][j]); d > 2e-6 {
+					t.Fatalf("iter %d: replica %d/%d off oracle by %v", iter, s, j, d)
+				}
+			}
+		}
+	}
+	if nodes[0].Rounds() == 0 {
+		t.Fatal("no global rounds ran")
+	}
+}
+
+// TestDistClusterRestartHeals corrupts one node's cluster average model —
+// standing in for any churn-induced divergence (missed round, stale
+// rejoiner) — and checks a Restart-flagged round restores bit-exact
+// replication from the consensus sum.
+func TestDistClusterRestartHeals(t *testing.T) {
+	const servers, dim = 2, 16
+	cfg := ClusterSMAConfig{SMAConfig: SMAConfig{LearnRate: 0.1, Momentum: 0.9}}
+	ex := newMemExchange(servers)
+	nodes := make([]*DistClusterSMA, servers)
+	wsD := make([][][]float32, servers)
+	gsD := make([][][]float32, servers)
+	var w0 []float32
+	for s := 0; s < servers; s++ {
+		ws, gs, w := makeReplicas(1, dim)
+		wsD[s], gsD[s], w0 = ws, gs, w
+		nodes[s] = NewDistClusterSMA(cfg, w0, 1, ex.handle(s))
+	}
+
+	// A clean round, then corruption on node 1.
+	for s := range nodes {
+		fakeGrads(gsD[s], 1)
+	}
+	stepDist(nodes, wsD, gsD)
+	for i := range nodes[1].z {
+		nodes[1].z[i] += float32(i) * 0.01
+		nodes[1].zPrev[i] -= 0.5
+	}
+	if tensor.MaxAbsDiff(nodes[0].Average(), nodes[1].Average()) == 0 {
+		t.Fatal("corruption did not take")
+	}
+
+	// Without a restart the nodes would now walk different trajectories;
+	// the flagged round re-derives z = sum/n everywhere.
+	ex.forceRestart = true
+	for s := range nodes {
+		fakeGrads(gsD[s], 2)
+	}
+	stepDist(nodes, wsD, gsD)
+	if d := tensor.MaxAbsDiff(nodes[0].Average(), nodes[1].Average()); d != 0 {
+		t.Fatalf("restart round did not re-replicate z (diff %v)", d)
+	}
+	if d := tensor.MaxAbsDiff(nodes[0].z, nodes[0].zPrev); d != 0 {
+		t.Fatalf("restart round must clear momentum history (z−zPrev %v)", d)
+	}
+
+	// And the cluster keeps training normally afterwards, still replicated.
+	for iter := 3; iter <= 6; iter++ {
+		for s := range nodes {
+			fakeGrads(gsD[s], iter)
+		}
+		stepDist(nodes, wsD, gsD)
+		if d := tensor.MaxAbsDiff(nodes[0].Average(), nodes[1].Average()); d != 0 {
+			t.Fatalf("iter %d: z diverged after heal by %v", iter, d)
+		}
+	}
+}
+
+// TestDistClusterAbortSkipsUpdate pins the no-retry abort semantics: an
+// aborted collective leaves z and zPrev untouched and counts the abort;
+// training continues on the next round.
+func TestDistClusterAbortSkipsUpdate(t *testing.T) {
+	const dim = 8
+	cfg := ClusterSMAConfig{SMAConfig: SMAConfig{LearnRate: 0.1}}
+	ex := newMemExchange(1)
+	ws, gs, w0 := makeReplicas(1, dim)
+	d := NewDistClusterSMA(cfg, w0, 1, ex.handle(0))
+
+	fakeGrads(gs, 1)
+	d.Step(ws, gs) // seeds z (first round)
+	zBefore := append([]float32(nil), d.Average()...)
+
+	ex.forceAbort = true
+	fakeGrads(gs, 2)
+	d.Step(ws, gs)
+	if tensor.MaxAbsDiff(d.Average(), zBefore) != 0 {
+		t.Fatal("aborted round must not touch z")
+	}
+	if d.AbortedRounds() != 1 || d.Rounds() != 1 {
+		t.Fatalf("counters: rounds %d aborted %d, want 1/1", d.Rounds(), d.AbortedRounds())
+	}
+
+	fakeGrads(gs, 3)
+	d.Step(ws, gs)
+	if d.Rounds() != 2 {
+		t.Fatalf("post-abort round did not run (rounds %d)", d.Rounds())
+	}
+	if tensor.MaxAbsDiff(d.Average(), zBefore) == 0 {
+		t.Fatal("post-abort round must move z again")
+	}
+}
+
+// TestTrainDistCluster runs the full trainer on two networked nodes (via
+// the in-memory exchanger): both processes must finish with the identical
+// cluster average model, learn above chance, and report per-process K.
+func TestTrainDistCluster(t *testing.T) {
+	const servers = 2
+	ex := newMemExchange(servers)
+	results := make([]*Result, servers)
+	var wg sync.WaitGroup
+	for s := 0; s < servers; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			results[s] = Train(TrainConfig{
+				Model: nn.LeNet, Algo: AlgoSMACluster,
+				Servers: servers, GPUs: 1, LearnersPerGPU: 2, BatchPerLearner: 8,
+				Momentum: 0.9, MaxEpochs: 3, Seed: 1,
+				GlobalExchange: ex.handle(s),
+				ShuffleSeed:    uint64(101 + s), // distinct batch streams
+			})
+		}(s)
+	}
+	wg.Wait()
+
+	for s, res := range results {
+		if res.K != 2 {
+			t.Fatalf("node %d: K = %d, want 2 local learners", s, res.K)
+		}
+		if res.FinalAccuracy <= 0.12 {
+			t.Fatalf("node %d: accuracy %.3f barely above chance", s, res.FinalAccuracy)
+		}
+	}
+	if d := tensor.MaxAbsDiff(results[0].Model, results[1].Model); d != 0 {
+		t.Fatalf("final cluster average models differ across nodes by %v", d)
+	}
+}

@@ -163,10 +163,34 @@ type TrainConfig struct {
 	// quick and must not call back into the trainer; hand the snapshot off
 	// (e.g. to a serving engine's UpdateModel) and return.
 	OnSnapshot func(Snapshot)
+	// GlobalExchange, with AlgoSMACluster, switches the inter-server tier
+	// from the in-process simulation to a real network: this process runs
+	// ONE server's GPUs×LearnersPerGPU learners, and every τ_global local
+	// synchronisations the server reference model is all-reduced across
+	// the cluster through this exchanger (see DistClusterSMA). Servers
+	// then describes the cluster size for reporting only — each process
+	// contributes one server.
+	GlobalExchange GlobalExchanger
+	// InitModel, if non-nil, overrides the seed-derived initial model w0
+	// (it must match the model's parameter count). A node rejoining a
+	// cluster warm-starts from a peer's snapshot this way.
+	InitModel []float32
+	// ShuffleSeed, if non-zero, overrides the input pipeline's shuffle
+	// seed (default Seed+21). Distributed nodes derive it from their rank
+	// so every server trains on a differently-ordered batch stream while
+	// sharing the same model seed.
+	ShuffleSeed uint64
 }
 
-// K returns the total learner count n×g×m.
-func (c TrainConfig) K() int { return max(1, c.Servers) * c.GPUs * c.LearnersPerGPU }
+// K returns this process's learner count: n×g×m with the simulated
+// cluster plane (all servers live in one process), g×m with a real
+// GlobalExchange (each process runs exactly one server).
+func (c TrainConfig) K() int {
+	if c.GlobalExchange != nil {
+		return c.GPUs * c.LearnersPerGPU
+	}
+	return max(1, c.Servers) * c.GPUs * c.LearnersPerGPU
+}
 
 func (c *TrainConfig) fillDefaults() {
 	if c.Servers == 0 {
@@ -229,6 +253,20 @@ func (c *TrainConfig) validate() {
 			panic("core: online learner tuning is single-server")
 		}
 	}
+	if c.GlobalExchange != nil {
+		if c.Algo != AlgoSMACluster {
+			panic(fmt.Sprintf("core: a GlobalExchange requires AlgoSMACluster (got %q)", c.Algo))
+		}
+		if c.Scheduler != SchedLockstep {
+			panic("core: the network cluster plane requires the lockstep scheduler")
+		}
+		if c.AutoTuneLearners {
+			panic("core: online learner tuning cannot resize a networked cluster node")
+		}
+	}
+	if c.InitModel != nil && c.GlobalExchange == nil {
+		panic("core: InitModel is only meaningful with a GlobalExchange (snapshot-seeded rejoin)")
+	}
 }
 
 // Result is the outcome of a training run.
@@ -276,6 +314,8 @@ func centralModel(s stepper) []float32 {
 	case *HierarchicalSMA:
 		return o.Average()
 	case *ClusterSMA:
+		return o.Average()
+	case *DistClusterSMA:
 		return o.Average()
 	case *EASGD:
 		return o.Average()
@@ -339,6 +379,12 @@ func newTrainEnv(cfg *TrainConfig, k int) *trainEnv {
 		e.nets = append(e.nets, nn.BuildScaled(cfg.Model, cfg.BatchPerLearner, e.masterRNG.Split()))
 	}
 	e.w0 = e.nets[0].Init(tensor.NewRNG(cfg.Seed + 13))
+	if cfg.InitModel != nil {
+		if len(cfg.InitModel) != len(e.w0) {
+			panic(fmt.Sprintf("core: InitModel has %d parameters, model needs %d", len(cfg.InitModel), len(e.w0)))
+		}
+		copy(e.w0, cfg.InitModel)
+	}
 	for j := 0; j < k; j++ {
 		e.ws = append(e.ws, append([]float32(nil), e.w0...))
 		e.gs = append(e.gs, make([]float32, len(e.w0)))
@@ -424,6 +470,13 @@ func buildOpt(cfg *TrainConfig, w0 []float32, k int, stateRanges [][2]int) stepp
 	case AlgoSMAHier:
 		return NewHierarchicalSMA(smaCfg, w0, GroupsFor(cfg.GPUs, cfg.LearnersPerGPU))
 	case AlgoSMACluster:
+		if cfg.GlobalExchange != nil {
+			// Real cluster plane: this process is one server; the global
+			// tier runs over the network.
+			return NewDistClusterSMA(ClusterSMAConfig{
+				SMAConfig: smaCfg, TauGlobal: cfg.TauGlobal,
+			}, w0, k, cfg.GlobalExchange)
+		}
 		// Contiguous learner partition: server s owns g×m learners; within
 		// a server the intra-server tier is flat SMA.
 		return NewClusterSMA(ClusterSMAConfig{
@@ -526,11 +579,15 @@ func Train(cfg TrainConfig) *Result {
 
 	// Input pipeline: pre-processors stage shuffled batches into the
 	// circular buffer; sized for the largest pool the run may grow to.
+	shuffleSeed := cfg.Seed + 21
+	if cfg.ShuffleSeed != 0 {
+		shuffleSeed = cfg.ShuffleSeed
+	}
 	e.pipe = data.NewPipeline(e.train, data.PipelineConfig{
 		Batch:   cfg.BatchPerLearner,
 		Slots:   maxK * cfg.Prefetch,
 		Workers: min(4, max(1, maxK/2)),
-		Seed:    cfg.Seed + 21,
+		Seed:    shuffleSeed,
 	})
 	defer e.pipe.Close()
 
@@ -681,6 +738,8 @@ func setLearnRate(s stepper, lr float32) {
 		o.SetLearnRate(lr)
 	case *ClusterSMA:
 		o.SetLearnRate(lr)
+	case *DistClusterSMA:
+		o.SetLearnRate(lr)
 	case *EASGD:
 		o.SetLearnRate(lr)
 	case *SSGD:
@@ -697,6 +756,8 @@ func restart(s stepper, ws [][]float32) {
 	case *HierarchicalSMA:
 		o.Restart(ws)
 	case *ClusterSMA:
+		o.Restart(ws)
+	case *DistClusterSMA:
 		o.Restart(ws)
 	}
 }

@@ -1,0 +1,436 @@
+package transport
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"crossbow/internal/metrics"
+)
+
+// errAborted signals a membership change mid-collective; AllReduce maps it
+// to Round.Aborted rather than surfacing it to callers.
+var errAborted = errors.New("transport: round aborted by membership change")
+
+// AllReduce sums buf element-wise across every live member of the cluster,
+// in place, and reports the round. The reduction order is fixed by rank,
+// so all participants hold bit-identical sums afterwards — which is what
+// lets each node apply the cluster-average update independently and stay
+// replicated.
+//
+// The call barriers with the current coordinator (lowest alive rank): each
+// member announces Ready, the coordinator waits for every live member and
+// answers Begin with the round number and participant view. A view that
+// differs from the previous round's sets Round.Restart. If a peer dies
+// mid-collective the round aborts (Round.Aborted; buf is then garbage) —
+// the caller skips the exchange and the next successful round restarts.
+//
+// A single-member view degenerates to a no-op round: buf already holds the
+// "sum".
+func (n *Node) AllReduce(buf []float32) (Round, error) {
+	start := time.Now()
+	bm, err := n.barrier()
+	if err != nil {
+		return Round{}, err
+	}
+	view := ranksOf(bm.view)
+	r := Round{Seq: bm.round, Participants: len(view), Restart: bm.restart}
+	r.WaitNs = time.Since(start).Nanoseconds()
+	if bm.restart {
+		n.stats.restartRounds.Add(1)
+	}
+	if len(view) > 1 {
+		cstart := time.Now()
+		if n.cfg.Tree {
+			err = n.treeAllReduce(bm, view, buf)
+		} else {
+			err = n.ringAllReduce(bm, view, buf)
+		}
+		r.CollectiveNs = time.Since(cstart).Nanoseconds()
+		if err != nil {
+			if errors.Is(err, ErrClosed) {
+				return Round{}, ErrClosed
+			}
+			n.abortRoundPeers(bm, view)
+			n.stats.aborts.Add(1)
+			r.Aborted = true
+			n.logf("rank %d: round %d aborted: %v", n.rank, bm.round, err)
+			return r, nil
+		}
+	}
+	n.stats.rounds.Add(1)
+	n.stats.collectiveNs.Add(r.CollectiveNs)
+	n.stats.roundLat.Record(time.Since(start))
+	return r, nil
+}
+
+// barrier runs the Ready/Begin handshake and returns the Begin this node
+// must act on. Followers (re-)send Ready whenever the believed coordinator
+// or the membership epoch changes, so coordinator failover mid-barrier
+// converges; the coordinator collects Readys from every live member, then
+// assigns the round. Errors only on Close.
+func (n *Node) barrier() (*beginMsg, error) {
+	readySentTo := -1
+	readyEpoch := uint64(0)
+	n.mu.Lock()
+	for {
+		if n.closed {
+			n.mu.Unlock()
+			return nil, ErrClosed
+		}
+		if bm := n.takeBeginLocked(); bm != nil {
+			targets := n.beginTargetsLocked(bm)
+			n.mu.Unlock()
+			n.sendBegin(bm, targets)
+			return bm, nil
+		}
+		leader := n.leaderLocked()
+		if leader == n.rank {
+			n.readySet[n.rank] = true
+			if n.allReadyLocked() {
+				bm := n.issueBeginLocked()
+				targets := n.beginTargetsLocked(bm)
+				n.mu.Unlock()
+				n.sendBegin(bm, targets)
+				return bm, nil
+			}
+		} else if readySentTo != leader || readyEpoch != n.epoch {
+			readySentTo, readyEpoch = leader, n.epoch
+			p := n.peers[leader]
+			n.mu.Unlock()
+			// A failed send means the coordinator is dying; the failure
+			// detector will bump the epoch and we re-send to its successor.
+			p.send(n, &header{Type: frameReady, Sender: uint32(n.rank)}, nil, n.cfg.WriteTimeout)
+			n.mu.Lock()
+			continue
+		}
+		n.cond.Wait()
+	}
+}
+
+// takeBeginLocked consumes a pending Begin if this node is in its view.
+// Begins for rounds already taken, or views excluding this rank, are
+// dropped (the latter means the coordinator declared us dead while our
+// Ready was in flight; we keep waiting for a view that includes us).
+func (n *Node) takeBeginLocked() *beginMsg {
+	bm := n.begin
+	if bm == nil {
+		return nil
+	}
+	if bm.round <= n.lastRound {
+		n.begin = nil
+		return nil
+	}
+	if bm.view&(1<<uint(n.rank)) == 0 {
+		n.begin = nil
+		return nil
+	}
+	n.begin = nil
+	n.lastRound = bm.round
+	n.prevView = bm.view
+	return bm
+}
+
+// allReadyLocked reports whether every live member (including self) has
+// announced Ready.
+func (n *Node) allReadyLocked() bool {
+	for r, p := range n.peers {
+		alive := r == n.rank || (p != nil && p.alive)
+		if alive && !n.readySet[r] {
+			return false
+		}
+	}
+	return true
+}
+
+// issueBeginLocked assigns the next round over the current live view. The
+// restart flag is the heart of churn recovery: it is set whenever the view
+// differs from the previous round's, telling every participant to re-derive
+// the shared central model from the consensus sum instead of updating it
+// incrementally.
+func (n *Node) issueBeginLocked() *beginMsg {
+	view := n.aliveViewLocked()
+	bm := &beginMsg{round: n.nextRound, view: view, restart: view != n.prevView}
+	n.nextRound++
+	n.lastRound = bm.round
+	n.prevView = view
+	for r := range n.readySet {
+		if view&(1<<uint(r)) != 0 {
+			delete(n.readySet, r)
+		}
+	}
+	return bm
+}
+
+// beginTargetsLocked lists the peers a coordinator must announce bm to
+// (nil when this node is a follower that merely consumed a received
+// Begin — only the issuer fans the announcement out).
+func (n *Node) beginTargetsLocked(bm *beginMsg) []*peer {
+	if n.leaderLocked() != n.rank {
+		return nil
+	}
+	var targets []*peer
+	for _, r := range ranksOf(bm.view) {
+		if r != n.rank {
+			targets = append(targets, n.peers[r])
+		}
+	}
+	return targets
+}
+
+func (n *Node) sendBegin(bm *beginMsg, targets []*peer) {
+	if len(targets) == 0 {
+		return
+	}
+	h := &header{Type: frameBegin, Sender: uint32(n.rank), Round: bm.round, Aux: bm.view}
+	if bm.restart {
+		h.Flags |= flagRestart
+	}
+	for _, p := range targets {
+		p.send(n, h, nil, n.cfg.WriteTimeout)
+	}
+}
+
+// abortRoundPeers tells the rest of the view this node gave up on the
+// round, so participants still blocked on our chunks abort too instead of
+// waiting for frames that will never come.
+func (n *Node) abortRoundPeers(bm *beginMsg, view []int) {
+	h := &header{Type: frameAbort, Sender: uint32(n.rank), Round: bm.round}
+	for _, r := range view {
+		if r == n.rank {
+			continue
+		}
+		p := n.peers[r]
+		n.mu.Lock()
+		alive := p.alive
+		n.mu.Unlock()
+		if alive {
+			p.send(n, h, nil, time.Second)
+		}
+	}
+}
+
+// sendData ships one collective chunk; a write failure aborts the round.
+func (n *Node) sendData(p *peer, round uint64, phase byte, step int, chunk []float32) error {
+	h := &header{Type: frameData, Sender: uint32(n.rank), Round: round, Aux: dataAux(phase, step)}
+	if err := p.send(n, h, f32Bytes(chunk), n.cfg.WriteTimeout); err != nil {
+		return errAborted
+	}
+	return nil
+}
+
+// recvData waits for the addressed chunk from p, dropping stale frames
+// from earlier (aborted) rounds. It gives up when p dies, the round is
+// aborted by another participant, or the node closes. The returned buffer
+// is pool-owned.
+func (n *Node) recvData(p *peer, round uint64, phase byte, step int, want int) ([]float32, error) {
+	// take classifies one mailbox message: stale frames from earlier rounds
+	// are dropped (done=false), a mismatched frame means protocol
+	// divergence (e.g. the peer is in a different round than we are after
+	// an asymmetric view split) and aborts — the next restart round
+	// re-aligns everyone.
+	take := func(m dataMsg) (buf []float32, done bool, err error) {
+		if m.round < round {
+			n.pool.Put(m.buf)
+			return nil, false, nil
+		}
+		if m.round != round || m.phase != phase || m.step != step || len(m.buf) != want {
+			n.pool.Put(m.buf)
+			return nil, true, errAborted
+		}
+		return m.buf, true, nil
+	}
+	for {
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			return nil, ErrClosed
+		}
+		if n.abortRound >= round {
+			n.mu.Unlock()
+			return nil, errAborted
+		}
+		alive := p.alive
+		ch := n.notifyCh
+		n.mu.Unlock()
+		if !alive {
+			// The peer is down — but its read loop dispatched every frame
+			// in order before reporting the death, so anything it sent
+			// first is already in the mailbox. Drain that before giving
+			// up: a node that completes the round and leaves gracefully
+			// must not abort it for the participants still receiving.
+			select {
+			case m := <-p.data:
+				if buf, done, err := take(m); done {
+					return buf, err
+				}
+				continue
+			default:
+				return nil, errAborted
+			}
+		}
+		select {
+		case m := <-p.data:
+			if buf, done, err := take(m); done {
+				return buf, err
+			}
+		case <-ch:
+			// Membership or abort state changed; re-check.
+		}
+	}
+}
+
+// ringAllReduce runs the bandwidth-optimal ring: k−1 reduce-scatter steps
+// in which each node accumulates one chunk, then k−1 all-gather steps that
+// circulate the reduced chunks verbatim. Each chunk is summed at exactly
+// one node in ring order, so every participant ends with identical bytes.
+func (n *Node) ringAllReduce(bm *beginMsg, view []int, buf []float32) error {
+	k := len(view)
+	me := rankIndex(view, n.rank)
+	next := n.peers[view[(me+1)%k]]
+	prev := n.peers[view[(me-1+k)%k]]
+	bounds := func(c int) (int, int) { return c * len(buf) / k, (c + 1) * len(buf) / k }
+
+	for s := 0; s < k-1; s++ {
+		lo, hi := bounds((me - s + k) % k)
+		if err := n.sendData(next, bm.round, phaseReduceScatter, s, buf[lo:hi]); err != nil {
+			return err
+		}
+		lo, hi = bounds((me - s - 1 + k) % k)
+		in, err := n.recvData(prev, bm.round, phaseReduceScatter, s, hi-lo)
+		if err != nil {
+			return err
+		}
+		addInto(buf[lo:hi], in)
+		n.pool.Put(in)
+	}
+	for s := 0; s < k-1; s++ {
+		lo, hi := bounds((me + 1 - s + k) % k)
+		if err := n.sendData(next, bm.round, phaseAllGather, s, buf[lo:hi]); err != nil {
+			return err
+		}
+		lo, hi = bounds((me - s + k) % k)
+		in, err := n.recvData(prev, bm.round, phaseAllGather, s, hi-lo)
+		if err != nil {
+			return err
+		}
+		copy(buf[lo:hi], in)
+		n.pool.Put(in)
+	}
+	return nil
+}
+
+// treeAllReduce runs the latency-optimal binomial tree rooted at the
+// lowest view index: ⌈log2 k⌉ reduce steps toward the root, then the
+// mirror broadcast of the finished sum. Only the root sums, so the
+// broadcast bytes are identical everywhere by construction.
+func (n *Node) treeAllReduce(bm *beginMsg, view []int, buf []float32) error {
+	k := len(view)
+	me := rankIndex(view, n.rank)
+	for b := 1; b < k; b <<= 1 {
+		if me&b != 0 {
+			return n.treeLeafFinish(bm, view, me, b, buf)
+		}
+		if me+b < k {
+			in, err := n.recvData(n.peers[view[me+b]], bm.round, phaseTreeReduce, b, len(buf))
+			if err != nil {
+				return err
+			}
+			addInto(buf, in)
+			n.pool.Put(in)
+		}
+	}
+	// Root: broadcast down the same tree.
+	span := 1
+	for span < k {
+		span <<= 1
+	}
+	return n.treeBcast(bm, view, me, span, buf)
+}
+
+// treeLeafFinish is the non-root path: send the partial sum to the parent,
+// wait for the finished sum, and relay it to our broadcast children.
+func (n *Node) treeLeafFinish(bm *beginMsg, view []int, me, b int, buf []float32) error {
+	if err := n.sendData(n.peers[view[me-b]], bm.round, phaseTreeReduce, b, buf); err != nil {
+		return err
+	}
+	in, err := n.recvData(n.peers[view[me-b]], bm.round, phaseTreeBcast, b, len(buf))
+	if err != nil {
+		return err
+	}
+	copy(buf, in)
+	n.pool.Put(in)
+	return n.treeBcast(bm, view, me, b, buf)
+}
+
+// treeBcast relays the finished sum to this node's broadcast subtree:
+// children at offsets below the distance to our own parent.
+func (n *Node) treeBcast(bm *beginMsg, view []int, me, below int, buf []float32) error {
+	k := len(view)
+	for b := below >> 1; b >= 1; b >>= 1 {
+		if me+b < k {
+			if err := n.sendData(n.peers[view[me+b]], bm.round, phaseTreeBcast, b, buf); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func rankIndex(view []int, rank int) int {
+	for i, r := range view {
+		if r == rank {
+			return i
+		}
+	}
+	return -1
+}
+
+// addInto accumulates src into dst element-wise. Plain sequential adds:
+// the reduction order must be identical on every participant, so no
+// reordering tricks.
+func addInto(dst, src []float32) {
+	for i := range dst {
+		dst[i] += src[i]
+	}
+}
+
+// nodeStats is the transport's lock-free counter block.
+type nodeStats struct {
+	bytesSent, bytesRecv   atomic.Int64
+	framesSent, framesRecv atomic.Int64
+
+	rounds, restartRounds atomic.Int64
+	aborts                atomic.Int64
+	reconnects            atomic.Int64
+	peerDeaths            atomic.Int64
+
+	snapshotsServed, snapshotsFetched atomic.Int64
+
+	collectiveNs atomic.Int64
+	roundLat     metrics.LatencyRecorder
+}
+
+func (s *nodeStats) snapshot() metrics.TransportStats {
+	out := metrics.TransportStats{
+		BytesSent:        s.bytesSent.Load(),
+		BytesRecv:        s.bytesRecv.Load(),
+		FramesSent:       s.framesSent.Load(),
+		FramesRecv:       s.framesRecv.Load(),
+		Rounds:           s.rounds.Load(),
+		RestartRounds:    s.restartRounds.Load(),
+		Aborts:           s.aborts.Load(),
+		Reconnects:       s.reconnects.Load(),
+		PeerDeaths:       s.peerDeaths.Load(),
+		SnapshotsServed:  s.snapshotsServed.Load(),
+		SnapshotsFetched: s.snapshotsFetched.Load(),
+		RoundMean:        s.roundLat.Mean(),
+		RoundMax:         s.roundLat.Max(),
+	}
+	if s.roundLat.Count() > 0 {
+		out.RoundP50 = s.roundLat.Quantile(0.50)
+		out.RoundP99 = s.roundLat.Quantile(0.99)
+		out.CollectiveMean = time.Duration(s.collectiveNs.Load() / s.roundLat.Count())
+	}
+	return out
+}

@@ -1,0 +1,35 @@
+// Package transport is the cluster plane's real network: N crossbow
+// processes exchanging the cross-server average model over TCP, where
+// internal/cluster only *simulates* the exchange on a discrete-event clock.
+// The simulated interconnect stays alive as the cost-model oracle this
+// package is validated against (DESIGN.md §12).
+//
+// A Node owns one rank of a static peer list. Bootstrap is
+// coordinator-less: every node listens on its own address and the
+// lower-ranked end of each pair dials the higher-ranked end, with backoff,
+// until the mesh is up; the same dial loops re-establish connections after
+// a drop, so a restarted process rejoins without any central party.
+//
+// On the mesh the node runs three protocols:
+//
+//   - Membership: heartbeat frames flow on every connection; a peer whose
+//     traffic stops for PeerTimeout is marked dead and the membership epoch
+//     advances. Reconnection (or a Hello from a restarted process) marks it
+//     alive again. Views are rank bitmaps; the lowest alive rank acts as
+//     the round coordinator.
+//   - Rounds: AllReduce callers barrier through a Ready/Begin handshake
+//     with the current coordinator, which assigns the round number and the
+//     participant view. A round whose view differs from the previous
+//     round's is flagged Restart: every participant re-derives the cluster
+//     average model from the consensus sum instead of updating it
+//     incrementally, which heals any divergence a death, drop or rejoin
+//     introduced (the §3.2 restart applied at the membership boundary).
+//   - Collective: the participants all-reduce length-prefixed tensor
+//     frames in ring or binomial-tree topology — the same two collectives
+//     the cluster.Interconnect cost model prices. Both reduce in a fixed
+//     rank order, so the summed bytes are identical on every participant.
+//
+// A rejoining process seeds its model by pulling a checkpoint-v3 snapshot
+// from a live peer (FetchSnapshot) before training, then enters the next
+// round like any other member.
+package transport

@@ -1,0 +1,224 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sync"
+	"unsafe"
+)
+
+// Wire format: every message is one length-prefixed frame with a fixed
+// 36-byte header followed by the payload. Integers are little-endian.
+//
+//	offset size field
+//	0      4    magic "CBTF"
+//	4      1    wire version
+//	5      1    frame type
+//	6      2    flags
+//	8      4    sender rank
+//	12     8    round (collective frames) / 0
+//	20     8    aux (Begin: participant view bitmap; Data: phase|step)
+//	28     4    payload length in bytes
+//	32     4    CRC-32 (IEEE) of the payload
+//
+// Tensor payloads are the raw native-endian float32 bytes of the model
+// vector chunk — encoded and decoded through an unsafe slice view, so a
+// send costs no copy and a receive lands directly in a pooled buffer.
+const (
+	frameMagic  = "CBTF"
+	wireVersion = 1
+	headerSize  = 36
+)
+
+// Frame types.
+const (
+	frameHello     = byte(1) // dialer's rank announcement
+	frameHelloAck  = byte(2) // acceptor's confirmation
+	frameHeartbeat = byte(3) // liveness beacon
+	frameReady     = byte(4) // member is at the round barrier
+	frameBegin     = byte(5) // coordinator opens a round (view in aux)
+	frameData      = byte(6) // tensor chunk of a collective step
+	frameSnapReq   = byte(7) // pull a model snapshot
+	frameSnapResp  = byte(8) // checkpoint-v3 payload (empty: none held)
+	frameLeave     = byte(9)  // graceful departure
+	frameAbort     = byte(10) // a participant aborted the round in `round`
+)
+
+// Begin flags.
+const flagRestart = uint16(1) // view changed: re-derive z from consensus
+
+// header is the decoded fixed part of a frame.
+type header struct {
+	Type   byte
+	Flags  uint16
+	Sender uint32
+	Round  uint64
+	Aux    uint64
+	Length uint32
+}
+
+// dataAux packs a collective Data frame's addressing into the aux field:
+// the phase (reduce-scatter, all-gather, tree-reduce, tree-broadcast) and
+// the step index within the phase.
+func dataAux(phase byte, step int) uint64 { return uint64(phase)<<32 | uint64(uint32(step)) }
+
+func dataPhase(aux uint64) byte { return byte(aux >> 32) }
+func dataStep(aux uint64) int   { return int(uint32(aux)) }
+
+// Collective phases.
+const (
+	phaseReduceScatter = byte(1)
+	phaseAllGather     = byte(2)
+	phaseTreeReduce    = byte(3)
+	phaseTreeBcast     = byte(4)
+)
+
+// putHeader serialises h (with the payload's length and CRC already set by
+// the caller) into buf.
+func putHeader(buf *[headerSize]byte, h *header, crc uint32) {
+	copy(buf[0:4], frameMagic)
+	buf[4] = wireVersion
+	buf[5] = h.Type
+	binary.LittleEndian.PutUint16(buf[6:8], h.Flags)
+	binary.LittleEndian.PutUint32(buf[8:12], h.Sender)
+	binary.LittleEndian.PutUint64(buf[12:20], h.Round)
+	binary.LittleEndian.PutUint64(buf[20:28], h.Aux)
+	binary.LittleEndian.PutUint32(buf[28:32], h.Length)
+	binary.LittleEndian.PutUint32(buf[32:36], crc)
+}
+
+// parseHeader validates magic and version and decodes the fixed fields,
+// returning the payload CRC for the caller to verify.
+func parseHeader(buf *[headerSize]byte) (header, uint32, error) {
+	if string(buf[0:4]) != frameMagic {
+		return header{}, 0, fmt.Errorf("transport: bad frame magic %q", buf[0:4])
+	}
+	if buf[4] != wireVersion {
+		return header{}, 0, fmt.Errorf("transport: unsupported wire version %d", buf[4])
+	}
+	h := header{
+		Type:   buf[5],
+		Flags:  binary.LittleEndian.Uint16(buf[6:8]),
+		Sender: binary.LittleEndian.Uint32(buf[8:12]),
+		Round:  binary.LittleEndian.Uint64(buf[12:20]),
+		Aux:    binary.LittleEndian.Uint64(buf[20:28]),
+		Length: binary.LittleEndian.Uint32(buf[28:32]),
+	}
+	return h, binary.LittleEndian.Uint32(buf[32:36]), nil
+}
+
+// writeFrame serialises one frame. The caller holds the connection's write
+// lock; payload may be nil for control frames. Returns the total bytes
+// written.
+func writeFrame(w io.Writer, h *header, payload []byte) (int, error) {
+	h.Length = uint32(len(payload))
+	var hdr [headerSize]byte
+	putHeader(&hdr, h, crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return headerSize, err
+		}
+	}
+	return headerSize + len(payload), nil
+}
+
+// readFrame reads one frame from r, verifying the checksum. Payloads land
+// in a buffer from pool (sized in float32 elements, so tensor payloads are
+// aligned for the zero-copy float view); the caller must Put it back. The
+// payload slice is nil for empty frames. Returns the total bytes read.
+func readFrame(r io.Reader, maxPayload int, pool *bufPool) (header, []float32, int, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return header{}, nil, 0, err
+	}
+	h, wantCRC, err := parseHeader(&hdr)
+	if err != nil {
+		return header{}, nil, 0, err
+	}
+	if int(h.Length) > maxPayload {
+		return header{}, nil, 0, fmt.Errorf("transport: frame payload %d exceeds limit %d", h.Length, maxPayload)
+	}
+	if h.Length == 0 {
+		if wantCRC != 0 {
+			return header{}, nil, 0, fmt.Errorf("transport: empty frame with non-zero checksum")
+		}
+		return h, nil, headerSize, nil
+	}
+	elems := (int(h.Length) + 3) / 4
+	buf := pool.Get(elems)
+	b := f32Bytes(buf)[:h.Length]
+	if _, err := io.ReadFull(r, b); err != nil {
+		pool.Put(buf)
+		return header{}, nil, 0, fmt.Errorf("transport: truncated frame payload: %w", err)
+	}
+	if crc32.ChecksumIEEE(b) != wantCRC {
+		pool.Put(buf)
+		return header{}, nil, 0, fmt.Errorf("transport: frame checksum mismatch (type %d from rank %d)", h.Type, h.Sender)
+	}
+	return h, buf, headerSize + int(h.Length), nil
+}
+
+// f32Bytes views a float32 slice as its raw bytes without copying (the
+// same reinterpret idiom as tensor.AsInt32: identical size and alignment,
+// aliased storage). Encoding is native-endian; every rank of a cluster
+// runs the same binary on the same architecture, and the checksum rejects
+// accidental cross-endian mixes.
+func f32Bytes(s []float32) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*4)
+}
+
+// payloadF32 clips a pooled payload buffer to the tensor element count of
+// a Data frame.
+func payloadF32(buf []float32, h *header) ([]float32, error) {
+	if h.Length%4 != 0 {
+		return nil, fmt.Errorf("transport: tensor payload of %d bytes is not float32-aligned", h.Length)
+	}
+	return buf[:h.Length/4], nil
+}
+
+// bufPool is a free-list of float32 buffers for frame payloads — the
+// internal/serve free-list idiom with a size threshold: Get returns a
+// buffer with capacity at least elems, Put recycles it. Round after round
+// the collective cycles through the same few chunk sizes, so the pool
+// reaches steady state after the first round and the receive path stops
+// allocating.
+type bufPool struct {
+	mu   sync.Mutex
+	free [][]float32
+}
+
+// Get returns a buffer of the given element length.
+func (p *bufPool) Get(elems int) []float32 {
+	p.mu.Lock()
+	for i := len(p.free) - 1; i >= 0; i-- {
+		if cap(p.free[i]) >= elems {
+			b := p.free[i]
+			p.free = append(p.free[:i], p.free[i+1:]...)
+			p.mu.Unlock()
+			return b[:elems]
+		}
+	}
+	p.mu.Unlock()
+	return make([]float32, elems)
+}
+
+// Put recycles a buffer obtained from Get. The free list is bounded so a
+// burst of odd-sized frames cannot pin memory forever.
+func (p *bufPool) Put(b []float32) {
+	if cap(b) == 0 {
+		return
+	}
+	p.mu.Lock()
+	if len(p.free) < 32 {
+		p.free = append(p.free, b[:0])
+	}
+	p.mu.Unlock()
+}

@@ -1,0 +1,139 @@
+package transport
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestFrameRoundTrip pins the wire format: header fields and tensor
+// payloads survive encode/decode, and the byte layout starts with the
+// magic and version.
+func TestFrameRoundTrip(t *testing.T) {
+	payload := []float32{1.5, -2.25, 3.125, 0, 42}
+	h := header{Type: frameData, Flags: flagRestart, Sender: 3, Round: 77, Aux: dataAux(phaseAllGather, 9)}
+	var b bytes.Buffer
+	wrote, err := writeFrame(&b, &h, f32Bytes(payload))
+	if err != nil {
+		t.Fatalf("writeFrame: %v", err)
+	}
+	if wrote != headerSize+len(payload)*4 {
+		t.Fatalf("wrote %d bytes, want %d", wrote, headerSize+len(payload)*4)
+	}
+	raw := b.Bytes()
+	if string(raw[:4]) != frameMagic || raw[4] != wireVersion {
+		t.Fatalf("frame prefix = %q version %d", raw[:4], raw[4])
+	}
+
+	var pool bufPool
+	got, buf, read, err := readFrame(&b, 1<<20, &pool)
+	if err != nil {
+		t.Fatalf("readFrame: %v", err)
+	}
+	if read != wrote {
+		t.Fatalf("read %d bytes, wrote %d", read, wrote)
+	}
+	if got.Type != h.Type || got.Flags != h.Flags || got.Sender != h.Sender || got.Round != h.Round || got.Aux != h.Aux {
+		t.Fatalf("header mismatch: got %+v want %+v", got, h)
+	}
+	if dataPhase(got.Aux) != phaseAllGather || dataStep(got.Aux) != 9 {
+		t.Fatalf("aux decode: phase %d step %d", dataPhase(got.Aux), dataStep(got.Aux))
+	}
+	f32, err := payloadF32(buf, &got)
+	if err != nil {
+		t.Fatalf("payloadF32: %v", err)
+	}
+	for i, v := range payload {
+		if f32[i] != v {
+			t.Fatalf("payload[%d] = %v, want %v", i, f32[i], v)
+		}
+	}
+	pool.Put(buf)
+}
+
+// TestFrameEmpty round-trips a control frame with no payload.
+func TestFrameEmpty(t *testing.T) {
+	var b bytes.Buffer
+	h := header{Type: frameHeartbeat, Sender: 1}
+	if _, err := writeFrame(&b, &h, nil); err != nil {
+		t.Fatalf("writeFrame: %v", err)
+	}
+	var pool bufPool
+	got, buf, _, err := readFrame(&b, 0, &pool)
+	if err != nil {
+		t.Fatalf("readFrame: %v", err)
+	}
+	if buf != nil || got.Length != 0 || got.Type != frameHeartbeat {
+		t.Fatalf("empty frame decoded as %+v payload %v", got, buf)
+	}
+}
+
+// TestFrameCorruption verifies the integrity checks: flipped payload bits
+// fail the CRC, a bad magic and a future version are rejected, and an
+// oversized frame is refused before any payload allocation.
+func TestFrameCorruption(t *testing.T) {
+	var pool bufPool
+	mk := func() []byte {
+		var b bytes.Buffer
+		h := header{Type: frameData, Sender: 2, Round: 5}
+		writeFrame(&b, &h, f32Bytes([]float32{1, 2, 3}))
+		return b.Bytes()
+	}
+
+	raw := mk()
+	raw[headerSize+1] ^= 0x40 // corrupt payload
+	if _, _, _, err := readFrame(bytes.NewReader(raw), 1<<20, &pool); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("corrupt payload: err = %v, want checksum mismatch", err)
+	}
+
+	raw = mk()
+	raw[0] = 'X'
+	if _, _, _, err := readFrame(bytes.NewReader(raw), 1<<20, &pool); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("bad magic: err = %v", err)
+	}
+
+	raw = mk()
+	raw[4] = wireVersion + 1
+	if _, _, _, err := readFrame(bytes.NewReader(raw), 1<<20, &pool); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("future version: err = %v", err)
+	}
+
+	raw = mk()
+	if _, _, _, err := readFrame(bytes.NewReader(raw), 4, &pool); err == nil || !strings.Contains(err.Error(), "limit") {
+		t.Fatalf("oversized: err = %v", err)
+	}
+
+	raw = mk()
+	if _, _, _, err := readFrame(bytes.NewReader(raw[:headerSize+5]), 1<<20, &pool); err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("truncated: err = %v", err)
+	}
+}
+
+// TestFrameReaderStops ensures a clean EOF mid-header surfaces as an error
+// rather than a phantom frame.
+func TestFrameReaderStops(t *testing.T) {
+	var pool bufPool
+	if _, _, _, err := readFrame(bytes.NewReader(nil), 0, &pool); err != io.EOF {
+		t.Fatalf("empty stream: err = %v, want io.EOF", err)
+	}
+}
+
+// TestBufPool pins the free-list contract: a recycled buffer is reused
+// when large enough, and Get always returns the exact requested length.
+func TestBufPool(t *testing.T) {
+	var pool bufPool
+	a := pool.Get(100)
+	if len(a) != 100 {
+		t.Fatalf("Get(100) returned len %d", len(a))
+	}
+	pool.Put(a)
+	b := pool.Get(50)
+	if len(b) != 50 || cap(b) < 100 {
+		t.Fatalf("Get(50) after Put(cap 100): len %d cap %d, want recycled buffer", len(b), cap(b))
+	}
+	c := pool.Get(200)
+	if len(c) != 200 {
+		t.Fatalf("Get(200) returned len %d", len(c))
+	}
+}

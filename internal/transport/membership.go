@@ -1,0 +1,340 @@
+package transport
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// peer is the per-rank connection slot. The slot is permanent (it survives
+// reconnects); the connection inside it is replaced as the peer comes and
+// goes. Liveness and the conn pointer are guarded by the owning Node's mu;
+// wmu serialises frame writes on whatever connection is current.
+type peer struct {
+	rank int
+	addr string
+
+	wmu sync.Mutex
+
+	// Guarded by Node.mu.
+	conn     net.Conn
+	alive    bool
+	gen      uint64 // bumped per attach, so stale read loops detach cleanly
+	lastSeen time.Time
+
+	// data is the mailbox of collective tensor frames from this peer.
+	data chan dataMsg
+}
+
+// dataMsg is one received collective chunk; buf is pool-owned and must be
+// returned by the consumer.
+type dataMsg struct {
+	round uint64
+	phase byte
+	step  int
+	buf   []float32
+}
+
+// send writes one frame to the peer's current connection. Write errors
+// close the connection (the read loop then reports the peer down); callers
+// treat an error as "peer unreachable right now".
+func (p *peer) send(n *Node, h *header, payload []byte, timeout time.Duration) error {
+	n.mu.Lock()
+	conn := p.conn
+	n.mu.Unlock()
+	if conn == nil {
+		return errNotConnected
+	}
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	conn.SetWriteDeadline(time.Now().Add(timeout))
+	bytes, err := writeFrame(conn, h, payload)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	n.stats.bytesSent.Add(int64(bytes))
+	n.stats.framesSent.Add(1)
+	return nil
+}
+
+var errNotConnected = errTransient("transport: peer not connected")
+
+type errTransient string
+
+func (e errTransient) Error() string { return string(e) }
+
+// acceptLoop admits incoming connections: each must open with a Hello from
+// a lower-ranked peer (lower ranks dial higher ranks, so ownership of each
+// pair's connection is unambiguous after a restart).
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			n.mu.Lock()
+			closed := n.closed
+			n.mu.Unlock()
+			if closed {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		n.wg.Add(1)
+		go n.handshakeAccept(conn)
+	}
+}
+
+func (n *Node) handshakeAccept(conn net.Conn) {
+	defer n.wg.Done()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	h, payload, _, err := readFrame(conn, 0, &n.pool)
+	if err != nil || h.Type != frameHello {
+		conn.Close()
+		return
+	}
+	n.pool.Put(payload)
+	rank := int(h.Sender)
+	if rank < 0 || rank >= len(n.peers) || rank >= n.rank || n.peers[rank] == nil {
+		n.logf("rank %d: rejecting hello from rank %d", n.rank, rank)
+		conn.Close()
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	p := n.peers[rank]
+	if err := p.sendOn(n, conn, &header{Type: frameHelloAck, Sender: uint32(n.rank)}); err != nil {
+		conn.Close()
+		return
+	}
+	n.attach(p, conn)
+}
+
+// sendOn writes a frame on an explicit connection (handshake time, before
+// the conn is attached to the slot).
+func (p *peer) sendOn(n *Node, conn net.Conn, h *header) error {
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	bytes, err := writeFrame(conn, h, nil)
+	if err != nil {
+		return err
+	}
+	n.stats.bytesSent.Add(int64(bytes))
+	n.stats.framesSent.Add(1)
+	return nil
+}
+
+// dialLoop owns the connection to one higher-ranked peer: dial with
+// exponential backoff while it is down, then sleep until the failure
+// detector declares it down again. It is the only reconnect path, which is
+// what lets a killed-and-restarted process rejoin with no coordinator.
+func (n *Node) dialLoop(p *peer) {
+	defer n.wg.Done()
+	backoff := n.cfg.DialBackoff
+	for {
+		n.mu.Lock()
+		for !n.closed && p.alive {
+			n.cond.Wait()
+		}
+		if n.closed {
+			n.mu.Unlock()
+			return
+		}
+		n.mu.Unlock()
+
+		conn, err := net.DialTimeout("tcp", p.addr, n.cfg.PeerTimeout)
+		if err == nil {
+			err = n.handshakeDial(p, conn)
+		}
+		if err != nil {
+			time.Sleep(backoff)
+			if backoff < 32*n.cfg.DialBackoff {
+				backoff *= 2
+			}
+			continue
+		}
+		backoff = n.cfg.DialBackoff
+	}
+}
+
+func (n *Node) handshakeDial(p *peer, conn net.Conn) error {
+	if err := p.sendOn(n, conn, &header{Type: frameHello, Sender: uint32(n.rank)}); err != nil {
+		conn.Close()
+		return err
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	h, payload, _, err := readFrame(conn, 0, &n.pool)
+	if err != nil || h.Type != frameHelloAck || int(h.Sender) != p.rank {
+		conn.Close()
+		if err == nil {
+			err = errNotConnected
+		}
+		return err
+	}
+	n.pool.Put(payload)
+	conn.SetReadDeadline(time.Time{})
+	n.attach(p, conn)
+	return nil
+}
+
+// attach installs a fresh connection in the peer's slot, marks the peer
+// alive, advances the membership epoch, and starts the read loop.
+func (n *Node) attach(p *peer, conn net.Conn) {
+	if tcp, ok := conn.(*net.TCPConn); ok {
+		tcp.SetNoDelay(true)
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		conn.Close()
+		return
+	}
+	if p.conn != nil {
+		// A stale connection lingers (e.g. the peer restarted faster than
+		// our failure detector fired). Replace it; its read loop exits on
+		// the close and sees the bumped generation.
+		p.conn.Close()
+	}
+	p.conn = conn
+	p.gen++
+	gen := p.gen
+	wasAlive := p.alive
+	p.alive = true
+	p.lastSeen = time.Now()
+	if wasAlive {
+		n.stats.reconnects.Add(1)
+	}
+	n.bumpLocked()
+	n.mu.Unlock()
+	n.logf("rank %d: peer %d up", n.rank, p.rank)
+	n.wg.Add(1)
+	go n.readLoop(p, conn, gen)
+}
+
+// readLoop drains frames from one connection until it dies. It is the only
+// reader, so collective consumers never touch the socket — which is also
+// what makes the send-then-receive collectives deadlock-free: bytes are
+// always drained off the wire into the mailbox even while the local
+// collective is blocked writing.
+func (n *Node) readLoop(p *peer, conn net.Conn, gen uint64) {
+	defer n.wg.Done()
+	for {
+		h, payload, bytes, err := readFrame(conn, n.cfg.MaxPayload, &n.pool)
+		if err != nil {
+			n.peerDown(p, conn, gen)
+			return
+		}
+		n.stats.bytesRecv.Add(int64(bytes))
+		n.stats.framesRecv.Add(1)
+		n.mu.Lock()
+		if p.gen == gen {
+			p.lastSeen = time.Now()
+		}
+		n.mu.Unlock()
+		n.dispatch(p, h, payload)
+	}
+}
+
+// peerDown records a dead connection. Only the generation that installed
+// the connection may declare the peer dead — a newer connection in the
+// slot means the peer already recovered.
+func (n *Node) peerDown(p *peer, conn net.Conn, gen uint64) {
+	conn.Close()
+	n.mu.Lock()
+	if p.gen != gen {
+		n.mu.Unlock()
+		return
+	}
+	p.conn = nil
+	if p.alive {
+		p.alive = false
+		n.stats.peerDeaths.Add(1)
+		n.bumpLocked()
+		n.mu.Unlock()
+		n.logf("rank %d: peer %d down", n.rank, p.rank)
+		return
+	}
+	n.mu.Unlock()
+}
+
+// killConn force-closes a peer's current connection (Leave frames and the
+// failure detector use it); the read loop then runs the peerDown path.
+func (n *Node) killConn(p *peer) {
+	n.mu.Lock()
+	conn := p.conn
+	n.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+}
+
+// heartbeatLoop beacons liveness on every live connection and acts as the
+// failure detector: a peer silent for PeerTimeout gets its connection
+// closed, which flows through peerDown and bumps the membership epoch.
+func (n *Node) heartbeatLoop() {
+	defer n.wg.Done()
+	ticker := time.NewTicker(n.cfg.HeartbeatEvery)
+	defer ticker.Stop()
+	for range ticker.C {
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			return
+		}
+		var live, stale []*peer
+		now := time.Now()
+		for _, p := range n.peers {
+			if p == nil || !p.alive {
+				continue
+			}
+			if now.Sub(p.lastSeen) > n.cfg.PeerTimeout {
+				stale = append(stale, p)
+			} else {
+				live = append(live, p)
+			}
+		}
+		n.mu.Unlock()
+		for _, p := range stale {
+			n.logf("rank %d: peer %d heartbeat timeout", n.rank, p.rank)
+			n.killConn(p)
+		}
+		hb := &header{Type: frameHeartbeat, Sender: uint32(n.rank)}
+		for _, p := range live {
+			p.send(n, hb, nil, n.cfg.HeartbeatEvery)
+		}
+	}
+}
+
+// leaderLocked returns the round coordinator: the lowest alive rank.
+// Callers hold n.mu.
+func (n *Node) leaderLocked() int {
+	for r, p := range n.peers {
+		if r == n.rank || (p != nil && p.alive) {
+			return r
+		}
+	}
+	return n.rank
+}
+
+// aliveViewLocked returns the bitmap of self plus all live peers.
+func (n *Node) aliveViewLocked() uint64 {
+	view := uint64(1) << uint(n.rank)
+	for r, p := range n.peers {
+		if p != nil && p.alive {
+			view |= 1 << uint(r)
+		}
+	}
+	return view
+}
+
+// ranksOf expands a view bitmap into a sorted rank slice.
+func ranksOf(view uint64) []int {
+	var ranks []int
+	for r := 0; r < maxRanks; r++ {
+		if view&(1<<uint(r)) != 0 {
+			ranks = append(ranks, r)
+		}
+	}
+	return ranks
+}

@@ -1,0 +1,515 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"crossbow/internal/ckpt"
+	"crossbow/internal/metrics"
+)
+
+// ErrClosed is returned by Node methods after Close or Kill.
+var ErrClosed = errors.New("transport: node closed")
+
+// maxRanks bounds the cluster size: round views travel as 64-bit rank
+// bitmaps.
+const maxRanks = 64
+
+// Config describes one rank of a static cluster.
+type Config struct {
+	// Rank is this node's index into Peers.
+	Rank int
+	// Peers lists every member's listen address, indexed by rank
+	// (Peers[Rank] is this node's own listen address). The list is the
+	// static membership universe; live membership within it is tracked by
+	// heartbeats.
+	Peers []string
+	// Listener optionally supplies a pre-bound listener for Peers[Rank]
+	// (tests bind :0 listeners first so addresses are collision-free).
+	Listener net.Listener
+	// Tree selects the binomial-tree collective instead of the default
+	// bandwidth-optimal ring — the same choice cluster.Interconnect.Tree
+	// models.
+	Tree bool
+	// HeartbeatEvery is the liveness beacon period (default 100ms).
+	HeartbeatEvery time.Duration
+	// PeerTimeout marks a peer dead when no traffic arrived for this long
+	// (default 10× HeartbeatEvery).
+	PeerTimeout time.Duration
+	// DialBackoff is the initial redial delay, doubling per failure up to
+	// 32× (default 25ms).
+	DialBackoff time.Duration
+	// WriteTimeout bounds one frame write (default 10s).
+	WriteTimeout time.Duration
+	// MaxPayload bounds one frame's payload (default 256 MiB).
+	MaxPayload int
+	// Snapshot, if set, serves the node's current model to rejoining
+	// peers: it must return a checkpoint of the latest published cluster
+	// average model, or nil when none exists yet. Called on transport
+	// goroutines; must be quick (one model copy).
+	Snapshot func() *ckpt.Checkpoint
+	// Logf receives debug lines (nil: silent).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fillDefaults() error {
+	if len(c.Peers) < 1 || len(c.Peers) > maxRanks {
+		return fmt.Errorf("transport: need 1..%d peers, got %d", maxRanks, len(c.Peers))
+	}
+	if c.Rank < 0 || c.Rank >= len(c.Peers) {
+		return fmt.Errorf("transport: rank %d outside peer list of %d", c.Rank, len(c.Peers))
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = 100 * time.Millisecond
+	}
+	if c.PeerTimeout <= 0 {
+		c.PeerTimeout = 10 * c.HeartbeatEvery
+	}
+	if c.DialBackoff <= 0 {
+		c.DialBackoff = 25 * time.Millisecond
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.MaxPayload <= 0 {
+		c.MaxPayload = 256 << 20
+	}
+	return nil
+}
+
+// Round reports one completed (or aborted) AllReduce.
+type Round struct {
+	// Seq is the coordinator-assigned round number, monotone across the
+	// cluster's lifetime (it survives coordinator failover and rejoins).
+	Seq uint64
+	// Participants is the number of ranks whose models were summed.
+	Participants int
+	// Restart is set when this round's view differs from the previous
+	// round's: participants must re-derive shared state from the
+	// consensus sum instead of updating it incrementally.
+	Restart bool
+	// Aborted is set when a membership change interrupted the collective;
+	// the buffer contents are then undefined and the caller should skip
+	// this exchange (the next successful round carries Restart and
+	// re-aligns every participant).
+	Aborted bool
+	// WaitNs is the time spent at the round barrier (waiting for every
+	// live member to arrive); CollectiveNs is the data phase — the
+	// quantity the simulated Interconnect.AllReduceUS predicts.
+	WaitNs       int64
+	CollectiveNs int64
+}
+
+// beginMsg is a coordinator's round announcement.
+type beginMsg struct {
+	round   uint64
+	view    uint64 // rank bitmap
+	restart bool
+}
+
+// Node is one rank of the TCP cluster transport.
+type Node struct {
+	cfg  Config
+	rank int
+	ln   net.Listener
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	peers    []*peer // by rank; peers[rank] == nil for self
+	epoch    uint64  // membership epoch, bumped on every alive/dead flip
+	notifyCh chan struct{} // closed and replaced on every epoch bump or abort
+	closed   bool
+
+	// Round barrier state (see collective.go).
+	readySet   map[int]bool
+	nextRound  uint64
+	lastRound  uint64
+	prevView   uint64
+	begin      *beginMsg
+	abortRound uint64 // highest round an Abort frame announced
+
+	// Pending FetchSnapshot response slot.
+	snapMu sync.Mutex
+	snapCh chan *ckpt.Checkpoint
+
+	pool  bufPool
+	stats nodeStats
+	wg    sync.WaitGroup
+}
+
+// Listen binds the node's listener and starts the background machinery:
+// the accept loop, one dial loop per higher-ranked peer (lower ranks dial
+// higher ranks, so each pair has one owner and a restarted process is
+// re-dialed automatically), and the heartbeat/failure-detector loop. It
+// returns immediately; use WaitPeers to barrier on the mesh coming up.
+func Listen(cfg Config) (*Node, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	ln := cfg.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", cfg.Peers[cfg.Rank])
+		if err != nil {
+			return nil, fmt.Errorf("transport: listen %s: %w", cfg.Peers[cfg.Rank], err)
+		}
+	}
+	n := &Node{
+		cfg:       cfg,
+		rank:      cfg.Rank,
+		ln:        ln,
+		readySet:  make(map[int]bool),
+		nextRound: 1,
+		notifyCh:  make(chan struct{}),
+		prevView:  fullView(len(cfg.Peers)),
+	}
+	n.cond = sync.NewCond(&n.mu)
+	for r, addr := range cfg.Peers {
+		if r == cfg.Rank {
+			n.peers = append(n.peers, nil)
+			continue
+		}
+		n.peers = append(n.peers, &peer{rank: r, addr: addr, data: make(chan dataMsg, 256)})
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	for r := cfg.Rank + 1; r < len(cfg.Peers); r++ {
+		n.wg.Add(1)
+		go n.dialLoop(n.peers[r])
+	}
+	n.wg.Add(1)
+	go n.heartbeatLoop()
+	return n, nil
+}
+
+// Rank returns this node's rank.
+func (n *Node) Rank() int { return n.rank }
+
+// Addr returns the listener's address (useful with :0 listeners).
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// WaitPeers blocks until every static peer is alive or the timeout
+// elapses, returning the number of live peers (excluding self). Cold
+// bootstrap calls it so training starts with the full mesh; a rejoining
+// node sees its peers immediately.
+func (n *Node) WaitPeers(timeout time.Duration) int {
+	deadline := time.Now().Add(timeout)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for {
+		alive := 0
+		for _, p := range n.peers {
+			if p != nil && p.alive {
+				alive++
+			}
+		}
+		if alive == len(n.peers)-1 || n.closed || time.Now().After(deadline) {
+			return alive
+		}
+		ch := n.notifyCh
+		n.mu.Unlock()
+		select {
+		case <-ch:
+		case <-time.After(time.Until(deadline)):
+		}
+		n.mu.Lock()
+	}
+}
+
+// Close leaves the cluster gracefully: a Leave frame tells every live peer
+// not to wait for this rank at the next round barrier, then all
+// connections and the listener shut down and background goroutines join.
+func (n *Node) Close() error {
+	n.shutdown(true)
+	return nil
+}
+
+// Kill tears the node down abruptly — no Leave, no goodbyes — simulating
+// a process crash at the transport layer. Peers discover the death by
+// heartbeat timeout. Tests use it to exercise the failure path.
+func (n *Node) Kill() {
+	n.shutdown(false)
+}
+
+func (n *Node) shutdown(graceful bool) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	var live []*peer
+	for _, p := range n.peers {
+		if p != nil && p.alive {
+			live = append(live, p)
+		}
+	}
+	n.bumpLocked()
+	n.mu.Unlock()
+
+	if graceful {
+		for _, p := range live {
+			p.send(n, &header{Type: frameLeave, Sender: uint32(n.rank)}, nil, time.Second)
+		}
+		// Linger until every live peer closes its end in response to the
+		// Leave (bounded). Closing our sockets first would race their
+		// receive path: a peer's heartbeat arriving after our close draws
+		// a TCP reset, and a reset DESTROYS any of our final collective
+		// chunks still sitting unread in that peer's receive buffer —
+		// aborting its last round even though we sent everything. Keeping
+		// the connections open (and their read loops draining) until the
+		// peer acts on the Leave makes departure invisible to in-flight
+		// rounds.
+		deadline := time.Now().Add(time.Second)
+		n.mu.Lock()
+		for {
+			any := false
+			for _, p := range live {
+				if p.alive {
+					any = true
+				}
+			}
+			if !any || time.Now().After(deadline) {
+				break
+			}
+			ch := n.notifyCh
+			n.mu.Unlock()
+			select {
+			case <-ch:
+			case <-time.After(time.Until(deadline)):
+			}
+			n.mu.Lock()
+		}
+		n.mu.Unlock()
+	}
+	n.ln.Close()
+	n.mu.Lock()
+	for _, p := range n.peers {
+		if p != nil && p.conn != nil {
+			p.conn.Close()
+		}
+	}
+	n.mu.Unlock()
+	n.wg.Wait()
+	// Release any payloads still queued in the data mailboxes.
+	for _, p := range n.peers {
+		if p == nil {
+			continue
+		}
+		for drained := false; !drained; {
+			select {
+			case m := <-p.data:
+				n.pool.Put(m.buf)
+			default:
+				drained = true
+			}
+		}
+	}
+}
+
+// bumpLocked advances the membership epoch and wakes every waiter (both
+// cond waiters and channel selectors). Callers hold n.mu.
+func (n *Node) bumpLocked() {
+	n.epoch++
+	close(n.notifyCh)
+	n.notifyCh = make(chan struct{})
+	n.cond.Broadcast()
+}
+
+func (n *Node) logf(format string, args ...any) {
+	if n.cfg.Logf != nil {
+		n.cfg.Logf(format, args...)
+	}
+}
+
+// fullView returns the bitmap of all n static ranks.
+func fullView(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(n) - 1
+}
+
+// Stats snapshots the node's transport counters.
+func (n *Node) Stats() metrics.TransportStats {
+	s := n.stats.snapshot()
+	s.Rank = n.rank
+	s.Peers = len(n.cfg.Peers)
+	n.mu.Lock()
+	for _, p := range n.peers {
+		if p != nil && p.alive {
+			s.LivePeers++
+		}
+	}
+	s.Epoch = int64(n.epoch)
+	n.mu.Unlock()
+	return s
+}
+
+// dispatch routes one received frame. Called from a peer's read loop;
+// payload ownership transfers here (push to a mailbox or return to the
+// pool).
+func (n *Node) dispatch(p *peer, h header, payload []float32) {
+	switch h.Type {
+	case frameHeartbeat, frameHelloAck:
+		n.pool.Put(payload)
+	case frameReady:
+		n.pool.Put(payload)
+		n.mu.Lock()
+		n.readySet[int(h.Sender)] = true
+		n.cond.Broadcast()
+		n.mu.Unlock()
+	case frameBegin:
+		n.pool.Put(payload)
+		n.mu.Lock()
+		if n.begin == nil || n.begin.round < h.Round {
+			n.begin = &beginMsg{round: h.Round, view: h.Aux, restart: h.Flags&flagRestart != 0}
+		}
+		if h.Round >= n.nextRound {
+			// Track the cluster's round clock so a coordinator failover
+			// never reuses a round number.
+			n.nextRound = h.Round + 1
+		}
+		n.cond.Broadcast()
+		n.mu.Unlock()
+	case frameAbort:
+		n.pool.Put(payload)
+		n.mu.Lock()
+		if h.Round > n.abortRound {
+			n.abortRound = h.Round
+		}
+		close(n.notifyCh)
+		n.notifyCh = make(chan struct{})
+		n.cond.Broadcast()
+		n.mu.Unlock()
+	case frameData:
+		buf, err := payloadF32(payload, &h)
+		if err != nil {
+			n.pool.Put(payload)
+			n.logf("rank %d: dropping bad data frame from %d: %v", n.rank, h.Sender, err)
+			return
+		}
+		// Blocking push is safe: the mailbox holds far more frames than
+		// one round produces, and stale rounds are drained by the next
+		// collective.
+		p.data <- dataMsg{round: h.Round, phase: dataPhase(h.Aux), step: dataStep(h.Aux), buf: buf}
+	case frameSnapReq:
+		n.pool.Put(payload)
+		n.wg.Add(1)
+		go n.serveSnapshot(p)
+	case frameSnapResp:
+		n.deliverSnapshot(h, payload)
+	case frameLeave:
+		n.pool.Put(payload)
+		n.logf("rank %d: peer %d left", n.rank, p.rank)
+		n.killConn(p)
+	default:
+		n.pool.Put(payload)
+		n.logf("rank %d: unknown frame type %d from %d", n.rank, h.Type, h.Sender)
+	}
+}
+
+// serveSnapshot answers one SnapReq with the configured provider's current
+// checkpoint (empty payload when none is available).
+func (n *Node) serveSnapshot(p *peer) {
+	defer n.wg.Done()
+	var payload []byte
+	if n.cfg.Snapshot != nil {
+		if c := n.cfg.Snapshot(); c != nil {
+			var b bytes.Buffer
+			if err := ckpt.Write(&b, c); err == nil {
+				payload = b.Bytes()
+				n.stats.snapshotsServed.Add(1)
+			}
+		}
+	}
+	p.send(n, &header{Type: frameSnapResp, Sender: uint32(n.rank)}, payload, n.cfg.WriteTimeout)
+}
+
+// deliverSnapshot hands a SnapResp payload to the pending FetchSnapshot
+// call, if any.
+func (n *Node) deliverSnapshot(h header, payload []float32) {
+	var c *ckpt.Checkpoint
+	if h.Length > 0 {
+		raw := f32Bytes(payload)[:h.Length]
+		if parsed, err := ckpt.Read(bytes.NewReader(raw)); err == nil {
+			c = parsed
+		} else {
+			n.logf("rank %d: bad snapshot payload from %d: %v", n.rank, h.Sender, err)
+		}
+	}
+	n.pool.Put(payload)
+	n.snapMu.Lock()
+	ch := n.snapCh
+	n.snapMu.Unlock()
+	if ch != nil {
+		select {
+		case ch <- c:
+		default:
+		}
+	}
+}
+
+// FetchSnapshot pulls the cluster's current model from a live peer: ranks
+// are tried in order and the first non-empty checkpoint-v3 snapshot wins.
+// It returns (nil, nil) when no peer holds a snapshot within the timeout —
+// a cold bootstrap, where every rank initialises from the seed instead.
+func (n *Node) FetchSnapshot(timeout time.Duration) (*ckpt.Checkpoint, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			return nil, ErrClosed
+		}
+		var live []*peer
+		for _, p := range n.peers {
+			if p != nil && p.alive {
+				live = append(live, p)
+			}
+		}
+		n.mu.Unlock()
+		for _, p := range live {
+			per := time.Until(deadline)
+			if per > 2*time.Second {
+				per = 2 * time.Second
+			}
+			if per <= 0 {
+				return nil, nil
+			}
+			if c := n.fetchSnapshotFrom(p, per); c != nil {
+				n.stats.snapshotsFetched.Add(1)
+				return c, nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return nil, nil
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func (n *Node) fetchSnapshotFrom(p *peer, timeout time.Duration) *ckpt.Checkpoint {
+	ch := make(chan *ckpt.Checkpoint, 1)
+	n.snapMu.Lock()
+	n.snapCh = ch
+	n.snapMu.Unlock()
+	defer func() {
+		n.snapMu.Lock()
+		n.snapCh = nil
+		n.snapMu.Unlock()
+	}()
+	if err := p.send(n, &header{Type: frameSnapReq, Sender: uint32(n.rank)}, nil, n.cfg.WriteTimeout); err != nil {
+		return nil
+	}
+	select {
+	case c := <-ch:
+		return c
+	case <-time.After(timeout):
+		return nil
+	}
+}

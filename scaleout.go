@@ -65,6 +65,7 @@ func trainCluster(cfg Config) (*Result, error) {
 		LearnersPerGPU: cfg.LearnersPerGPU,
 		Servers:        cfg.Servers,
 		Interconnect:   cfg.Interconnect,
+		Transport:      TransportSimulated,
 	}
 
 	if cfg.LearnersPerGPU == AutoTune {
