@@ -30,7 +30,7 @@ func main() {
 }
 
 func benchMain() int {
-	exp := flag.String("exp", "all", "experiment: table1, fig2, fig3, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, autotune, kernels, runtime, memory, serving, cluster-net, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig2, fig3, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, autotune, kernels, runtime, memory, serving, cluster-net, chaos, all")
 	model := flag.String("model", "resnet32", "benchmark model (lenet, resnet32, vgg16, resnet50)")
 	gpus := flag.Int("gpus", 8, "GPU count for per-g experiments")
 	full := flag.Bool("full", false, "paper-scale parameter sweeps (slow); default is a quick pass")
@@ -40,6 +40,7 @@ func benchMain() int {
 	memoryOut := flag.String("memory-out", "BENCH_memory.json", "output path for the memory experiment's JSON record")
 	servingOut := flag.String("serving-out", "BENCH_serving.json", "output path for the serving experiment's JSON record")
 	clusterOut := flag.String("cluster-out", "BENCH_cluster.json", "output path for the cluster-net experiment's JSON record")
+	chaosOut := flag.String("chaos-out", "BENCH_chaos.json", "output path for the chaos experiment's JSON record")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -180,6 +181,18 @@ func benchMain() int {
 			return 1
 		}
 		fmt.Printf("recorded %s\n[cluster-net took %v]\n", *clusterOut, time.Since(start).Round(time.Millisecond))
+	}
+	// The chaos benchmark also runs only on explicit request: it opens real
+	// localhost sockets and injects seeded faults into live training runs.
+	if *exp == "chaos" {
+		start := time.Now()
+		rows := crossbow.ChaosBench(quick)
+		crossbow.PrintChaosBench(os.Stdout, rows)
+		if err := crossbow.WriteChaosBenchJSON(*chaosOut, rows); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *chaosOut, err)
+			return 1
+		}
+		fmt.Printf("recorded %s\n[chaos took %v]\n", *chaosOut, time.Since(start).Round(time.Millisecond))
 	}
 	run("autotune", func() {
 		m, hist := crossbow.TuneLearners(id, *gpus, 16)

@@ -48,6 +48,9 @@ func nodeMain() int {
 	save := flag.String("save", "", "write the final cluster average model to this checkpoint path")
 	hb := flag.Duration("heartbeat", 100*time.Millisecond, "heartbeat period")
 	peerTimeout := flag.Duration("peer-timeout", 0, "declare a silent peer dead after this long (0: 10x heartbeat)")
+	roundTimeout := flag.Duration("round-timeout", 0, "abort a collective stalled this long by a live peer (0: 30s)")
+	quarantine := flag.Duration("quarantine", 0, "bar a corrupting/stalling peer from reconnecting this long (0: peer-timeout)")
+	exchangeRetries := flag.Int("exchange-retries", 0, "retries of a fault-aborted global exchange (0: 2, negative: none)")
 	bootstrap := flag.Duration("bootstrap", 10*time.Second, "wait this long for the full mesh before training")
 	warm := flag.Duration("warm-start", 2*time.Second, "snapshot probe window at startup (rejoin seeding)")
 	quiet := flag.Bool("quiet", false, "suppress per-epoch output")
@@ -86,13 +89,16 @@ func nodeMain() int {
 		TestSamples:    *testSamples,
 		Interconnect:   ic,
 		Node: crossbow.NodeConfig{
-			Rank:           *rank,
-			Peers:          addrs,
-			BootstrapWait:  *bootstrap,
-			WarmStartWait:  *warm,
-			HeartbeatEvery: *hb,
-			PeerTimeout:    *peerTimeout,
-			Logf:           logf,
+			Rank:            *rank,
+			Peers:           addrs,
+			BootstrapWait:   *bootstrap,
+			WarmStartWait:   *warm,
+			HeartbeatEvery:  *hb,
+			PeerTimeout:     *peerTimeout,
+			RoundTimeout:    *roundTimeout,
+			Quarantine:      *quarantine,
+			ExchangeRetries: *exchangeRetries,
+			Logf:            logf,
 		},
 	})
 	if err != nil {

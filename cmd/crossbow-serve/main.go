@@ -23,6 +23,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -47,13 +48,17 @@ func serveMain() int {
 	maxBatch := flag.Int("max-batch", 8, "dynamic micro-batch ceiling")
 	maxDelay := flag.Duration("max-delay", 2*time.Millisecond, "max straggler wait once a batch has an occupant")
 	queueDepth := flag.Int("queue-depth", 0, "request queue bound (0: replicas*max-batch*4)")
+	shedOnFull := flag.Bool("shed-on-full", false, "shed (fast 503) instead of blocking when the queue is full")
+	admitDeadline := flag.Duration("admit-deadline", 0, "shed requests that cannot be answered within this budget (0: no deadline)")
 	flag.Parse()
 
 	cfg := crossbow.ServeConfig{
-		Replicas:   *replicas,
-		MaxBatch:   *maxBatch,
-		MaxDelay:   *maxDelay,
-		QueueDepth: *queueDepth,
+		Replicas:      *replicas,
+		MaxBatch:      *maxBatch,
+		MaxDelay:      *maxDelay,
+		QueueDepth:    *queueDepth,
+		ShedOnFull:    *shedOnFull,
+		AdmitDeadline: *admitDeadline,
 	}
 	if *ckptPath != "" {
 		cfg.Checkpoint = *ckptPath
@@ -177,6 +182,11 @@ func newMux(p *crossbow.Predictor) *http.ServeMux {
 		resp.Version = p.Version()
 		for _, err := range errs {
 			if err != nil {
+				if errors.Is(err, crossbow.ErrOverloaded) {
+					// The shed path: the engine refused cheaply, so the 503
+					// goes out fast instead of after a queue-drain wait.
+					w.Header().Set("Retry-After", "1")
+				}
 				http.Error(w, err.Error(), http.StatusServiceUnavailable)
 				return
 			}

@@ -1,0 +1,369 @@
+package crossbow
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"crossbow/internal/chaos"
+)
+
+// fateLink keys a recorded fate sequence by its directed link and class.
+type fateLink struct {
+	from, to int
+	class    chaos.Class
+}
+
+// fateLog records the injector's per-frame decisions during the faulted
+// window of a soak so they can be replayed afterwards against a fresh
+// injector with the same seed.
+type fateLog struct {
+	mu  sync.Mutex
+	on  bool
+	max int
+	n   int
+	evs map[fateLink][]chaos.Event
+}
+
+func newFateLog(max int) *fateLog {
+	return &fateLog{on: true, max: max, evs: make(map[fateLink][]chaos.Event)}
+}
+
+func (l *fateLog) record(ev chaos.Event) {
+	l.mu.Lock()
+	if l.on && l.n < l.max {
+		k := fateLink{ev.From, ev.To, ev.Class}
+		l.evs[k] = append(l.evs[k], ev)
+		l.n++
+	}
+	l.mu.Unlock()
+}
+
+// stop ends recording; every event traced after stop returns is discarded,
+// so the log holds only decisions made under the original fault rates.
+func (l *fateLog) stop() {
+	l.mu.Lock()
+	l.on = false
+	l.mu.Unlock()
+}
+
+// replay feeds every recorded link's frame sequence into a fresh injector
+// built from the same config and requires the identical fate for every
+// frame — the "same seed replays the same fault schedule" guarantee, checked
+// on the traffic a real training run actually produced. Events are ordered
+// by their per-link sequence number; a link whose prefix has a gap (an
+// event raced the stop flag) is truncated at the gap.
+func (l *fateLog) replay(t *testing.T, cfg chaos.Config) {
+	t.Helper()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	re := chaos.NewInjector(cfg)
+	total := 0
+	for k, evs := range l.evs {
+		sort.Slice(evs, func(i, j int) bool { return evs[i].Seq < evs[j].Seq })
+		for i, ev := range evs {
+			if ev.Seq != uint64(i) {
+				evs = evs[:i]
+				break
+			}
+		}
+		for _, ev := range evs {
+			got := re.Outgoing(ev.From, ev.To, ev.Class, ev.PayloadLen)
+			if got != ev.Fate {
+				t.Fatalf("replay diverged: link %d->%d class %d frame %d: got %+v, recorded %+v",
+					k.from, k.to, k.class, ev.Seq, got, ev.Fate)
+			}
+		}
+		total += len(evs)
+	}
+	if total < 100 {
+		t.Fatalf("fate log replayed only %d events — the soak barely exercised the injector", total)
+	}
+}
+
+// transportLog captures a node's transport debug lines so the test can
+// check for membership events (e.g. a partitioned rank rejoining).
+type transportLog struct {
+	mu    sync.Mutex
+	start time.Time
+	lines []string
+}
+
+func (l *transportLog) logf(format string, args ...any) {
+	l.mu.Lock()
+	if l.start.IsZero() {
+		l.start = time.Now()
+	}
+	l.lines = append(l.lines, fmt.Sprintf("%6.0fms ", time.Since(l.start).Seconds()*1e3)+fmt.Sprintf(format, args...))
+	l.mu.Unlock()
+}
+
+func (l *transportLog) count(substr string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, ln := range l.lines {
+		if strings.Contains(ln, substr) {
+			n++
+		}
+	}
+	return n
+}
+
+// snapRing keeps a rank's most recent published central models. Under a
+// fixed per-rank iteration budget, membership churn shears the survivors'
+// call counts in wall time, so they rarely END on the same shared round —
+// but the replication invariant says their models are bit-identical at
+// every shared completed round. The ring holds enough of the stream's tail
+// that the first finisher's final model must appear in it.
+type snapRing struct {
+	mu   sync.Mutex
+	buf  [][]float32
+	next int
+}
+
+func newSnapRing(n int) *snapRing { return &snapRing{buf: make([][]float32, n)} }
+
+func (s *snapRing) push(p []float32) {
+	s.mu.Lock()
+	s.buf[s.next%len(s.buf)] = p // Snapshot.Params is already our copy
+	s.next++
+	s.mu.Unlock()
+}
+
+func (s *snapRing) contains(p []float32) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+outer:
+	for _, q := range s.buf {
+		if len(q) != len(p) {
+			continue
+		}
+		for i := range p {
+			if math.Float32bits(p[i]) != math.Float32bits(q[i]) {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// TestChaosSoak is the acceptance scenario for the chaos-hardened cluster
+// plane: three ranks train together while a seeded injector drops and
+// delays their collective frames, splits the cluster once (and heals it),
+// and then cuts one rank off for good — a transport-level kill. At the end
+// the survivors must agree bit-for-bit on the cluster average model, and
+// the recorded fault schedule must replay exactly from the same seed.
+//
+// The fault schedule is driven by training progress (rank 0's snapshot
+// stream, one per global round), and every rank's training loop is paced a
+// few milliseconds per round: recovery is wall-clock work (failure
+// detection, quarantine expiry, redial backoff), and an unpaced LeNet run
+// on loopback finishes before any of it can happen. The deadlines below
+// are tightened to match, so a partition is detected, blamed, healed and
+// re-formed within a handful of rounds instead of outlasting the run.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak")
+	}
+	const servers = 3
+	const pace = 10 * time.Millisecond
+	faultCfg := chaos.Config{
+		Seed: 20240807, Drop: 0.005,
+		DelayRate: 0.1, MaxDelay: 2 * time.Millisecond,
+	}
+	inj := chaos.NewInjector(faultCfg)
+	rec := newFateLog(200000)
+	inj.SetTrace(rec.record)
+
+	addrs, lns := tcpPeers(t, servers)
+	base := Config{
+		Model: LeNet, GPUs: 1, LearnersPerGPU: 2, Batch: 8,
+		MaxEpochs: 12, Seed: 23, TrainSamples: 256, TestSamples: 64,
+	}
+
+	var logs [servers]transportLog
+
+	// The stages wait for real progress before the next fault lands,
+	// however slowly a starved CI core grinds through the recovery work in
+	// between. The kill is adaptive: it waits until rank 0 has actually
+	// seen the partitioned rank come back (reconnection is wall-clock work
+	// against a capped dial backoff, so its round number varies), gives the
+	// rejoined mesh a few shared rounds, and only then cuts rank 2 off.
+	// Quiesce keeps the structural isolation but zeroes the rates, leaving
+	// a clean tail of rounds for the Restart protocol to re-align the
+	// survivors.
+	var rounds atomic.Int64
+	var quiesceRound, endRound atomic.Int64
+	var rejoined atomic.Bool
+	var upsAtHeal int
+	var isolateAt, quiesceAt int64
+	schedule := func(Snapshot) {
+		time.Sleep(pace)
+		n := rounds.Add(1)
+		// The partition must outlive PeerTimeout (30 rounds at this pace)
+		// or the failure detector never notices it.
+		switch n {
+		case 20:
+			inj.Partition([]int{0, 1}) // rank 2 alone on the far side
+		case 60:
+			upsAtHeal = logs[0].count("peer 2 up")
+			inj.Heal()
+		}
+		if n > 60 && isolateAt == 0 && logs[0].count("peer 2 up") > upsAtHeal {
+			rejoined.Store(true)
+			isolateAt = n + 5
+			quiesceAt = isolateAt + 15
+		}
+		switch n {
+		case isolateAt:
+			inj.Isolate(2) // the kill: rank 2 never comes back
+		case quiesceAt:
+			rec.stop()
+			inj.Tune(chaos.Config{Seed: faultCfg.Seed})
+			quiesceRound.Store(n)
+		}
+	}
+
+	// Each survivor's snapshot stream (one per round, publishEvery
+	// defaults to one global round) feeds a ring for the final model
+	// agreement check; churn shears call counts by a handful of rounds at
+	// most, so a short tail suffices.
+	rings := map[int]*snapRing{0: newSnapRing(64), 1: newSnapRing(64)}
+
+	results := make([]*Result, servers)
+	errs := make([]error, servers)
+	var wg sync.WaitGroup
+	for r := 0; r < servers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			cfg := base
+			cfg.Servers = servers
+			cfg.Transport = TransportTCP
+			cfg.Node = fastNode(r, addrs, lns[r])
+			cfg.Node.HeartbeatEvery = 10 * time.Millisecond
+			cfg.Node.PeerTimeout = 300 * time.Millisecond
+			cfg.Node.RoundTimeout = 150 * time.Millisecond
+			cfg.Node.Quarantine = 200 * time.Millisecond
+			cfg.Node.DialBackoff = 5 * time.Millisecond
+			cfg.Node.ExchangeRetries = -1
+			cfg.Node.Chaos = inj
+			cfg.Node.Logf = logs[r].logf
+			ring := rings[r]
+			cfg.OnSnapshot = func(s Snapshot) {
+				if ring != nil {
+					ring.push(s.Params)
+				}
+				if r == 0 {
+					schedule(s)
+				} else {
+					time.Sleep(pace)
+				}
+			}
+			results[r], errs[r] = Train(cfg)
+		}(r)
+	}
+	wg.Wait()
+	endRound.Store(rounds.Load())
+
+	// Graceful degradation, not graceful failure: every rank's Train must
+	// return — the isolated rank degenerates to solo training, it does not
+	// error out or hang.
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	for r, res := range results {
+		t.Logf("rank %d: %+v", r, res.TransportStats)
+	}
+	t.Logf("schedule: %d rounds, quiesced at %d; injector %+v", endRound.Load(), quiesceRound.Load(), inj.Stats())
+
+	// The schedule must have completed with a clean tail: if training
+	// outran the fault script the run proved nothing.
+	if quiesceRound.Load() == 0 {
+		t.Fatalf("run ended after %d rounds before the fault schedule quiesced (rejoined: %v) — raise MaxEpochs",
+			endRound.Load(), rejoined.Load())
+	}
+	if tail := endRound.Load() - quiesceRound.Load(); tail < 20 {
+		t.Fatalf("only %d clean rounds after quiesce — too little healing room, raise MaxEpochs", tail)
+	}
+
+	// The injector really fired: frames dropped and delayed by the rates,
+	// frames cut by the partition and the isolation.
+	is := inj.Stats()
+	if is.Dropped < 1 || is.Delayed < 1 || is.Cut < 1 {
+		t.Fatalf("fault schedule barely ran: %+v", is)
+	}
+
+	// The cluster noticed: dropped chunks stall rounds, and only the round
+	// watchdog recovers those, so at least one rank must have fired it and
+	// aborted a round; the partition and the kill force Restart rounds on
+	// both survivors.
+	var fires, aborts int64
+	for _, res := range results {
+		fires += res.TransportStats.WatchdogFires
+		aborts += res.TransportStats.Aborts
+	}
+	if fires < 1 || aborts < 1 {
+		t.Fatalf("faults were injected but never detected: fires %d aborts %d (injector %+v)", fires, aborts, is)
+	}
+	for _, r := range []int{0, 1} {
+		if results[r].TransportStats.RestartRounds < 1 {
+			t.Fatalf("survivor %d weathered a partition and a kill without a Restart round: %+v",
+				r, results[r].TransportStats)
+		}
+	}
+
+	// The partition healed: the schedule only fired the kill after rank 0
+	// watched rank 2 reconnect, so reaching quiesce proves the rejoin.
+	if !rejoined.Load() {
+		t.Fatal("rank 2 never rejoined after the partition healed")
+	}
+	// And the failure detector did real work somewhere: the partition (or
+	// the kill) starved at least one live link of heartbeats until the
+	// timeout expelled the peer. Which rank notices first depends on which
+	// links random drop-blame had already torn down, so count across all.
+	hbTimeouts := 0
+	for r := range logs {
+		hbTimeouts += logs[r].count("heartbeat timeout")
+	}
+	if hbTimeouts < 1 {
+		t.Fatal("no rank ever expelled a peer by heartbeat timeout")
+	}
+
+	// Nothing diverged numerically, on any rank — the isolated one
+	// included.
+	for r, res := range results {
+		for i, v := range res.Params {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				t.Fatalf("rank %d param %d is non-finite after the soak", r, i)
+			}
+		}
+	}
+
+	// The replication invariant held through every fault: the survivors
+	// derive bit-identical cluster average models at every shared completed
+	// round. Each rank runs a fixed iteration budget, so churn windows
+	// (a quarantined rank races through solo rounds) shear where in wall
+	// time each survivor's budget runs out — the first to finish leaves and
+	// the other's last few rounds degenerate to solo training. The
+	// invariant therefore shows up as: the first finisher's final model is
+	// bit-for-bit present in its peer's snapshot stream (and when no shear
+	// happened, the two final models are simply identical).
+	if !rings[1].contains(results[0].Params) && !rings[0].contains(results[1].Params) {
+		t.Fatalf("survivors never agreed on a shared cluster model near the end: param 0 = %v vs %v",
+			results[0].Params[0], results[1].Params[0])
+	}
+
+	// And the whole fault schedule was deterministic: a fresh injector
+	// with the same seed hands every recorded frame the same fate.
+	rec.replay(t, faultCfg)
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"crossbow/internal/autotune"
+	"crossbow/internal/chaos"
 	"crossbow/internal/ckpt"
 	"crossbow/internal/core"
 	"crossbow/internal/metrics"
@@ -56,6 +57,21 @@ type NodeConfig struct {
 	HeartbeatEvery time.Duration
 	PeerTimeout    time.Duration
 	DialBackoff    time.Duration
+	// RoundTimeout is the collective watchdog: a peer that owes this node
+	// a chunk and stays silent this long — even with heartbeats flowing —
+	// is declared stalled; the round aborts and membership re-forms
+	// without it (default 30s; see transport.Config.RoundTimeout).
+	RoundTimeout time.Duration
+	// Quarantine bars a peer caught corrupting frames or stalling rounds
+	// from reconnecting for this long (default PeerTimeout).
+	Quarantine time.Duration
+	// ExchangeRetries bounds back-to-back retries of a fault-aborted
+	// global exchange before the update is skipped until the next
+	// τ_global boundary (0 → 2, negative → no retries).
+	ExchangeRetries int
+	// Chaos, when set, interposes a deterministic fault injector on every
+	// frame this process sends (tests and soaks only).
+	Chaos *chaos.Injector
 	// Logf receives transport debug lines (nil: silent).
 	Logf func(format string, args ...any)
 }
@@ -210,6 +226,9 @@ func trainNodeTCP(cfg Config) (*Result, error) {
 		HeartbeatEvery: cfg.Node.HeartbeatEvery,
 		PeerTimeout:    cfg.Node.PeerTimeout,
 		DialBackoff:    cfg.Node.DialBackoff,
+		RoundTimeout:   cfg.Node.RoundTimeout,
+		Quarantine:     cfg.Node.Quarantine,
+		Chaos:          cfg.Node.Chaos,
 		Snapshot:       holder.checkpoint,
 		Logf:           cfg.Node.Logf,
 	})
@@ -270,9 +289,10 @@ func trainNodeTCP(cfg Config) (*Result, error) {
 		PublishEvery:      publishEvery,
 		OnSnapshot:        holder.onSnapshot,
 
-		GlobalExchange: nodeExchanger{node},
-		InitModel:      initModel,
-		ShuffleSeed:    shuffleSeedFor(cfg.Seed, cfg.Node.Rank),
+		ExchangeRetries: cfg.Node.ExchangeRetries,
+		GlobalExchange:  nodeExchanger{node},
+		InitModel:       initModel,
+		ShuffleSeed:     shuffleSeedFor(cfg.Seed, cfg.Node.Rank),
 	})
 	res.Series = tr.Series
 	res.EpochsToTarget = tr.EpochsToTarget

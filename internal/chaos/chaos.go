@@ -1,0 +1,320 @@
+package chaos
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Class classifies a frame for fault targeting: most experiments want to
+// break the data plane (collective tensor chunks) while leaving liveness
+// beacons and the barrier protocol intact — that is exactly the hardest
+// failure mode for a collective, a peer that looks alive but stalls.
+type Class int
+
+const (
+	// Control covers handshake, barrier (Ready/Begin/Abort) and Leave
+	// frames.
+	Control Class = iota
+	// Heartbeat is the liveness beacon.
+	Heartbeat
+	// Data is a collective tensor chunk.
+	Data
+	// Snapshot covers the rejoin snapshot request/response pair.
+	Snapshot
+)
+
+// Op is the fate of one outgoing frame.
+type Op int
+
+const (
+	// Pass delivers the frame unharmed.
+	Pass Op = iota
+	// Drop makes the frame vanish on the wire; the sender believes it was
+	// delivered.
+	Drop
+	// Dup delivers the frame twice back to back.
+	Dup
+	// Corrupt flips one payload bit on the wire (after the checksum was
+	// computed), so the receiver's CRC check must catch it.
+	Corrupt
+	// Truncate writes a partial frame and then resets the connection —
+	// a peer dying mid-write.
+	Truncate
+	// Reset closes the connection instead of writing.
+	Reset
+)
+
+// Fate is the injector's decision for one outgoing frame.
+type Fate struct {
+	Op Op
+	// Delay is slept before the write. Because frames on one link are
+	// serialised, a delay holds back everything queued behind it — a slow
+	// link, not per-frame reordering.
+	Delay time.Duration
+	// Arg parameterises the op: the payload bit to flip for Corrupt, the
+	// payload bytes to keep for Truncate.
+	Arg int
+}
+
+// Config sets the per-frame fault rates. All rates are probabilities in
+// [0, 1], evaluated independently per frame in the order Drop, Corrupt,
+// Truncate, Reset, Dup (first match wins); Delay composes with any op.
+// By default only Data frames are at risk — the control plane stays
+// healthy so faults surface as stalls, not as clean disconnects.
+type Config struct {
+	// Seed makes every per-frame decision deterministic: the fate of the
+	// i-th frame on a (from, to, class) link is a pure function of
+	// (Seed, from, to, class, i), so a run with the same seed and the
+	// same per-link frame counts replays the same faults.
+	Seed uint64
+
+	Drop     float64
+	Corrupt  float64
+	Truncate float64
+	Reset    float64
+	Dup      float64
+
+	// DelayRate delays a frame by a uniform duration in (0, MaxDelay].
+	DelayRate float64
+	MaxDelay  time.Duration
+
+	// AllClasses extends the rates beyond Data frames to the control
+	// plane and heartbeats too.
+	AllClasses bool
+}
+
+// Stats counts the faults an injector has actually delivered.
+type Stats struct {
+	Frames    int64 `json:"frames"` // frames inspected
+	Dropped   int64 `json:"dropped"`
+	Corrupted int64 `json:"corrupted"`
+	Truncated int64 `json:"truncated"`
+	Resets    int64 `json:"resets"`
+	Duped     int64 `json:"duped"`
+	Delayed   int64 `json:"delayed"`
+	// Stalled counts Data frames swallowed because their sender was
+	// frozen; Cut counts frames dropped by a partition or isolation.
+	Stalled int64 `json:"stalled"`
+	Cut     int64 `json:"cut"`
+}
+
+// Injector decides the fate of every outgoing frame of a cluster,
+// deterministically from a seed. One injector is shared by all ranks of a
+// test cluster (decisions key on the sending rank), and it is safe for
+// concurrent use from every rank's transport goroutines.
+//
+// Besides the per-frame rate faults it models three structural ones:
+//
+//   - Freeze(r): rank r's Data frames stall while its control plane and
+//     heartbeats keep flowing — the "live but stuck" peer a heartbeat
+//     failure detector can never catch.
+//   - Partition(groups...): frames crossing group boundaries vanish, so
+//     heartbeats time out and the membership splits; Heal reconnects.
+//   - Isolate(r): everything to or from rank r vanishes permanently — a
+//     transport-level process kill.
+type Injector struct {
+	mu     sync.Mutex
+	cfg    Config
+	links  map[linkKey]uint64 // per-(from,to,class) frame counters
+	frozen uint64             // rank bitmap: outgoing Data stalled
+	cut    uint64             // rank bitmap: isolated ranks
+	groups map[int]int        // rank → partition group (nil: no partition)
+	trace  func(Event)        // optional per-decision observer
+
+	stats struct {
+		frames, dropped, corrupted, truncated atomic.Int64
+		resets, duped, delayed, stalled, cut  atomic.Int64
+	}
+}
+
+type linkKey struct {
+	from, to int
+	class    Class
+}
+
+// NewInjector creates a deterministic injector with the given rates.
+func NewInjector(cfg Config) *Injector {
+	return &Injector{cfg: cfg, links: make(map[linkKey]uint64)}
+}
+
+// Tune swaps the per-frame rates (e.g. to quiesce the fault window at the
+// end of a soak so the cluster converges cleanly). Structural faults
+// (freeze/partition/isolate) are not touched.
+func (in *Injector) Tune(cfg Config) {
+	in.mu.Lock()
+	in.cfg = cfg
+	in.mu.Unlock()
+}
+
+// Freeze stalls rank's outgoing Data frames: heartbeats and barrier
+// traffic keep flowing, so the cluster sees a live peer that never
+// delivers its collective chunks.
+func (in *Injector) Freeze(rank int) {
+	in.mu.Lock()
+	in.frozen |= 1 << uint(rank)
+	in.mu.Unlock()
+}
+
+// Unfreeze lifts a Freeze.
+func (in *Injector) Unfreeze(rank int) {
+	in.mu.Lock()
+	in.frozen &^= 1 << uint(rank)
+	in.mu.Unlock()
+}
+
+// Partition splits the cluster: frames between ranks in different groups
+// (or between a listed and an unlisted rank) are dropped, heartbeats
+// included, until Heal. Later calls replace earlier ones.
+func (in *Injector) Partition(groups ...[]int) {
+	m := make(map[int]int)
+	for g, ranks := range groups {
+		for _, r := range ranks {
+			m[r] = g + 1
+		}
+	}
+	in.mu.Lock()
+	in.groups = m
+	in.mu.Unlock()
+}
+
+// Heal lifts the partition (isolated ranks stay isolated).
+func (in *Injector) Heal() {
+	in.mu.Lock()
+	in.groups = nil
+	in.mu.Unlock()
+}
+
+// Isolate permanently cuts rank off from the cluster — a process kill at
+// the transport layer: no frame reaches it or leaves it.
+func (in *Injector) Isolate(rank int) {
+	in.mu.Lock()
+	in.cut |= 1 << uint(rank)
+	in.mu.Unlock()
+}
+
+// Event reports one rate-path decision to the Trace hook: the link, the
+// frame's per-link sequence number, its payload size and the fate chosen.
+// Structural faults (freeze/partition/isolation) are NOT reported — they
+// are absolute link cuts that consume no per-link sequence number, so they
+// are not part of the seed-replayable schedule.
+type Event struct {
+	From, To   int
+	Class      Class
+	Seq        uint64
+	PayloadLen int
+	Fate       Fate
+}
+
+// SetTrace installs fn as an observer of every rate-path decision (nil
+// removes it). The callback runs outside the injector's lock, so events
+// from different links may arrive interleaved and — on the rare link with
+// concurrent senders, such as a crossed dial/accept handshake — slightly
+// out of order; Event.Seq is the authoritative per-link position. A soak
+// records events through this hook and replays them against a fresh
+// injector with the same seed to prove the fault schedule is reproducible.
+func (in *Injector) SetTrace(fn func(Event)) {
+	in.mu.Lock()
+	in.trace = fn
+	in.mu.Unlock()
+}
+
+// Stats snapshots the injector's fault counters.
+func (in *Injector) Stats() Stats {
+	return Stats{
+		Frames:    in.stats.frames.Load(),
+		Dropped:   in.stats.dropped.Load(),
+		Corrupted: in.stats.corrupted.Load(),
+		Truncated: in.stats.truncated.Load(),
+		Resets:    in.stats.resets.Load(),
+		Duped:     in.stats.duped.Load(),
+		Delayed:   in.stats.delayed.Load(),
+		Stalled:   in.stats.stalled.Load(),
+		Cut:       in.stats.cut.Load(),
+	}
+}
+
+// Outgoing decides the fate of one frame about to be written from rank
+// `from` to rank `to`. payloadLen is the frame's payload size in bytes
+// (0 for control frames). Called on the sender's write path with the
+// link's write lock held, so per-link decisions see a serialised frame
+// sequence — which is what makes the per-link counters deterministic.
+func (in *Injector) Outgoing(from, to int, class Class, payloadLen int) Fate {
+	in.stats.frames.Add(1)
+	in.mu.Lock()
+	// Structural faults first: they are absolute, not probabilistic.
+	if in.cut&(1<<uint(from)) != 0 || in.cut&(1<<uint(to)) != 0 {
+		in.mu.Unlock()
+		in.stats.cut.Add(1)
+		return Fate{Op: Drop}
+	}
+	if in.groups != nil && in.groups[from] != in.groups[to] {
+		in.mu.Unlock()
+		in.stats.cut.Add(1)
+		return Fate{Op: Drop}
+	}
+	if class == Data && in.frozen&(1<<uint(from)) != 0 {
+		in.mu.Unlock()
+		in.stats.stalled.Add(1)
+		return Fate{Op: Drop}
+	}
+	cfg := in.cfg
+	trace := in.trace
+	key := linkKey{from, to, class}
+	seq := in.links[key]
+	in.links[key] = seq + 1
+	in.mu.Unlock()
+
+	if !cfg.AllClasses && class != Data {
+		if trace != nil {
+			trace(Event{From: from, To: to, Class: class, Seq: seq, PayloadLen: payloadLen})
+		}
+		return Fate{}
+	}
+	// One hash per decision dimension, all derived from the same
+	// (seed, link, seq) identity, so a frame's fate is reproducible.
+	id := mix(cfg.Seed, uint64(from)<<40|uint64(to)<<20|uint64(class), seq)
+	fate := Fate{}
+	switch {
+	case pick(id, 1) < cfg.Drop:
+		fate.Op = Drop
+		in.stats.dropped.Add(1)
+	case pick(id, 2) < cfg.Corrupt && payloadLen > 0:
+		fate.Op = Corrupt
+		fate.Arg = int(mix(id, 3, seq) % uint64(payloadLen*8))
+		in.stats.corrupted.Add(1)
+	case pick(id, 4) < cfg.Truncate && payloadLen > 1:
+		fate.Op = Truncate
+		fate.Arg = int(mix(id, 5, seq) % uint64(payloadLen))
+		in.stats.truncated.Add(1)
+	case pick(id, 6) < cfg.Reset:
+		fate.Op = Reset
+		in.stats.resets.Add(1)
+	case pick(id, 7) < cfg.Dup:
+		fate.Op = Dup
+		in.stats.duped.Add(1)
+	}
+	if cfg.MaxDelay > 0 && pick(id, 8) < cfg.DelayRate {
+		fate.Delay = time.Duration(1 + mix(id, 9, seq)%uint64(cfg.MaxDelay))
+		in.stats.delayed.Add(1)
+	}
+	if trace != nil {
+		trace(Event{From: from, To: to, Class: class, Seq: seq, PayloadLen: payloadLen, Fate: fate})
+	}
+	return fate
+}
+
+// mix is a splitmix64-style hash combining three words; it drives every
+// probabilistic decision so the injector needs no mutable RNG state
+// beyond the per-link counters.
+func mix(a, b, c uint64) uint64 {
+	z := a ^ b*0x9e3779b97f4a7c15 ^ c*0xbf58476d1ce4e5b9
+	z = (z ^ z>>30) * 0xbf58476d1ce4e5b9
+	z = (z ^ z>>27) * 0x94d049bb133111eb
+	return z ^ z>>31
+}
+
+// pick maps (id, dim) to a uniform float64 in [0, 1).
+func pick(id uint64, dim uint64) float64 {
+	return float64(mix(id, dim, 0)>>11) / float64(1<<53)
+}

@@ -1,0 +1,214 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+// sequence records the fates of the first n frames on one link.
+func sequence(in *Injector, from, to int, class Class, payloadLen, n int) []Fate {
+	fates := make([]Fate, n)
+	for i := range fates {
+		fates[i] = in.Outgoing(from, to, class, payloadLen)
+	}
+	return fates
+}
+
+func TestSameSeedReplaysSameFates(t *testing.T) {
+	cfg := Config{
+		Seed: 42, Drop: 0.1, Corrupt: 0.1, Truncate: 0.05, Reset: 0.05,
+		Dup: 0.1, DelayRate: 0.2, MaxDelay: time.Millisecond,
+	}
+	a := sequence(NewInjector(cfg), 0, 1, Data, 4096, 500)
+	b := sequence(NewInjector(cfg), 0, 1, Data, 4096, 500)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("frame %d: fate %+v != replay %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFatesIndependentAcrossLinks(t *testing.T) {
+	// Interleaving traffic on other links must not perturb a link's fate
+	// sequence — that is what makes a multi-rank soak replayable even
+	// though goroutine scheduling reorders the global frame stream.
+	cfg := Config{Seed: 7, Drop: 0.2, Dup: 0.2}
+	solo := sequence(NewInjector(cfg), 0, 1, Data, 128, 200)
+
+	in := NewInjector(cfg)
+	mixed := make([]Fate, 200)
+	for i := range mixed {
+		in.Outgoing(1, 0, Data, 128)  // reverse direction
+		in.Outgoing(0, 2, Data, 128)  // different peer
+		in.Outgoing(0, 1, Control, 0) // same link, different class
+		mixed[i] = in.Outgoing(0, 1, Data, 128)
+	}
+	for i := range solo {
+		if solo[i] != mixed[i] {
+			t.Fatalf("frame %d: solo %+v != interleaved %+v", i, solo[i], mixed[i])
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	cfg := Config{Drop: 0.3, Dup: 0.3}
+	cfg.Seed = 1
+	a := sequence(NewInjector(cfg), 0, 1, Data, 128, 300)
+	cfg.Seed = 2
+	b := sequence(NewInjector(cfg), 0, 1, Data, 128, 300)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("seeds 1 and 2 produced identical 300-frame fate sequences")
+	}
+}
+
+func TestZeroRatesPassEverything(t *testing.T) {
+	in := NewInjector(Config{Seed: 9})
+	for i := 0; i < 100; i++ {
+		if f := in.Outgoing(0, 1, Data, 64); f != (Fate{}) {
+			t.Fatalf("frame %d: zero-rate injector returned %+v", i, f)
+		}
+	}
+	s := in.Stats()
+	if s.Frames != 100 || s.Dropped+s.Corrupted+s.Truncated+s.Resets+s.Duped+s.Delayed != 0 {
+		t.Fatalf("zero-rate stats: %+v", s)
+	}
+}
+
+func TestRatesRoughlyHold(t *testing.T) {
+	in := NewInjector(Config{Seed: 3, Drop: 0.2})
+	const n = 5000
+	dropped := 0
+	for i := 0; i < n; i++ {
+		if in.Outgoing(0, 1, Data, 64).Op == Drop {
+			dropped++
+		}
+	}
+	if got := float64(dropped) / n; got < 0.15 || got > 0.25 {
+		t.Fatalf("20%% drop rate delivered %.1f%% over %d frames", got*100, n)
+	}
+	if s := in.Stats(); s.Dropped != int64(dropped) {
+		t.Fatalf("stats.Dropped = %d, counted %d", s.Dropped, dropped)
+	}
+}
+
+func TestDataOnlyByDefault(t *testing.T) {
+	in := NewInjector(Config{Seed: 5, Drop: 1})
+	for i := 0; i < 50; i++ {
+		for _, c := range []Class{Control, Heartbeat, Snapshot} {
+			if f := in.Outgoing(0, 1, c, 32); f.Op != Pass {
+				t.Fatalf("class %d harmed without AllClasses: %+v", c, f)
+			}
+		}
+		if f := in.Outgoing(0, 1, Data, 32); f.Op != Drop {
+			t.Fatalf("Data frame not dropped at rate 1: %+v", f)
+		}
+	}
+
+	in = NewInjector(Config{Seed: 5, Drop: 1, AllClasses: true})
+	if f := in.Outgoing(0, 1, Heartbeat, 0); f.Op != Drop {
+		t.Fatalf("AllClasses heartbeat not dropped: %+v", f)
+	}
+}
+
+func TestCorruptAndTruncateArgsInRange(t *testing.T) {
+	in := NewInjector(Config{Seed: 11, Corrupt: 0.5, Truncate: 0.5})
+	const payload = 96
+	for i := 0; i < 2000; i++ {
+		f := in.Outgoing(0, 1, Data, payload)
+		switch f.Op {
+		case Corrupt:
+			if f.Arg < 0 || f.Arg >= payload*8 {
+				t.Fatalf("corrupt bit %d out of range [0,%d)", f.Arg, payload*8)
+			}
+		case Truncate:
+			if f.Arg < 0 || f.Arg >= payload {
+				t.Fatalf("truncate keep %d out of range [0,%d)", f.Arg, payload)
+			}
+		}
+	}
+	// Corrupt needs a payload bit to flip; Truncate needs a byte to cut.
+	if f := in.Outgoing(0, 1, Data, 0); f.Op == Corrupt || f.Op == Truncate {
+		t.Fatalf("empty payload got %+v", f)
+	}
+}
+
+func TestFreezeStallsDataOnly(t *testing.T) {
+	in := NewInjector(Config{Seed: 1})
+	in.Freeze(2)
+	if f := in.Outgoing(2, 0, Data, 64); f.Op != Drop {
+		t.Fatalf("frozen rank's Data frame passed: %+v", f)
+	}
+	if f := in.Outgoing(2, 0, Heartbeat, 0); f.Op != Pass {
+		t.Fatalf("frozen rank's heartbeat harmed: %+v", f)
+	}
+	if f := in.Outgoing(2, 0, Control, 0); f.Op != Pass {
+		t.Fatalf("frozen rank's control frame harmed: %+v", f)
+	}
+	if f := in.Outgoing(0, 2, Data, 64); f.Op != Pass {
+		t.Fatalf("Data frame TO a frozen rank harmed: %+v", f)
+	}
+	in.Unfreeze(2)
+	if f := in.Outgoing(2, 0, Data, 64); f.Op != Pass {
+		t.Fatalf("unfrozen rank's Data frame still stalled: %+v", f)
+	}
+	if s := in.Stats(); s.Stalled != 1 {
+		t.Fatalf("Stalled = %d, want 1", s.Stalled)
+	}
+}
+
+func TestPartitionCutsCrossGroupOnly(t *testing.T) {
+	in := NewInjector(Config{Seed: 1})
+	in.Partition([]int{0, 1}) // rank 2 implicitly in the other side
+	if f := in.Outgoing(0, 1, Data, 64); f.Op != Pass {
+		t.Fatalf("intra-group frame cut: %+v", f)
+	}
+	if f := in.Outgoing(0, 2, Heartbeat, 0); f.Op != Drop {
+		t.Fatalf("cross-partition heartbeat passed: %+v", f)
+	}
+	if f := in.Outgoing(2, 1, Control, 0); f.Op != Drop {
+		t.Fatalf("cross-partition control frame passed: %+v", f)
+	}
+	in.Heal()
+	if f := in.Outgoing(0, 2, Heartbeat, 0); f.Op != Pass {
+		t.Fatalf("healed partition still cutting: %+v", f)
+	}
+}
+
+func TestIsolateCutsBothDirections(t *testing.T) {
+	in := NewInjector(Config{Seed: 1})
+	in.Isolate(1)
+	if f := in.Outgoing(1, 0, Heartbeat, 0); f.Op != Drop {
+		t.Fatalf("isolated rank's outgoing frame passed: %+v", f)
+	}
+	if f := in.Outgoing(0, 1, Control, 0); f.Op != Drop {
+		t.Fatalf("frame to isolated rank passed: %+v", f)
+	}
+	if f := in.Outgoing(0, 2, Data, 64); f.Op != Pass {
+		t.Fatalf("unrelated link cut: %+v", f)
+	}
+	in.Heal() // Heal lifts partitions, not isolation
+	if f := in.Outgoing(0, 1, Data, 64); f.Op != Drop {
+		t.Fatalf("Heal lifted an isolation: %+v", f)
+	}
+	if s := in.Stats(); s.Cut != 3 {
+		t.Fatalf("Cut = %d, want 3", s.Cut)
+	}
+}
+
+func TestTuneKeepsStructuralFaults(t *testing.T) {
+	in := NewInjector(Config{Seed: 1, Drop: 1})
+	in.Freeze(0)
+	in.Tune(Config{Seed: 1}) // quiesce rates
+	if f := in.Outgoing(1, 2, Data, 64); f.Op != Pass {
+		t.Fatalf("tuned-to-zero injector still dropping: %+v", f)
+	}
+	if f := in.Outgoing(0, 1, Data, 64); f.Op != Drop {
+		t.Fatalf("Tune lifted a Freeze: %+v", f)
+	}
+}

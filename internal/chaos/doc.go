@@ -1,0 +1,22 @@
+// Package chaos is the deterministic fault-injection layer behind the
+// transport's robustness tests (DESIGN.md §13): a seeded Injector that the
+// transport consults for every outgoing frame and that can drop, delay,
+// duplicate, bit-flip, or truncate frames, reset connections, partition
+// rank subsets, and freeze a peer mid-collective while its heartbeats keep
+// flowing — the failure a liveness detector cannot see.
+//
+// Determinism is the point. The fate of the i-th frame on a
+// (from, to, class) link is a pure hash of (Seed, from, to, class, i), so
+// the injector carries no RNG state beyond per-link counters: a run with
+// the same seed and the same per-link frame sequence replays the same
+// fault schedule, which turns "the cluster survived random faults" into a
+// reproducible, debuggable test — the chaos soak pins bit-identical
+// survivor parameters under a fixed seed, and a failure can be replayed at
+// will.
+//
+// The injector sits at the sender's frame boundary only (inside
+// peer.send, under the link's write lock). That placement keeps decisions
+// serialised per link and covers both directions of every in-process test
+// cluster, but it also means chaos runs are single-process by
+// construction: the Injector is a shared pointer, not a wire protocol.
+package chaos

@@ -21,6 +21,13 @@ type ClusterSMAConfig struct {
 	// GlobalMomentum is µ applied to the cluster average model's update;
 	// zero selects Momentum.
 	GlobalMomentum float32
+	// ExchangeRetries bounds how many times a fault-aborted global
+	// exchange is retried back-to-back before the update is skipped until
+	// the next τ_global boundary (0 → 2, negative → no retries). Retrying
+	// is sound: the round that eventually succeeds after churn carries
+	// Restart and re-derives z, so a missed attempt never corrupts state —
+	// retries just keep the averaging schedule on cadence under faults.
+	ExchangeRetries int
 }
 
 // ClusterSMA generalises the hierarchical SMA of §3.3 by one level: the

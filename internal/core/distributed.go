@@ -71,7 +71,8 @@ type DistClusterSMA struct {
 	localSyncs int
 
 	rounds  int64 // successful global exchanges
-	aborted int64 // exchanges skipped because the collective aborted
+	aborted int64 // aborted collectives observed (including retried ones)
+	retried int64 // exchanges rescued by a retry after an abort
 	lastRnd ExchangeRound
 }
 
@@ -129,8 +130,12 @@ func (d *DistClusterSMA) SetLearnRate(lr float32) { d.sma.SetLearnRate(lr) }
 // Rounds returns the number of successful global exchanges folded into z.
 func (d *DistClusterSMA) Rounds() int64 { return d.rounds }
 
-// AbortedRounds returns the number of exchanges skipped due to churn.
+// AbortedRounds returns the number of aborted collectives observed.
 func (d *DistClusterSMA) AbortedRounds() int64 { return d.aborted }
+
+// RetriedExchanges returns the number of exchanges that aborted at least
+// once but were rescued by a retry within the same τ_global boundary.
+func (d *DistClusterSMA) RetriedExchanges() int64 { return d.retried }
 
 // LastRound returns the most recent exchange's report.
 func (d *DistClusterSMA) LastRound() ExchangeRound { return d.lastRnd }
@@ -151,20 +156,41 @@ func (d *DistClusterSMA) Step(ws, gs [][]float32) {
 }
 
 // exchange runs one global round: all-reduce the server reference model,
-// then apply the replicated z update (or the restart re-derivation).
+// then apply the replicated z update (or the restart re-derivation). A
+// fault-aborted collective is retried a bounded number of times — the
+// post-churn round carries Restart and re-derives z, so a retry can never
+// double-apply anything; only after the budget is spent is the update
+// skipped until the next τ_global boundary.
 func (d *DistClusterSMA) exchange() {
-	ref := d.sma.Average()
-	copy(d.buf, ref)
-	r, err := d.ex.AllReduce(d.buf)
-	if err != nil {
-		// The transport is closed (shutdown); train on locally.
-		d.aborted++
-		return
+	retries := d.cfg.ExchangeRetries
+	if retries == 0 {
+		retries = 2
+	} else if retries < 0 {
+		retries = 0
 	}
-	d.lastRnd = r
-	if r.Aborted || r.Participants < 1 {
-		d.aborted++
-		return
+	ref := d.sma.Average()
+	var r ExchangeRound
+	for attempt := 0; ; attempt++ {
+		copy(d.buf, ref)
+		rr, err := d.ex.AllReduce(d.buf)
+		if err != nil {
+			// The transport is closed (shutdown); train on locally.
+			d.aborted++
+			return
+		}
+		d.lastRnd = rr
+		if rr.Aborted || rr.Participants < 1 {
+			d.aborted++
+			if attempt < retries {
+				continue
+			}
+			return
+		}
+		if attempt > 0 {
+			d.retried++
+		}
+		r = rr
+		break
 	}
 	n := float32(r.Participants)
 	alphaG := d.alphaG

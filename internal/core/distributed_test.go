@@ -209,12 +209,12 @@ func TestDistClusterRestartHeals(t *testing.T) {
 	}
 }
 
-// TestDistClusterAbortSkipsUpdate pins the no-retry abort semantics: an
-// aborted collective leaves z and zPrev untouched and counts the abort;
-// training continues on the next round.
+// TestDistClusterAbortSkipsUpdate pins the abort semantics with retries
+// disabled: an aborted collective leaves z and zPrev untouched and counts
+// the abort; training continues on the next round.
 func TestDistClusterAbortSkipsUpdate(t *testing.T) {
 	const dim = 8
-	cfg := ClusterSMAConfig{SMAConfig: SMAConfig{LearnRate: 0.1}}
+	cfg := ClusterSMAConfig{SMAConfig: SMAConfig{LearnRate: 0.1}, ExchangeRetries: -1}
 	ex := newMemExchange(1)
 	ws, gs, w0 := makeReplicas(1, dim)
 	d := NewDistClusterSMA(cfg, w0, 1, ex.handle(0))
@@ -240,6 +240,36 @@ func TestDistClusterAbortSkipsUpdate(t *testing.T) {
 	}
 	if tensor.MaxAbsDiff(d.Average(), zBefore) == 0 {
 		t.Fatal("post-abort round must move z again")
+	}
+}
+
+// TestDistClusterRetryRescuesExchange pins the bounded retry: with the
+// default budget, a collective that aborts once is retried within the same
+// τ_global boundary, and the rescued round still updates z. The retry is
+// sound because a post-churn round carries Restart and re-derives z — a
+// missed first attempt never double-applies anything.
+func TestDistClusterRetryRescuesExchange(t *testing.T) {
+	const dim = 8
+	cfg := ClusterSMAConfig{SMAConfig: SMAConfig{LearnRate: 0.1}}
+	ex := newMemExchange(1)
+	ws, gs, w0 := makeReplicas(1, dim)
+	d := NewDistClusterSMA(cfg, w0, 1, ex.handle(0))
+
+	fakeGrads(gs, 1)
+	d.Step(ws, gs) // seeds z (first round)
+	zBefore := append([]float32(nil), d.Average()...)
+
+	// The exchanger clears the injected fault once the faulted round
+	// completes, so the immediate retry succeeds.
+	ex.forceAbort = true
+	fakeGrads(gs, 2)
+	d.Step(ws, gs)
+	if tensor.MaxAbsDiff(d.Average(), zBefore) == 0 {
+		t.Fatal("retried exchange must still update z")
+	}
+	if d.Rounds() != 2 || d.AbortedRounds() != 1 || d.RetriedExchanges() != 1 {
+		t.Fatalf("counters: rounds %d aborted %d retried %d, want 2/1/1",
+			d.Rounds(), d.AbortedRounds(), d.RetriedExchanges())
 	}
 }
 

@@ -110,11 +110,15 @@ type TrainConfig struct {
 	// TauGlobal is the cluster plane's inter-server averaging period in
 	// units of intra-server synchronisations (AlgoSMACluster only; 0 → 1).
 	TauGlobal int
-	MaxEpochs int
-	TargetAcc float64 // stop once the TTA window clears this; 0 → run MaxEpochs
-	Seed      uint64
-	DataNoise float64 // 0 → benchmark default
-	Schedule  Schedule
+	// ExchangeRetries bounds back-to-back retries of a fault-aborted
+	// global exchange (networked cluster plane only; 0 → 2, negative →
+	// no retries). See ClusterSMAConfig.ExchangeRetries.
+	ExchangeRetries int
+	MaxEpochs       int
+	TargetAcc       float64 // stop once the TTA window clears this; 0 → run MaxEpochs
+	Seed            uint64
+	DataNoise       float64 // 0 → benchmark default
+	Schedule        Schedule
 	// RestartOnLRChange applies the §3.2 SMA restart whenever the
 	// schedule changes the learning rate.
 	RestartOnLRChange bool
@@ -475,6 +479,7 @@ func buildOpt(cfg *TrainConfig, w0 []float32, k int, stateRanges [][2]int) stepp
 			// tier runs over the network.
 			return NewDistClusterSMA(ClusterSMAConfig{
 				SMAConfig: smaCfg, TauGlobal: cfg.TauGlobal,
+				ExchangeRetries: cfg.ExchangeRetries,
 			}, w0, k, cfg.GlobalExchange)
 		}
 		// Contiguous learner partition: server s owns g×m learners; within

@@ -134,10 +134,13 @@ func (l *LatencyRecorder) Quantile(q float64) time.Duration {
 // reported in milliseconds for direct JSON/dashboard use.
 type ServingStats struct {
 	// Requests and Batches count completed work; Rejected counts requests
-	// refused because the runtime was shutting down.
+	// refused because the runtime was shutting down; Shed counts requests
+	// refused under overload (full queue with ShedOnFull, or a request
+	// that could not meet AdmitDeadline).
 	Requests int64 `json:"requests"`
 	Batches  int64 `json:"batches"`
 	Rejected int64 `json:"rejected"`
+	Shed     int64 `json:"shed"`
 	// BatchOccupancy is mean requests per dispatched batch — the dynamic
 	// batcher's efficiency, in (0, MaxBatch].
 	BatchOccupancy float64 `json:"batch_occupancy"`

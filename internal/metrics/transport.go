@@ -24,6 +24,13 @@ type TransportStats struct {
 	Reconnects    int64 `json:"reconnects"`     // live connections replaced
 	PeerDeaths    int64 `json:"peer_deaths"`    // alive→dead transitions observed
 
+	// Fault-handling counters: rounds cut by the per-step watchdog, frames
+	// rejected as corrupt (bad checksum or framing), and peers barred from
+	// reconnecting after being caught corrupting or stalling.
+	WatchdogFires int64 `json:"watchdog_fires"`
+	CorruptFrames int64 `json:"corrupt_frames"`
+	Quarantines   int64 `json:"quarantines"`
+
 	SnapshotsServed  int64 `json:"snapshots_served"`
 	SnapshotsFetched int64 `json:"snapshots_fetched"`
 

@@ -15,6 +15,14 @@ import (
 // ErrClosed is returned by Predict once the engine has been closed.
 var ErrClosed = errors.New("serve: engine closed")
 
+// ErrOverloaded is returned by Predict when the engine sheds the request
+// instead of queueing it: the queue is full (ShedOnFull) or the request
+// cannot be answered within AdmitDeadline. Shedding is the graceful-
+// degradation contract — a fast, cheap refusal the caller can convert to
+// a 503 and retry elsewhere, instead of an unbounded queue wait that takes
+// the whole latency distribution down with it.
+var ErrOverloaded = errors.New("serve: overloaded, request shed")
+
 // Config configures a prediction engine.
 type Config struct {
 	// Model names the architecture Params belongs to. Required.
@@ -44,6 +52,19 @@ type Config struct {
 	// QueueDepth bounds the request queue; Predict blocks while it is
 	// full — backpressure, not load shedding (default Replicas×MaxBatch×4).
 	QueueDepth int
+	// ShedOnFull flips the full-queue behaviour from backpressure to load
+	// shedding: Predict returns ErrOverloaded immediately instead of
+	// blocking. Under sustained overload this keeps the latency of the
+	// requests that ARE admitted bounded by the queue's drain time, at the
+	// price of refusing the excess (counted in ServingStats.Shed).
+	ShedOnFull bool
+	// AdmitDeadline, when positive, is the per-request answer budget: a
+	// request is shed at admission when the queue's estimated drain time
+	// already exceeds it, and again at dispatch if it aged past the budget
+	// while queued (both return ErrOverloaded). This is deadline-aware
+	// admission — work that would miss its deadline anyway is refused
+	// before it wastes a replica's forward pass.
+	AdmitDeadline time.Duration
 }
 
 func (c *Config) fillDefaults() error {
@@ -87,6 +108,10 @@ type request struct {
 	sample []float32 // caller's slice; read until the reply is sent
 	enq    time.Time
 	resp   chan Prediction // buffered(1); reused across checkouts
+	// err is set (to ErrOverloaded) by the dispatcher before answering a
+	// shed request; the resp channel send/receive gives the happens-before
+	// edge that makes the plain field safe to read in Predict.
+	err error
 }
 
 // batch is a dispatched group of requests, recycled like requests.
@@ -135,6 +160,7 @@ type Engine struct {
 	requests  atomic.Int64
 	nbatches  atomic.Int64
 	rejected  atomic.Int64
+	shed      atomic.Int64
 	swaps     atomic.Int64
 	queuePeak atomic.Int64
 	latency   metrics.LatencyRecorder
@@ -233,6 +259,21 @@ func (e *Engine) Predict(sample []float32) (Prediction, error) {
 		return Prediction{}, fmt.Errorf("serve: sample has %d values, %q takes %d",
 			len(sample), e.cfg.Model, e.sampleVol)
 	}
+	// Deadline-aware admission: estimate how long the queue already ahead
+	// of us takes to drain (batches ahead × mean batch service time) and
+	// refuse on arrival if the answer would miss the budget anyway. The
+	// estimate is deliberately cheap — two atomic reads — because it runs
+	// on every request of an overloaded server.
+	if e.cfg.AdmitDeadline > 0 {
+		if mean := e.service.Mean(); mean > 0 {
+			ahead := int64(len(e.queue)/(e.cfg.MaxBatch*e.cfg.Replicas) + 1)
+			if time.Duration(ahead*int64(mean)) > e.cfg.AdmitDeadline {
+				e.shed.Add(1)
+				return Prediction{}, ErrOverloaded
+			}
+		}
+	}
+
 	req := e.getReq()
 	req.sample = sample
 	req.enq = time.Now()
@@ -249,7 +290,18 @@ func (e *Engine) Predict(sample []float32) (Prediction, error) {
 		e.rejected.Add(1)
 		return Prediction{}, ErrClosed
 	}
-	e.queue <- req
+	if e.cfg.ShedOnFull {
+		select {
+		case e.queue <- req:
+		default:
+			e.mu.RUnlock()
+			e.putReq(req)
+			e.shed.Add(1)
+			return Prediction{}, ErrOverloaded
+		}
+	} else {
+		e.queue <- req
+	}
 	e.mu.RUnlock()
 
 	for d := int64(len(e.queue)); ; {
@@ -259,7 +311,12 @@ func (e *Engine) Predict(sample []float32) (Prediction, error) {
 		}
 	}
 	p := <-req.resp
+	err := req.err
+	req.err = nil
 	e.putReq(req)
+	if err != nil {
+		return Prediction{}, err
+	}
 	return p, nil
 }
 
@@ -287,6 +344,7 @@ func (e *Engine) Stats() metrics.ServingStats {
 		Requests:     reqs,
 		Batches:      bat,
 		Rejected:     e.rejected.Load(),
+		Shed:         e.shed.Load(),
 		QueueDepth:   len(e.queue),
 		QueuePeak:    int(e.queuePeak.Load()),
 		P50Ms:        metrics.Ms(e.latency.Quantile(0.50)),
@@ -325,6 +383,9 @@ func (e *Engine) dispatch() {
 			e.drain()
 			return
 		}
+		if e.lapsed(first) {
+			continue
+		}
 		b := e.getBatch()
 		b.reqs = append(b.reqs[:0], first)
 		if e.cfg.MaxDelay > 0 {
@@ -333,7 +394,9 @@ func (e *Engine) dispatch() {
 			for !expired && len(b.reqs) < e.cfg.MaxBatch {
 				select {
 				case r := <-e.queue:
-					b.reqs = append(b.reqs, r)
+					if !e.lapsed(r) {
+						b.reqs = append(b.reqs, r)
+					}
 				case <-timer.C:
 					expired = true
 				case <-e.stop:
@@ -348,7 +411,9 @@ func (e *Engine) dispatch() {
 			for len(b.reqs) < e.cfg.MaxBatch {
 				select {
 				case r := <-e.queue:
-					b.reqs = append(b.reqs, r)
+					if !e.lapsed(r) {
+						b.reqs = append(b.reqs, r)
+					}
 				default:
 					break gather
 				}
@@ -356,6 +421,20 @@ func (e *Engine) dispatch() {
 		}
 		e.batches <- b
 	}
+}
+
+// lapsed sheds a dequeued request that aged past AdmitDeadline while
+// queued, answering ErrOverloaded without spending a replica on it. The
+// drain path deliberately skips this check: every request accepted before
+// Close is answered, deadline or not.
+func (e *Engine) lapsed(r *request) bool {
+	if e.cfg.AdmitDeadline <= 0 || time.Since(r.enq) <= e.cfg.AdmitDeadline {
+		return false
+	}
+	e.shed.Add(1)
+	r.err = ErrOverloaded
+	r.resp <- Prediction{}
+	return true
 }
 
 // drain batches the queue's remnant after stop, with no straggler waits.

@@ -1,0 +1,209 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"crossbow/internal/chaos"
+)
+
+// TestFrozenPeerWatchdogAborts pins the tentpole failure mode of this
+// transport: a peer whose control plane and heartbeats keep flowing but
+// whose collective chunks silently stop — a GC pause, a wedged disk, a
+// half-dead NIC. The failure detector never fires (the peer IS alive), so
+// before the round watchdog existed this test deadlocked: every rank sat
+// in recvData forever. Now the stall's direct victim must abort within its
+// RoundTimeout, name the suspect in the Abort fan-out so every rank cuts
+// and quarantines it, and the survivors' next round must complete as a
+// Restart.
+//
+// Rank 2 is frozen, so in ring order its direct victim is rank 0 (prev of
+// rank 0 is rank 2). Rank 0 gets the short watchdog; the others get a much
+// longer one so the test is deterministic about WHO detects the stall —
+// in production the direct victim simply arms its timer one ring-step
+// earlier than the downstream ranks, and its Abort reaches them long
+// before their own margin expires.
+func TestFrozenPeerWatchdogAborts(t *testing.T) {
+	inj := chaos.NewInjector(chaos.Config{Seed: 1})
+	nodes := startCluster(t, 3, false, func(rank int, cfg *Config) {
+		cfg.Chaos = inj
+		cfg.Quarantine = 30 * time.Second // keep the frozen rank out for the whole test
+		cfg.RoundTimeout = 1200 * time.Millisecond
+		if rank == 0 {
+			cfg.RoundTimeout = 300 * time.Millisecond
+		}
+	})
+
+	// A healthy round first: the watchdog must not misfire.
+	bufs, want := rankBufs(3, 1<<14)
+	for i, r := range runRound(t, nodes, bufs) {
+		if r.Aborted {
+			t.Fatalf("rank %d healthy round aborted: %+v", i, r)
+		}
+	}
+	checkSums(t, bufs, want)
+
+	inj.Freeze(2)
+
+	// All three enter the round; rank 2's Data frames vanish. Pre-watchdog
+	// this hung forever — the test harness timeout below is the pin.
+	bufs2, _ := rankBufs(3, 1<<14)
+	rounds := make([]Round, 3)
+	done := make(chan int, 3)
+	for i, n := range nodes {
+		go func(i int, n *Node) {
+			rounds[i], _ = n.AllReduce(bufs2[i])
+			done <- i
+		}(i, n)
+	}
+	deadline := time.After(10 * time.Second)
+	for i := 0; i < 3; i++ {
+		select {
+		case <-done:
+		case <-deadline:
+			t.Fatal("cluster deadlocked on a frozen peer: watchdog never fired")
+		}
+	}
+	if !rounds[0].Aborted || !rounds[1].Aborted {
+		t.Fatalf("victim rounds = %+v, %+v; want both aborted", rounds[0], rounds[1])
+	}
+	if s := nodes[0].Stats(); s.WatchdogFires < 1 || s.Quarantines < 1 {
+		t.Fatalf("rank 0 (direct victim) stats: %+v, want watchdog fire + quarantine", s)
+	}
+	// Rank 1 never timed out itself — it learned the suspect from rank 0's
+	// Abort fan-out and must have cut and quarantined rank 2 on its own.
+	if s := nodes[1].Stats(); s.WatchdogFires != 0 || s.Quarantines < 1 {
+		t.Fatalf("rank 1 (accused) stats: %+v, want 0 fires but >=1 quarantine", s)
+	}
+
+	// Recovery: the survivors re-form without rank 2 (it is quarantined, so
+	// it cannot wedge the next round) and the first completed round is a
+	// Restart — the dirty bit from the abort forces z re-derivation.
+	bufs3, want3 := rankBufs(2, 1<<10)
+	for i, r := range runRound(t, nodes[:2], bufs3) {
+		if r.Aborted || r.Participants != 2 || !r.Restart {
+			t.Fatalf("rank %d recovery round = %+v, want 2-member restart", i, r)
+		}
+	}
+	checkSums(t, bufs3, want3)
+
+	// And once the Restart healed the divergence, rounds are plain again.
+	bufs4, want4 := rankBufs(2, 1<<10)
+	for i, r := range runRound(t, nodes[:2], bufs4) {
+		if r.Aborted || r.Restart {
+			t.Fatalf("rank %d post-recovery round = %+v, want plain round", i, r)
+		}
+	}
+	checkSums(t, bufs4, want4)
+}
+
+// TestCorruptingPeerQuarantined runs a round in which every Data frame is
+// bit-flipped on the wire. The CRC must keep the poison out of the sums,
+// classify the link as corrupt (errWire), quarantine the sender, and —
+// once the fault is tuned away and the quarantine lapses — the pair must
+// reconnect and complete a Restart round with correct sums.
+func TestCorruptingPeerQuarantined(t *testing.T) {
+	inj := chaos.NewInjector(chaos.Config{Seed: 7, Corrupt: 1})
+	nodes := startCluster(t, 2, false, func(rank int, cfg *Config) {
+		cfg.Chaos = inj
+		cfg.Quarantine = 300 * time.Millisecond
+		cfg.RoundTimeout = 5 * time.Second
+	})
+
+	bufs, _ := rankBufs(2, 256)
+	rounds := make([]Round, 2)
+	done := make(chan struct{}, 2)
+	for i, n := range nodes {
+		go func(i int, n *Node) {
+			rounds[i], _ = n.AllReduce(bufs[i])
+			done <- struct{}{}
+		}(i, n)
+	}
+	deadline := time.After(10 * time.Second)
+	for i := 0; i < 2; i++ {
+		select {
+		case <-done:
+		case <-deadline:
+			t.Fatal("corrupted round hung")
+		}
+	}
+	if !rounds[0].Aborted && !rounds[1].Aborted {
+		t.Fatalf("all-corrupt round completed: %+v, %+v", rounds[0], rounds[1])
+	}
+	s0, s1 := nodes[0].Stats(), nodes[1].Stats()
+	if s0.CorruptFrames+s1.CorruptFrames < 1 {
+		t.Fatalf("no corrupt frame detected: %+v / %+v", s0, s1)
+	}
+	if s0.Quarantines+s1.Quarantines < 1 {
+		t.Fatalf("no quarantine issued: %+v / %+v", s0, s1)
+	}
+
+	// Fault repaired: rates to zero, quarantine left to expire.
+	inj.Tune(chaos.Config{Seed: 7})
+	for _, n := range nodes {
+		if got := n.WaitPeers(5 * time.Second); got != 1 {
+			t.Fatalf("rank %d sees %d peers after quarantine expiry, want 1", n.Rank(), got)
+		}
+	}
+	bufs2, want2 := rankBufs(2, 256)
+	for i, r := range runRound(t, nodes, bufs2) {
+		if r.Aborted || r.Participants != 2 || !r.Restart {
+			t.Fatalf("rank %d post-repair round = %+v, want 2-member restart", i, r)
+		}
+	}
+	checkSums(t, bufs2, want2)
+}
+
+// TestPartitionHeals splits {0,1} from {2} — every cross-partition frame,
+// heartbeats included, vanishes. The majority side must shrink its view
+// and keep completing rounds; the minority degenerates to a solo round.
+// After Heal the mesh re-forms and a full-view Restart round sums across
+// all three again.
+func TestPartitionHeals(t *testing.T) {
+	inj := chaos.NewInjector(chaos.Config{Seed: 3})
+	nodes := startCluster(t, 3, false, func(rank int, cfg *Config) {
+		cfg.Chaos = inj
+	})
+
+	bufs, want := rankBufs(3, 512)
+	runRound(t, nodes, bufs)
+	checkSums(t, bufs, want)
+
+	inj.Partition([]int{0, 1})
+
+	// Majority side: the barrier stalls until the failure detector expels
+	// rank 2 (its heartbeats no longer arrive), then completes a 2-member
+	// Restart round.
+	bufs2, want2 := rankBufs(2, 512)
+	for i, r := range runRound(t, nodes[:2], bufs2) {
+		if r.Aborted || r.Participants != 2 || !r.Restart {
+			t.Fatalf("rank %d majority round = %+v, want 2-member restart", i, r)
+		}
+	}
+	checkSums(t, bufs2, want2)
+
+	// Minority side: rank 2 alone degenerates to a no-op round.
+	solo := []float32{1, 2, 3}
+	r, err := nodes[2].AllReduce(solo)
+	if err != nil || r.Aborted || r.Participants != 1 {
+		t.Fatalf("minority round = %+v, err %v", r, err)
+	}
+
+	inj.Heal()
+	for _, n := range nodes {
+		if got := n.WaitPeers(5 * time.Second); got != 2 {
+			t.Fatalf("rank %d sees %d peers after heal, want 2", n.Rank(), got)
+		}
+	}
+	bufs3, want3 := rankBufs(3, 512)
+	for i, r := range runRound(t, nodes, bufs3) {
+		if r.Aborted || r.Participants != 3 || !r.Restart {
+			t.Fatalf("rank %d healed round = %+v, want 3-member restart", i, r)
+		}
+	}
+	checkSums(t, bufs3, want3)
+
+	if inj.Stats().Cut < 1 {
+		t.Fatalf("injector cut no frames across the partition: %+v", inj.Stats())
+	}
+}

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"errors"
+	"fmt"
 	"sync/atomic"
 	"time"
 
@@ -11,6 +12,16 @@ import (
 // errAborted signals a membership change mid-collective; AllReduce maps it
 // to Round.Aborted rather than surfacing it to callers.
 var errAborted = errors.New("transport: round aborted by membership change")
+
+// errStalled is the round watchdog's verdict: the named peer owed us a
+// chunk and stayed silent for RoundTimeout even though the failure
+// detector still considered it alive. AllReduce broadcasts the suspect in
+// the Abort frame so every participant cuts it, not just us.
+type errStalled struct{ rank int }
+
+func (e errStalled) Error() string {
+	return fmt.Sprintf("transport: peer %d stalled the round past the watchdog", e.rank)
+}
 
 // AllReduce sums buf element-wise across every live member of the cluster,
 // in place, and reports the round. The reduction order is fixed by rank,
@@ -51,12 +62,30 @@ func (n *Node) AllReduce(buf []float32) (Round, error) {
 			if errors.Is(err, ErrClosed) {
 				return Round{}, ErrClosed
 			}
-			n.abortRoundPeers(bm, view)
+			var stall errStalled
+			var suspects uint64
+			if errors.As(err, &stall) {
+				suspects = 1 << uint(stall.rank)
+			}
+			n.abortRoundPeers(bm, view, suspects)
 			n.stats.aborts.Add(1)
 			r.Aborted = true
+			// An aborted round may have completed on some peers: our state
+			// can diverge from theirs, so the next round we join must be a
+			// Restart (the dirty bit rides our next Ready frame).
+			n.mu.Lock()
+			n.dirty = true
+			n.mu.Unlock()
 			n.logf("rank %d: round %d aborted: %v", n.rank, bm.round, err)
 			return r, nil
 		}
+	}
+	if bm.restart {
+		// A completed Restart round re-derives all shared state; any
+		// abort-induced divergence is healed.
+		n.mu.Lock()
+		n.dirty = false
+		n.mu.Unlock()
 	}
 	n.stats.rounds.Add(1)
 	n.stats.collectiveNs.Add(r.CollectiveNs)
@@ -86,7 +115,7 @@ func (n *Node) barrier() (*beginMsg, error) {
 		}
 		leader := n.leaderLocked()
 		if leader == n.rank {
-			n.readySet[n.rank] = true
+			n.readySet[n.rank] = n.dirty
 			if n.allReadyLocked() {
 				bm := n.issueBeginLocked()
 				targets := n.beginTargetsLocked(bm)
@@ -97,10 +126,14 @@ func (n *Node) barrier() (*beginMsg, error) {
 		} else if readySentTo != leader || readyEpoch != n.epoch {
 			readySentTo, readyEpoch = leader, n.epoch
 			p := n.peers[leader]
+			h := &header{Type: frameReady, Sender: uint32(n.rank)}
+			if n.dirty {
+				h.Flags |= flagDirty
+			}
 			n.mu.Unlock()
 			// A failed send means the coordinator is dying; the failure
 			// detector will bump the epoch and we re-send to its successor.
-			p.send(n, &header{Type: frameReady, Sender: uint32(n.rank)}, nil, n.cfg.WriteTimeout)
+			p.send(n, h, nil, n.cfg.WriteTimeout)
 			n.mu.Lock()
 			continue
 		}
@@ -132,11 +165,12 @@ func (n *Node) takeBeginLocked() *beginMsg {
 }
 
 // allReadyLocked reports whether every live member (including self) has
-// announced Ready.
+// announced Ready. Presence in readySet is what counts — the value is the
+// member's dirty bit.
 func (n *Node) allReadyLocked() bool {
 	for r, p := range n.peers {
 		alive := r == n.rank || (p != nil && p.alive)
-		if alive && !n.readySet[r] {
+		if _, ready := n.readySet[r]; alive && !ready {
 			return false
 		}
 	}
@@ -145,12 +179,19 @@ func (n *Node) allReadyLocked() bool {
 
 // issueBeginLocked assigns the next round over the current live view. The
 // restart flag is the heart of churn recovery: it is set whenever the view
-// differs from the previous round's, telling every participant to re-derive
-// the shared central model from the consensus sum instead of updating it
-// incrementally.
+// differs from the previous round's — or any participant arrived dirty
+// (its copy of an earlier round aborted while others may have completed
+// it) — telling every participant to re-derive the shared central model
+// from the consensus sum instead of updating it incrementally.
 func (n *Node) issueBeginLocked() *beginMsg {
 	view := n.aliveViewLocked()
-	bm := &beginMsg{round: n.nextRound, view: view, restart: view != n.prevView}
+	restart := view != n.prevView
+	for r, dirty := range n.readySet {
+		if dirty && view&(1<<uint(r)) != 0 {
+			restart = true
+		}
+	}
+	bm := &beginMsg{round: n.nextRound, view: view, restart: restart}
 	n.nextRound++
 	n.lastRound = bm.round
 	n.prevView = view
@@ -193,9 +234,11 @@ func (n *Node) sendBegin(bm *beginMsg, targets []*peer) {
 
 // abortRoundPeers tells the rest of the view this node gave up on the
 // round, so participants still blocked on our chunks abort too instead of
-// waiting for frames that will never come.
-func (n *Node) abortRoundPeers(bm *beginMsg, view []int) {
-	h := &header{Type: frameAbort, Sender: uint32(n.rank), Round: bm.round}
+// waiting for frames that will never come. suspects (a rank bitmap, zero
+// when the abort was a plain membership change) names peers our watchdog
+// caught stalling; receivers quarantine and cut them on arrival.
+func (n *Node) abortRoundPeers(bm *beginMsg, view []int, suspects uint64) {
+	h := &header{Type: frameAbort, Sender: uint32(n.rank), Round: bm.round, Aux: suspects}
 	for _, r := range view {
 		if r == n.rank {
 			continue
@@ -224,6 +267,14 @@ func (n *Node) sendData(p *peer, round uint64, phase byte, step int, chunk []flo
 // aborted by another participant, or the node closes. The returned buffer
 // is pool-owned.
 func (n *Node) recvData(p *peer, round uint64, phase byte, step int, want int) ([]float32, error) {
+	// The watchdog arms once per expected chunk. Heartbeats keep a frozen
+	// peer alive to the failure detector forever; this timer is what turns
+	// "alive but silent inside the collective" into an abort instead of a
+	// cluster-wide hang. The stall's direct victim fires first (downstream
+	// ranks hear the Abort well before their own timers expire), so the
+	// suspect it names is the actual stalled peer, not a healthy one.
+	watchdog := time.NewTimer(n.cfg.RoundTimeout)
+	defer watchdog.Stop()
 	// take classifies one mailbox message: stale frames from earlier rounds
 	// are dropped (done=false), a mismatched frame means protocol
 	// divergence (e.g. the peer is in a different round than we are after
@@ -276,6 +327,11 @@ func (n *Node) recvData(p *peer, round uint64, phase byte, step int, want int) (
 			}
 		case <-ch:
 			// Membership or abort state changed; re-check.
+		case <-watchdog.C:
+			n.stats.watchdogFires.Add(1)
+			n.quarantinePeer(p, "stalled the round past the watchdog")
+			n.killConn(p)
+			return nil, errStalled{rank: p.rank}
 		}
 	}
 }
@@ -405,6 +461,10 @@ type nodeStats struct {
 	reconnects            atomic.Int64
 	peerDeaths            atomic.Int64
 
+	watchdogFires atomic.Int64
+	corruptFrames atomic.Int64
+	quarantines   atomic.Int64
+
 	snapshotsServed, snapshotsFetched atomic.Int64
 
 	collectiveNs atomic.Int64
@@ -422,6 +482,9 @@ func (s *nodeStats) snapshot() metrics.TransportStats {
 		Aborts:           s.aborts.Load(),
 		Reconnects:       s.reconnects.Load(),
 		PeerDeaths:       s.peerDeaths.Load(),
+		WatchdogFires:    s.watchdogFires.Load(),
+		CorruptFrames:    s.corruptFrames.Load(),
+		Quarantines:      s.quarantines.Load(),
 		SnapshotsServed:  s.snapshotsServed.Load(),
 		SnapshotsFetched: s.snapshotsFetched.Load(),
 		RoundMean:        s.roundLat.Mean(),

@@ -2,12 +2,20 @@ package transport
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"sync"
 	"unsafe"
 )
+
+// errWire marks definitive wire corruption — a decoded frame that can only
+// come from a misbehaving or damaged sender (bad magic/version, impossible
+// length, checksum mismatch), as opposed to a cleanly dying connection
+// (EOF, truncation mid-frame). The read loop quarantines the peer on
+// errWire; plain connection death just reconnects.
+var errWire = errors.New("transport: wire corruption")
 
 // Wire format: every message is one length-prefixed frame with a fixed
 // 36-byte header followed by the payload. Integers are little-endian.
@@ -34,20 +42,23 @@ const (
 
 // Frame types.
 const (
-	frameHello     = byte(1) // dialer's rank announcement
-	frameHelloAck  = byte(2) // acceptor's confirmation
-	frameHeartbeat = byte(3) // liveness beacon
-	frameReady     = byte(4) // member is at the round barrier
-	frameBegin     = byte(5) // coordinator opens a round (view in aux)
-	frameData      = byte(6) // tensor chunk of a collective step
-	frameSnapReq   = byte(7) // pull a model snapshot
-	frameSnapResp  = byte(8) // checkpoint-v3 payload (empty: none held)
+	frameHello     = byte(1)  // dialer's rank announcement
+	frameHelloAck  = byte(2)  // acceptor's confirmation
+	frameHeartbeat = byte(3)  // liveness beacon
+	frameReady     = byte(4)  // member is at the round barrier
+	frameBegin     = byte(5)  // coordinator opens a round (view in aux)
+	frameData      = byte(6)  // tensor chunk of a collective step
+	frameSnapReq   = byte(7)  // pull a model snapshot
+	frameSnapResp  = byte(8)  // checkpoint-v3 payload (empty: none held)
 	frameLeave     = byte(9)  // graceful departure
 	frameAbort     = byte(10) // a participant aborted the round in `round`
 )
 
-// Begin flags.
-const flagRestart = uint16(1) // view changed: re-derive z from consensus
+// Frame flags.
+const (
+	flagRestart = uint16(1) // Begin: view changed, re-derive z from consensus
+	flagDirty   = uint16(2) // Ready: sender's last round aborted, force Restart
+)
 
 // header is the decoded fixed part of a frame.
 type header struct {
@@ -93,10 +104,10 @@ func putHeader(buf *[headerSize]byte, h *header, crc uint32) {
 // returning the payload CRC for the caller to verify.
 func parseHeader(buf *[headerSize]byte) (header, uint32, error) {
 	if string(buf[0:4]) != frameMagic {
-		return header{}, 0, fmt.Errorf("transport: bad frame magic %q", buf[0:4])
+		return header{}, 0, fmt.Errorf("%w: bad frame magic %q", errWire, buf[0:4])
 	}
 	if buf[4] != wireVersion {
-		return header{}, 0, fmt.Errorf("transport: unsupported wire version %d", buf[4])
+		return header{}, 0, fmt.Errorf("%w: unsupported wire version %d", errWire, buf[4])
 	}
 	h := header{
 		Type:   buf[5],
@@ -127,6 +138,49 @@ func writeFrame(w io.Writer, h *header, payload []byte) (int, error) {
 	return headerSize + len(payload), nil
 }
 
+// writeFrameCorrupt is the fault injector's bit-flip: the header carries
+// the CRC of the CLEAN payload, but bit `bit` of the payload goes out
+// inverted — exactly what a damaged NIC or buggy peer produces, and what
+// the receiver's checksum must reject. The caller's payload is not
+// mutated.
+func writeFrameCorrupt(w io.Writer, h *header, payload []byte, bit int) (int, error) {
+	h.Length = uint32(len(payload))
+	var hdr [headerSize]byte
+	putHeader(&hdr, h, crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	i := bit / 8
+	if _, err := w.Write(payload[:i]); err != nil {
+		return headerSize, err
+	}
+	flipped := [1]byte{payload[i] ^ 1<<uint(bit%8)}
+	if _, err := w.Write(flipped[:]); err != nil {
+		return headerSize + i, err
+	}
+	if _, err := w.Write(payload[i+1:]); err != nil {
+		return headerSize + i + 1, err
+	}
+	return headerSize + len(payload), nil
+}
+
+// writeFrameTruncated is the fault injector's mid-write death: a header
+// promising the full payload followed by only `keep` bytes of it, after
+// which the caller resets the connection. The receiver's ReadFull blocks
+// until the reset and reports a truncated frame.
+func writeFrameTruncated(w io.Writer, h *header, payload []byte, keep int) (int, error) {
+	h.Length = uint32(len(payload))
+	var hdr [headerSize]byte
+	putHeader(&hdr, h, crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(payload[:keep]); err != nil {
+		return headerSize, err
+	}
+	return headerSize + keep, nil
+}
+
 // readFrame reads one frame from r, verifying the checksum. Payloads land
 // in a buffer from pool (sized in float32 elements, so tensor payloads are
 // aligned for the zero-copy float view); the caller must Put it back. The
@@ -141,11 +195,11 @@ func readFrame(r io.Reader, maxPayload int, pool *bufPool) (header, []float32, i
 		return header{}, nil, 0, err
 	}
 	if int(h.Length) > maxPayload {
-		return header{}, nil, 0, fmt.Errorf("transport: frame payload %d exceeds limit %d", h.Length, maxPayload)
+		return header{}, nil, 0, fmt.Errorf("%w: frame payload %d exceeds limit %d", errWire, h.Length, maxPayload)
 	}
 	if h.Length == 0 {
 		if wantCRC != 0 {
-			return header{}, nil, 0, fmt.Errorf("transport: empty frame with non-zero checksum")
+			return header{}, nil, 0, fmt.Errorf("%w: empty frame with non-zero checksum", errWire)
 		}
 		return h, nil, headerSize, nil
 	}
@@ -158,7 +212,7 @@ func readFrame(r io.Reader, maxPayload int, pool *bufPool) (header, []float32, i
 	}
 	if crc32.ChecksumIEEE(b) != wantCRC {
 		pool.Put(buf)
-		return header{}, nil, 0, fmt.Errorf("transport: frame checksum mismatch (type %d from rank %d)", h.Type, h.Sender)
+		return header{}, nil, 0, fmt.Errorf("%w: frame checksum mismatch (type %d from rank %d)", errWire, h.Type, h.Sender)
 	}
 	return h, buf, headerSize + int(h.Length), nil
 }

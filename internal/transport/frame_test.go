@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"strings"
 	"testing"
@@ -107,6 +108,124 @@ func TestFrameCorruption(t *testing.T) {
 	raw = mk()
 	if _, _, _, err := readFrame(bytes.NewReader(raw[:headerSize+5]), 1<<20, &pool); err == nil || !strings.Contains(err.Error(), "truncated") {
 		t.Fatalf("truncated: err = %v", err)
+	}
+}
+
+// TestFrameErrWireClassification pins the corruption taxonomy the read
+// loop's quarantine decision rests on: every decode failure that can only
+// come from a damaged or misbehaving sender wraps errWire, while
+// truncation (indistinguishable from a peer dying mid-write) and EOF do
+// not — those must stay plain reconnectable connection deaths.
+func TestFrameErrWireClassification(t *testing.T) {
+	var pool bufPool
+	mk := func() []byte {
+		var b bytes.Buffer
+		h := header{Type: frameData, Sender: 2, Round: 5}
+		writeFrame(&b, &h, f32Bytes([]float32{1, 2, 3}))
+		return b.Bytes()
+	}
+
+	wire := map[string]func() []byte{
+		"checksum": func() []byte { r := mk(); r[headerSize] ^= 1; return r },
+		"magic":    func() []byte { r := mk(); r[0] = 'X'; return r },
+		"version":  func() []byte { r := mk(); r[4] = wireVersion + 1; return r },
+		"empty frame with non-zero checksum": func() []byte {
+			var b bytes.Buffer
+			writeFrame(&b, &header{Type: frameHeartbeat}, nil)
+			r := b.Bytes()
+			r[32] = 0xFF // forge a checksum onto a zero-length frame
+			return r
+		},
+	}
+	for name, build := range wire {
+		_, _, _, err := readFrame(bytes.NewReader(build()), 1<<20, &pool)
+		if err == nil || !errors.Is(err, errWire) {
+			t.Fatalf("%s: err = %v, want errWire", name, err)
+		}
+	}
+	// Oversize is errWire too, but checked against the configured limit.
+	if _, _, _, err := readFrame(bytes.NewReader(mk()), 4, &pool); !errors.Is(err, errWire) {
+		t.Fatalf("oversized: err = %v, want errWire", err)
+	}
+
+	// The two clean-death shapes must NOT be errWire.
+	raw := mk()
+	if _, _, _, err := readFrame(bytes.NewReader(raw[:headerSize+5]), 1<<20, &pool); err == nil || errors.Is(err, errWire) {
+		t.Fatalf("truncated payload: err = %v, want non-errWire failure", err)
+	}
+	if _, _, _, err := readFrame(bytes.NewReader(raw[:10]), 1<<20, &pool); err == nil || errors.Is(err, errWire) {
+		t.Fatalf("truncated header: err = %v, want non-errWire failure", err)
+	}
+}
+
+// TestFramePoolRestitution verifies the decode error paths return their
+// pooled payload buffer: after a checksum failure and a truncated payload
+// the pool must hold the buffer again, or a fault storm would leak one
+// buffer per bad frame.
+func TestFramePoolRestitution(t *testing.T) {
+	var pool bufPool
+	for _, breakFrame := range []func([]byte) []byte{
+		func(r []byte) []byte { r[headerSize] ^= 1; return r }, // checksum failure
+		func(r []byte) []byte { return r[:len(r)-8] },          // truncated payload
+	} {
+		var b bytes.Buffer
+		h := header{Type: frameData, Sender: 1}
+		writeFrame(&b, &h, f32Bytes(make([]float32, 64)))
+		readFrame(bytes.NewReader(breakFrame(b.Bytes())), 1<<20, &pool)
+
+		pool.mu.Lock()
+		n := len(pool.free)
+		pool.mu.Unlock()
+		if n != 1 {
+			t.Fatalf("pool holds %d buffers after failed decode, want 1", n)
+		}
+		pool.Get(64) // drain for the next iteration
+	}
+}
+
+// TestWriteFrameCorrupt pins the injector's bit-flip writer: the wire
+// carries the clean payload's checksum over a payload with exactly one
+// inverted bit, the receiver's CRC rejects it as errWire, and the caller's
+// buffer is never mutated.
+func TestWriteFrameCorrupt(t *testing.T) {
+	payload := []float32{1, 2, 3, 4}
+	clean := f32Bytes(payload)
+	for _, bit := range []int{0, 7, 8, 63, len(clean)*8 - 1} {
+		var b bytes.Buffer
+		h := header{Type: frameData, Sender: 1, Round: 3}
+		wrote, err := writeFrameCorrupt(&b, &h, clean, bit)
+		if err != nil || wrote != headerSize+len(clean) {
+			t.Fatalf("bit %d: wrote %d, err %v", bit, wrote, err)
+		}
+		raw := b.Bytes()
+		if got := raw[headerSize+bit/8] ^ clean[bit/8]; got != 1<<uint(bit%8) {
+			t.Fatalf("bit %d: wire byte differs by %#x, want single flipped bit", bit, got)
+		}
+		if payload[0] != 1 || payload[3] != 4 {
+			t.Fatalf("bit %d: caller's payload mutated: %v", bit, payload)
+		}
+		var pool bufPool
+		if _, _, _, err := readFrame(&b, 1<<20, &pool); !errors.Is(err, errWire) {
+			t.Fatalf("bit %d: readFrame err = %v, want errWire", bit, err)
+		}
+	}
+}
+
+// TestWriteFrameTruncated pins the injector's mid-write death: a header
+// promising the full payload followed by a prefix of it. The receiver
+// must report a plain truncation (reconnect), not errWire (quarantine).
+func TestWriteFrameTruncated(t *testing.T) {
+	payload := f32Bytes([]float32{1, 2, 3, 4})
+	var b bytes.Buffer
+	h := header{Type: frameData, Sender: 1}
+	wrote, err := writeFrameTruncated(&b, &h, payload, 5)
+	if err != nil || wrote != headerSize+5 {
+		t.Fatalf("wrote %d, err %v", wrote, err)
+	}
+	var pool bufPool
+	_, _, _, rerr := readFrame(&b, 1<<20, &pool)
+	if rerr == nil || errors.Is(rerr, errWire) || !strings.Contains(rerr.Error(), "truncated") {
+		t.Fatalf("readFrame err = %v, want plain truncation", rerr)
 	}
 }
 

@@ -1,9 +1,13 @@
 package transport
 
 import (
+	"errors"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
+
+	"crossbow/internal/chaos"
 )
 
 // peer is the per-rank connection slot. The slot is permanent (it survives
@@ -21,6 +25,11 @@ type peer struct {
 	alive    bool
 	gen      uint64 // bumped per attach, so stale read loops detach cleanly
 	lastSeen time.Time
+	// quarUntil bars the peer from reconnecting until this instant: set
+	// when it was caught corrupting frames or stalling a round. Both
+	// reconnect paths honour it — our dial loop waits it out, and
+	// handshakeAccept rejects the peer's own hello.
+	quarUntil time.Time
 
 	// data is the mailbox of collective tensor frames from this peer.
 	data chan dataMsg
@@ -37,7 +46,9 @@ type dataMsg struct {
 
 // send writes one frame to the peer's current connection. Write errors
 // close the connection (the read loop then reports the peer down); callers
-// treat an error as "peer unreachable right now".
+// treat an error as "peer unreachable right now". When a chaos injector is
+// configured it rules on the frame first — a dropped frame still returns
+// nil, because that is what a real network does to the sender.
 func (p *peer) send(n *Node, h *header, payload []byte, timeout time.Duration) error {
 	n.mu.Lock()
 	conn := p.conn
@@ -48,7 +59,38 @@ func (p *peer) send(n *Node, h *header, payload []byte, timeout time.Duration) e
 	p.wmu.Lock()
 	defer p.wmu.Unlock()
 	conn.SetWriteDeadline(time.Now().Add(timeout))
-	bytes, err := writeFrame(conn, h, payload)
+	var fate chaos.Fate
+	if n.cfg.Chaos != nil {
+		fate = n.cfg.Chaos.Outgoing(n.rank, p.rank, frameClass(h.Type), len(payload))
+		if fate.Delay > 0 {
+			// Sleeping under wmu is deliberate: a delayed frame holds back
+			// everything queued behind it on this link, like a slow wire.
+			time.Sleep(fate.Delay)
+		}
+	}
+	var bytes int
+	var err error
+	switch fate.Op {
+	case chaos.Drop:
+		return nil
+	case chaos.Reset:
+		conn.Close()
+		return nil
+	case chaos.Corrupt:
+		bytes, err = writeFrameCorrupt(conn, h, payload, fate.Arg)
+	case chaos.Truncate:
+		if bytes, err = writeFrameTruncated(conn, h, payload, fate.Arg); err == nil {
+			conn.Close()
+		}
+	case chaos.Dup:
+		if bytes, err = writeFrame(conn, h, payload); err == nil {
+			var more int
+			more, err = writeFrame(conn, h, payload)
+			bytes += more
+		}
+	default:
+		bytes, err = writeFrame(conn, h, payload)
+	}
 	if err != nil {
 		conn.Close()
 		return err
@@ -56,6 +98,20 @@ func (p *peer) send(n *Node, h *header, payload []byte, timeout time.Duration) e
 	n.stats.bytesSent.Add(int64(bytes))
 	n.stats.framesSent.Add(1)
 	return nil
+}
+
+// frameClass maps a frame type to the fault injector's coarse classes.
+func frameClass(t byte) chaos.Class {
+	switch t {
+	case frameData:
+		return chaos.Data
+	case frameHeartbeat:
+		return chaos.Heartbeat
+	case frameSnapReq, frameSnapResp:
+		return chaos.Snapshot
+	default:
+		return chaos.Control
+	}
 }
 
 var errNotConnected = errTransient("transport: peer not connected")
@@ -88,7 +144,7 @@ func (n *Node) acceptLoop() {
 
 func (n *Node) handshakeAccept(conn net.Conn) {
 	defer n.wg.Done()
-	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	conn.SetReadDeadline(time.Now().Add(n.cfg.PeerTimeout))
 	h, payload, _, err := readFrame(conn, 0, &n.pool)
 	if err != nil || h.Type != frameHello {
 		conn.Close()
@@ -103,6 +159,14 @@ func (n *Node) handshakeAccept(conn net.Conn) {
 	}
 	conn.SetReadDeadline(time.Time{})
 	p := n.peers[rank]
+	n.mu.Lock()
+	quarantined := time.Now().Before(p.quarUntil)
+	n.mu.Unlock()
+	if quarantined {
+		n.logf("rank %d: rejecting hello from quarantined rank %d", n.rank, rank)
+		conn.Close()
+		return
+	}
 	if err := p.sendOn(n, conn, &header{Type: frameHelloAck, Sender: uint32(n.rank)}); err != nil {
 		conn.Close()
 		return
@@ -115,7 +179,20 @@ func (n *Node) handshakeAccept(conn net.Conn) {
 func (p *peer) sendOn(n *Node, conn net.Conn, h *header) error {
 	p.wmu.Lock()
 	defer p.wmu.Unlock()
-	conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	conn.SetWriteDeadline(time.Now().Add(n.cfg.WriteTimeout))
+	if n.cfg.Chaos != nil {
+		fate := n.cfg.Chaos.Outgoing(n.rank, p.rank, chaos.Control, 0)
+		if fate.Delay > 0 {
+			time.Sleep(fate.Delay)
+		}
+		if fate.Op != chaos.Pass {
+			// Handshake frames carry no payload to corrupt or truncate;
+			// any adverse fate kills the nascent connection, which is how
+			// an injected partition keeps the mesh from re-forming.
+			conn.Close()
+			return errNotConnected
+		}
+	}
 	bytes, err := writeFrame(conn, h, nil)
 	if err != nil {
 		return err
@@ -141,14 +218,28 @@ func (n *Node) dialLoop(p *peer) {
 			n.mu.Unlock()
 			return
 		}
+		quar := time.Until(p.quarUntil)
+		ch := n.notifyCh
 		n.mu.Unlock()
+		if quar > 0 {
+			// The peer is quarantined: sit out the sentence before
+			// redialing, but stay interruptible so Close doesn't hang on
+			// a sleeping dial loop.
+			select {
+			case <-ch:
+			case <-time.After(quar):
+			}
+			continue
+		}
 
 		conn, err := net.DialTimeout("tcp", p.addr, n.cfg.PeerTimeout)
 		if err == nil {
 			err = n.handshakeDial(p, conn)
 		}
 		if err != nil {
-			time.Sleep(backoff)
+			// Jitter desynchronises the reconnect storm when one event
+			// (say, a leader crash) disconnects every rank at once.
+			time.Sleep(backoff + time.Duration(rand.Int63n(int64(backoff/2)+1)))
 			if backoff < 32*n.cfg.DialBackoff {
 				backoff *= 2
 			}
@@ -163,7 +254,7 @@ func (n *Node) handshakeDial(p *peer, conn net.Conn) error {
 		conn.Close()
 		return err
 	}
-	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	conn.SetReadDeadline(time.Now().Add(n.cfg.PeerTimeout))
 	h, payload, _, err := readFrame(conn, 0, &n.pool)
 	if err != nil || h.Type != frameHelloAck || int(h.Sender) != p.rank {
 		conn.Close()
@@ -185,7 +276,7 @@ func (n *Node) attach(p *peer, conn net.Conn) {
 		tcp.SetNoDelay(true)
 	}
 	n.mu.Lock()
-	if n.closed {
+	if n.closed || time.Now().Before(p.quarUntil) {
 		n.mu.Unlock()
 		conn.Close()
 		return
@@ -222,6 +313,14 @@ func (n *Node) readLoop(p *peer, conn net.Conn, gen uint64) {
 	for {
 		h, payload, bytes, err := readFrame(conn, n.cfg.MaxPayload, &n.pool)
 		if err != nil {
+			if errors.Is(err, errWire) {
+				// Definitive corruption (bad checksum, bad framing) — not
+				// a cleanly dying conn. The checksum already kept the bytes
+				// out of any reduction; quarantining keeps the sick sender
+				// from wedging the very next round too.
+				n.stats.corruptFrames.Add(1)
+				n.quarantinePeer(p, err.Error())
+			}
 			n.peerDown(p, conn, gen)
 			return
 		}
@@ -266,6 +365,34 @@ func (n *Node) killConn(p *peer) {
 	n.mu.Unlock()
 	if conn != nil {
 		conn.Close()
+	}
+}
+
+// quarantinePeer bars p from reconnecting for cfg.Quarantine (extending
+// any sentence already running). Both reconnect paths honour the bar.
+func (n *Node) quarantinePeer(p *peer, why string) {
+	n.mu.Lock()
+	until := time.Now().Add(n.cfg.Quarantine)
+	if until.After(p.quarUntil) {
+		p.quarUntil = until
+	}
+	n.mu.Unlock()
+	n.stats.quarantines.Add(1)
+	n.logf("rank %d: quarantining peer %d for %v: %s", n.rank, p.rank, n.cfg.Quarantine, why)
+}
+
+// accuse acts on an Abort frame's suspect bitmap: quarantine every named
+// rank and cut our own connection to it. Without this fan-out only the
+// stall's direct victim would cut its link, the coordinator's view would
+// still include the frozen peer, and every re-formed round would wedge on
+// it again.
+func (n *Node) accuse(suspects uint64) {
+	for r, p := range n.peers {
+		if p == nil || suspects&(1<<uint(r)) == 0 {
+			continue
+		}
+		n.quarantinePeer(p, "accused of stalling a round")
+		n.killConn(p)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"crossbow/internal/chaos"
 	"crossbow/internal/ckpt"
 	"crossbow/internal/metrics"
 )
@@ -45,8 +46,23 @@ type Config struct {
 	DialBackoff time.Duration
 	// WriteTimeout bounds one frame write (default 10s).
 	WriteTimeout time.Duration
+	// RoundTimeout is the per-collective-step watchdog: a peer that owes
+	// this node a chunk and stays silent for this long — heartbeats
+	// notwithstanding — is declared stalled, quarantined, and the round is
+	// aborted with the suspect named so every participant cuts it too
+	// (default 30s). This is the only defence against a peer that is alive
+	// to the failure detector but frozen inside the collective.
+	RoundTimeout time.Duration
+	// Quarantine is how long a peer caught corrupting frames or stalling a
+	// round is barred from reconnecting (default PeerTimeout). Without it
+	// a sick peer rejoins instantly and wedges the very next round.
+	Quarantine time.Duration
 	// MaxPayload bounds one frame's payload (default 256 MiB).
 	MaxPayload int
+	// Chaos, when set, interposes a fault injector on every outgoing
+	// frame of this node (tests and soaks only; it is an in-process hook,
+	// so all ranks of a chaos run share one injector in one process).
+	Chaos *chaos.Injector
 	// Snapshot, if set, serves the node's current model to rejoining
 	// peers: it must return a checkpoint of the latest published cluster
 	// average model, or nil when none exists yet. Called on transport
@@ -74,6 +90,12 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.WriteTimeout <= 0 {
 		c.WriteTimeout = 10 * time.Second
+	}
+	if c.RoundTimeout <= 0 {
+		c.RoundTimeout = 30 * time.Second
+	}
+	if c.Quarantine <= 0 {
+		c.Quarantine = c.PeerTimeout
 	}
 	if c.MaxPayload <= 0 {
 		c.MaxPayload = 256 << 20
@@ -119,18 +141,26 @@ type Node struct {
 
 	mu       sync.Mutex
 	cond     *sync.Cond
-	peers    []*peer // by rank; peers[rank] == nil for self
-	epoch    uint64  // membership epoch, bumped on every alive/dead flip
+	peers    []*peer       // by rank; peers[rank] == nil for self
+	epoch    uint64        // membership epoch, bumped on every alive/dead flip
 	notifyCh chan struct{} // closed and replaced on every epoch bump or abort
 	closed   bool
 
-	// Round barrier state (see collective.go).
+	// Round barrier state (see collective.go). readySet maps rank →
+	// dirty: presence means the rank is at the barrier, true means its
+	// previous round aborted and it needs the next round to Restart.
 	readySet   map[int]bool
 	nextRound  uint64
 	lastRound  uint64
 	prevView   uint64
 	begin      *beginMsg
 	abortRound uint64 // highest round an Abort frame announced
+	// dirty records that this node's last round aborted: its state may
+	// have diverged from peers whose copy of the same round completed, so
+	// the next round it joins must carry Restart (re-derive shared state
+	// from the consensus sum). Announced on Ready frames via flagDirty;
+	// cleared only by a completed Restart round.
+	dirty bool
 
 	// Pending FetchSnapshot response slot.
 	snapMu sync.Mutex
@@ -360,7 +390,7 @@ func (n *Node) dispatch(p *peer, h header, payload []float32) {
 	case frameReady:
 		n.pool.Put(payload)
 		n.mu.Lock()
-		n.readySet[int(h.Sender)] = true
+		n.readySet[int(h.Sender)] = h.Flags&flagDirty != 0
 		n.cond.Broadcast()
 		n.mu.Unlock()
 	case frameBegin:
@@ -378,6 +408,15 @@ func (n *Node) dispatch(p *peer, h header, payload []float32) {
 		n.mu.Unlock()
 	case frameAbort:
 		n.pool.Put(payload)
+		// Aux names the ranks the aborter's watchdog caught stalling. Act
+		// on the accusation before waking the local collective: cutting
+		// our own conn to the suspect is what shrinks the next view —
+		// the aborter alone cutting its link would leave the coordinator
+		// still seeing the stalled peer alive, and every retried round
+		// would wedge on it again.
+		if h.Aux != 0 {
+			n.accuse(h.Aux)
+		}
 		n.mu.Lock()
 		if h.Round > n.abortRound {
 			n.abortRound = h.Round

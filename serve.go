@@ -40,7 +40,22 @@ type ServeConfig struct {
 	// QueueDepth bounds the request queue; Predict blocks (backpressure)
 	// while it is full (default Replicas×MaxBatch×4).
 	QueueDepth int
+	// ShedOnFull switches the full-queue behaviour from backpressure to
+	// load shedding: Predict returns ErrOverloaded immediately instead of
+	// blocking, keeping admitted requests' latency bounded under overload
+	// (sheds are counted in ServingStats.Shed).
+	ShedOnFull bool
+	// AdmitDeadline, when positive, sheds any request that cannot be
+	// answered within this budget — at admission when the queue's
+	// estimated drain time already exceeds it, or at dispatch if the
+	// request aged past it while queued.
+	AdmitDeadline time.Duration
 }
+
+// ErrOverloaded is returned by Predict when the service sheds a request
+// under overload (ServeConfig.ShedOnFull / AdmitDeadline). Servers should
+// map it to a fast 503.
+var ErrOverloaded = serve.ErrOverloaded
 
 // Prediction is one served answer: the arg-max class, its softmax
 // confidence, and the model version that computed it.
@@ -91,13 +106,15 @@ func Serve(cfg ServeConfig) (*Predictor, error) {
 		model, params, version = c.Model, c.Params, c.SnapshotRound
 	}
 	eng, err := serve.New(serve.Config{
-		Model:      model,
-		Params:     params,
-		Version:    version,
-		Replicas:   cfg.Replicas,
-		MaxBatch:   cfg.MaxBatch,
-		MaxDelay:   cfg.MaxDelay,
-		QueueDepth: cfg.QueueDepth,
+		Model:         model,
+		Params:        params,
+		Version:       version,
+		Replicas:      cfg.Replicas,
+		MaxBatch:      cfg.MaxBatch,
+		MaxDelay:      cfg.MaxDelay,
+		QueueDepth:    cfg.QueueDepth,
+		ShedOnFull:    cfg.ShedOnFull,
+		AdmitDeadline: cfg.AdmitDeadline,
 	})
 	if err != nil {
 		return nil, err
