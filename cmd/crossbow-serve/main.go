@@ -50,8 +50,16 @@ func serveMain() int {
 	queueDepth := flag.Int("queue-depth", 0, "request queue bound (0: replicas*max-batch*4)")
 	shedOnFull := flag.Bool("shed-on-full", false, "shed (fast 503) instead of blocking when the queue is full")
 	admitDeadline := flag.Duration("admit-deadline", 0, "shed requests that cannot be answered within this budget (0: no deadline)")
+	kmode := flag.String("kernel-mode", "deterministic", "replica GEMM kernel mode: deterministic or fast")
+	quantized := flag.Bool("quantized", false, "serve int8 replicas when the top-1 agreement gate vs f32 passes")
+	quantMinAgree := flag.Float64("quant-min-agreement", 0, "quantization gate threshold (0: 0.99)")
 	flag.Parse()
 
+	kernelMode, err := crossbow.ParseKernelMode(*kmode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
 	cfg := crossbow.ServeConfig{
 		Replicas:      *replicas,
 		MaxBatch:      *maxBatch,
@@ -59,6 +67,10 @@ func serveMain() int {
 		QueueDepth:    *queueDepth,
 		ShedOnFull:    *shedOnFull,
 		AdmitDeadline: *admitDeadline,
+
+		KernelMode:        kernelMode,
+		Quantize:          *quantized,
+		QuantMinAgreement: *quantMinAgree,
 	}
 	if *ckptPath != "" {
 		cfg.Checkpoint = *ckptPath
@@ -82,8 +94,15 @@ func serveMain() int {
 	}
 	defer p.Close()
 
-	log.Printf("serving %s (version %d, %d replicas, max batch %d, max delay %v) on %s",
-		p.Model(), p.Version(), *replicas, *maxBatch, *maxDelay, *addr)
+	log.Printf("serving %s (version %d, %d replicas, max batch %d, max delay %v, kernels %s) on %s",
+		p.Model(), p.Version(), *replicas, *maxBatch, *maxDelay, kernelMode, *addr)
+	if *quantized {
+		if p.Quantized() {
+			log.Printf("int8 path on: top-1 agreement vs f32 %.4f", p.QuantAgreement())
+		} else {
+			log.Printf("int8 path OFF: top-1 agreement %.4f below gate, serving f32", p.QuantAgreement())
+		}
+	}
 	if err := http.ListenAndServe(*addr, newMux(p)); err != nil {
 		fmt.Fprintf(os.Stderr, "http: %v\n", err)
 		return 1

@@ -66,6 +66,25 @@ const (
 	ASGD            = core.AlgoASGD
 )
 
+// KernelMode selects the compute kernels' numerical contract (DESIGN.md
+// §14): Deterministic runs the bit-reproducible blocked kernels (the zero
+// value and the default — every determinism guarantee in this package is
+// stated under it), Fast dispatches FMA micro-kernels (AVX-512/AVX2 where
+// the CPU has them) and fuses conv→BN→ReLU inference chains into GEMM
+// epilogues. Fast stays run-to-run deterministic at any worker count but
+// rounds differently than Deterministic (fused multiply-adds), so the two
+// modes' training trajectories diverge bitwise while agreeing statistically.
+type KernelMode = tensor.KernelMode
+
+// Kernel modes.
+const (
+	Deterministic = tensor.Deterministic
+	Fast          = tensor.Fast
+)
+
+// ParseKernelMode parses "deterministic" or "fast" (the CLI flag values).
+func ParseKernelMode(s string) (KernelMode, error) { return tensor.ParseKernelMode(s) }
+
 // AutoTune, used as LearnersPerGPU, lets Algorithm 2 choose the learner
 // count that saturates training throughput. With the default scheduler the
 // count is probed on the hardware simulator before the run; with
@@ -142,6 +161,10 @@ type Config struct {
 	Restart  bool
 	// TrainSamples/TestSamples override the synthetic dataset sizes.
 	TrainSamples, TestSamples int
+	// KernelMode selects the GEMM kernel mode for every learner and the
+	// evaluation network: Deterministic (default, bit-reproducible) or
+	// Fast (FMA micro-kernels; opt-in, see the KernelMode type).
+	KernelMode KernelMode
 	// KernelThreads bounds the compute kernels' worker budget (process-
 	// wide; see tensor.SetWorkerBudget). Zero keeps the current setting —
 	// by default runtime.NumCPU(), overridable with CROSSBOW_PARALLELISM.
@@ -380,6 +403,7 @@ func Train(cfg Config) (*Result, error) {
 		TrainSamples:      cfg.TrainSamples,
 		TestSamples:       cfg.TestSamples,
 		Scheduler:         cfg.Scheduler,
+		KernelMode:        cfg.KernelMode,
 		Prefetch:          cfg.Prefetch,
 		AutoTuneLearners:  tuneOnline,
 		MemoryBudget:      cfg.MemoryBudget,

@@ -284,6 +284,7 @@ func trainNodeTCP(cfg Config) (*Result, error) {
 		TrainSamples:      cfg.TrainSamples,
 		TestSamples:       cfg.TestSamples,
 		Scheduler:         cfg.Scheduler,
+		KernelMode:        cfg.KernelMode,
 		Prefetch:          cfg.Prefetch,
 		MemoryBudget:      cfg.MemoryBudget,
 		PublishEvery:      publishEvery,

@@ -22,8 +22,11 @@ import (
 
 // KernelBenchRow is one timed kernel at one shape.
 type KernelBenchRow struct {
-	Kernel  string  `json:"kernel"`
-	Shape   string  `json:"shape"`
+	Kernel string `json:"kernel"`
+	Shape  string `json:"shape"`
+	// Mode is the kernel mode the row ran under ("deterministic" or
+	// "fast") for mode-dispatched kernels, empty for mode-independent ones.
+	Mode    string  `json:"mode,omitempty"`
 	NsPerOp float64 `json:"ns_per_op"`
 	// GFLOPs is the achieved rate for kernels with a meaningful FLOP count
 	// (2·m·k·n for GEMM), zero otherwise.
@@ -90,12 +93,16 @@ func KernelBench(quick bool) []KernelBenchRow {
 		c := make([]float32, s.m*s.n)
 		flops := float64(2 * s.m * s.k * s.n)
 		shape := fmt.Sprintf("m=%d k=%d n=%d", s.m, s.k, s.n)
-		ns := benchIt(quick, func() { tensor.Gemm(1, a, s.m, s.k, b, s.n, 0, c) })
-		rows = append(rows, KernelBenchRow{"Gemm", shape, ns, flops / ns})
-		ns = benchIt(quick, func() { tensor.GemmTA(1, at, s.k, s.m, b, s.n, 0, c) })
-		rows = append(rows, KernelBenchRow{"GemmTA", shape, ns, flops / ns})
-		ns = benchIt(quick, func() { tensor.GemmTB(1, a, s.m, s.k, bt, s.n, 0, c) })
-		rows = append(rows, KernelBenchRow{"GemmTB", shape, ns, flops / ns})
+		for _, mode := range []tensor.KernelMode{tensor.Deterministic, tensor.Fast} {
+			mode := mode
+			ms := mode.String()
+			ns := benchIt(quick, func() { tensor.GemmMode(mode, 1, a, s.m, s.k, b, s.n, 0, c) })
+			rows = append(rows, KernelBenchRow{Kernel: "Gemm", Shape: shape, Mode: ms, NsPerOp: ns, GFLOPs: flops / ns})
+			ns = benchIt(quick, func() { tensor.GemmTAMode(mode, 1, at, s.k, s.m, b, s.n, 0, c) })
+			rows = append(rows, KernelBenchRow{Kernel: "GemmTA", Shape: shape, Mode: ms, NsPerOp: ns, GFLOPs: flops / ns})
+			ns = benchIt(quick, func() { tensor.GemmTBMode(mode, 1, a, s.m, s.k, bt, s.n, 0, c) })
+			rows = append(rows, KernelBenchRow{Kernel: "GemmTB", Shape: shape, Mode: ms, NsPerOp: ns, GFLOPs: flops / ns})
+		}
 	}
 
 	// Batched conv lowering at the ResNet-32 stage geometries, b=16.
@@ -111,11 +118,11 @@ func KernelBench(quick bool) []KernelBenchRow {
 		col := make([]float32, g.ColRows()*batch*g.ColCols())
 		tensor.Im2colBatch(g, batch, x, col, false)
 		ns := benchIt(quick, func() { tensor.Im2colBatch(g, batch, x, col, true) })
-		rows = append(rows, KernelBenchRow{"Im2colBatch", shape, ns, 0})
+		rows = append(rows, KernelBenchRow{Kernel: "Im2colBatch", Shape: shape, NsPerOp: ns})
 		dcol := norm(g.ColRows() * batch * g.ColCols())
 		dx := make([]float32, batch*g.InVol())
 		ns = benchIt(quick, func() { tensor.Col2imBatch(g, batch, dcol, dx) })
-		rows = append(rows, KernelBenchRow{"Col2imBatch", shape, ns, 0})
+		rows = append(rows, KernelBenchRow{Kernel: "Col2imBatch", Shape: shape, NsPerOp: ns})
 	}
 
 	// Flat vector kernels at model-vector sizes (scaled ResNet-32 ≈ 20k
@@ -126,42 +133,49 @@ func KernelBench(quick bool) []KernelBenchRow {
 		x, y := norm(n), norm(n)
 		shape := fmt.Sprintf("n=%d", n)
 		ns := benchIt(quick, func() { tensor.Axpy(0.5, x, y) })
-		rows = append(rows, KernelBenchRow{"Axpy", shape, ns, 2 * float64(n) / ns})
+		rows = append(rows, KernelBenchRow{Kernel: "Axpy", Shape: shape, NsPerOp: ns, GFLOPs: 2 * float64(n) / ns})
 		ns = benchIt(quick, func() { dotSink += tensor.Dot(x, y) })
-		rows = append(rows, KernelBenchRow{"Dot", shape, ns, 2 * float64(n) / ns})
+		rows = append(rows, KernelBenchRow{Kernel: "Dot", Shape: shape, NsPerOp: ns, GFLOPs: 2 * float64(n) / ns})
 	}
 	if dotSink == math.Inf(1) {
 		fmt.Fprintln(os.Stderr, "kernel bench: dot overflow")
 	}
 
-	// End-to-end: one ResNet-32 statistical-plane epoch (the §5 hot path).
-	cfg := core.TrainConfig{
-		Model: nn.ResNet32, Algo: core.AlgoSMA, Momentum: 0.9,
-		MaxEpochs: 1, Seed: 1,
+	// End-to-end: one ResNet-32 statistical-plane epoch (the §5 hot path),
+	// in both kernel modes so the fast path's end-to-end effect is on
+	// record next to the per-kernel rates.
+	for _, mode := range []tensor.KernelMode{tensor.Deterministic, tensor.Fast} {
+		cfg := core.TrainConfig{
+			Model: nn.ResNet32, Algo: core.AlgoSMA, Momentum: 0.9,
+			MaxEpochs: 1, Seed: 1, KernelMode: mode,
+		}
+		if quick {
+			cfg.TrainSamples, cfg.TestSamples = 512, 128
+		}
+		samples := cfg.TrainSamples
+		if samples == 0 {
+			samples = 2048 // data.ForModel's default training-set size
+		}
+		start := time.Now()
+		core.Train(cfg)
+		rows = append(rows, KernelBenchRow{
+			Kernel: "EpochResNet32", Shape: fmt.Sprintf("samples=%d", samples),
+			Mode: mode.String(), NsPerOp: float64(time.Since(start).Nanoseconds()),
+		})
 	}
-	if quick {
-		cfg.TrainSamples, cfg.TestSamples = 512, 128
-	}
-	samples := cfg.TrainSamples
-	if samples == 0 {
-		samples = 2048 // data.ForModel's default training-set size
-	}
-	start := time.Now()
-	core.Train(cfg)
-	rows = append(rows, KernelBenchRow{"EpochResNet32", fmt.Sprintf("samples=%d", samples), float64(time.Since(start).Nanoseconds()), 0})
 	return rows
 }
 
 // PrintKernelBench renders the kernel table.
 func PrintKernelBench(w io.Writer, rows []KernelBenchRow) {
 	fmt.Fprintf(w, "Kernel microbenchmarks (parallelism=%d)\n", tensor.Parallelism())
-	fmt.Fprintf(w, "%-14s %-18s %14s %10s\n", "kernel", "shape", "ns/op", "GFLOP/s")
+	fmt.Fprintf(w, "%-14s %-18s %-13s %14s %10s\n", "kernel", "shape", "mode", "ns/op", "GFLOP/s")
 	for _, r := range rows {
 		g := ""
 		if r.GFLOPs > 0 {
 			g = fmt.Sprintf("%10.2f", r.GFLOPs)
 		}
-		fmt.Fprintf(w, "%-14s %-18s %14.0f %s\n", r.Kernel, r.Shape, r.NsPerOp, g)
+		fmt.Fprintf(w, "%-14s %-18s %-13s %14.0f %s\n", r.Kernel, r.Shape, r.Mode, r.NsPerOp, g)
 	}
 }
 

@@ -135,6 +135,12 @@ type TrainConfig struct {
 	// (default, bit-deterministic) or SchedFCFS (barrier-free; flat SMA on
 	// a single server only).
 	Scheduler SchedulerMode
+	// KernelMode selects the GEMM kernel mode for every learner and the
+	// evaluation network: tensor.Deterministic (the zero value — bit-
+	// reproducible, the contract every determinism test pins) or
+	// tensor.Fast (FMA micro-kernels and fused epilogues where the CPU
+	// supports them; see DESIGN.md §14).
+	KernelMode tensor.KernelMode
 	// Prefetch is the staged-batch depth per learner in the input
 	// pipeline's circular buffer; minimum 1 (0 → 2, double buffering as
 	// in §4.5).
@@ -380,7 +386,9 @@ func newTrainEnv(cfg *TrainConfig, k int) *trainEnv {
 
 	// Learner networks and replicas (the replica pool).
 	for j := 0; j < k; j++ {
-		e.nets = append(e.nets, nn.BuildScaled(cfg.Model, cfg.BatchPerLearner, e.masterRNG.Split()))
+		net := nn.BuildScaled(cfg.Model, cfg.BatchPerLearner, e.masterRNG.Split())
+		net.SetKernelMode(cfg.KernelMode)
+		e.nets = append(e.nets, net)
 	}
 	e.w0 = e.nets[0].Init(tensor.NewRNG(cfg.Seed + 13))
 	if cfg.InitModel != nil {
@@ -403,7 +411,17 @@ func newTrainEnv(cfg *TrainConfig, k int) *trainEnv {
 		e.evalBatch = e.test.Len()
 	}
 	e.evalNet = nn.BuildScaled(cfg.Model, e.evalBatch, tensor.NewRNG(cfg.Seed+99))
-	e.evalNet.AttachArena(tensor.NewArena(e.evalNet.MemPlan().ArenaElems))
+	e.evalNet.SetKernelMode(cfg.KernelMode)
+	if cfg.KernelMode == tensor.Fast {
+		// The evaluation net never trains, so in Fast mode it can run the
+		// fused conv→BN→ReLU epilogues (bit-identical to the unfused
+		// forward, smaller arena, fewer memory passes). Deterministic mode
+		// keeps the exact unfused walk the reproducibility suite pins.
+		e.evalNet.FuseInference()
+		e.evalNet.AttachInferenceArena(tensor.NewArena(e.evalNet.InferPlan().ArenaElems))
+	} else {
+		e.evalNet.AttachArena(tensor.NewArena(e.evalNet.MemPlan().ArenaElems))
+	}
 	e.evalGrad = make([]float32, len(e.w0))
 	e.es = newEvalScratch(e.evalBatch, e.test.Shape)
 
@@ -439,7 +457,9 @@ func (e *trainEnv) poolBudget() int64 {
 // pool — resizing never replicates activation memory up front.
 func (e *trainEnv) growLearners(k int, model []float32) {
 	for j := len(e.nets); j < k; j++ {
-		e.nets = append(e.nets, nn.BuildScaled(e.cfg.Model, e.cfg.BatchPerLearner, e.masterRNG.Split()))
+		net := nn.BuildScaled(e.cfg.Model, e.cfg.BatchPerLearner, e.masterRNG.Split())
+		net.SetKernelMode(e.cfg.KernelMode)
+		e.nets = append(e.nets, net)
 		e.ws = append(e.ws, append([]float32(nil), model...))
 		e.gs = append(e.gs, make([]float32, len(model)))
 		e.nets[j].Bind(e.ws[j], e.gs[j])

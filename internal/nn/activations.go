@@ -15,6 +15,10 @@ type ReLU struct {
 	bwdLoop func(lo, hi int)
 	xd, dyd []float32
 
+	// absorbed: fused into the preceding layer's GEMM epilogue
+	// (Network.FuseInference); forward is the identity.
+	absorbed bool
+
 	pbY, pbDx *plannedBuf
 }
 
@@ -42,6 +46,9 @@ func (r *ReLU) ensure() {
 }
 
 func (r *ReLU) planFwd(p *taskPlanner, in *plannedBuf) *plannedBuf {
+	if r.absorbed {
+		return in // fused into the upstream epilogue: no buffers, pass-through
+	}
 	r.pbY = p.shell("relu.y", r.y, bufActivation)
 	p.touch(in)
 	return r.pbY
@@ -57,17 +64,16 @@ func (r *ReLU) Name() string    { return "relu" }
 func (r *ReLU) OutShape() []int { return r.shape }
 
 func (r *ReLU) forwardChunk(lo, hi int) {
-	xd, yd := r.xd, r.y.Data()
-	for i := lo; i < hi; i++ {
-		if v := xd[i]; v > 0 {
-			yd[i] = v
-		} else {
-			yd[i] = 0
-		}
-	}
+	tensor.ReluFwd(r.y.Data()[lo:hi], r.xd[lo:hi])
 }
 
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if r.absorbed {
+		if train {
+			panic("nn: training forward through a fused (inference-only) network")
+		}
+		return x
+	}
 	r.ensure()
 	r.xd = x.Data()
 	tensor.ParallelFor(len(r.xd), 8192, r.fwdLoop)
@@ -77,14 +83,7 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 func (r *ReLU) backwardChunk(lo, hi int) {
 	// y > 0 ⇔ the forward input was positive, so the cached output doubles
 	// as the gradient mask.
-	dyd, dxd, yd := r.dyd, r.dx.Data(), r.y.Data()
-	for i := lo; i < hi; i++ {
-		if yd[i] > 0 {
-			dxd[i] = dyd[i]
-		} else {
-			dxd[i] = 0
-		}
-	}
+	tensor.ReluBwd(r.dx.Data()[lo:hi], r.dyd[lo:hi], r.y.Data()[lo:hi])
 }
 
 func (r *ReLU) Backward(dy *tensor.Tensor) *tensor.Tensor {

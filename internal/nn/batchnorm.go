@@ -40,6 +40,11 @@ type BatchNorm struct {
 	dx     *tensor.Tensor
 	train  bool
 
+	// absorbed: this layer's eval-mode transform was fused into the
+	// preceding convolution's GEMM epilogue (Network.FuseInference); the
+	// forward pass is the identity and the layer owns no planned buffers.
+	absorbed bool
+
 	fwdLoop func(lo, hi int)
 	bwdLoop func(lo, hi int)
 	xd, dyd []float32 // per-call kernel inputs for the hoisted loops
@@ -83,6 +88,9 @@ func (b *BatchNorm) ensure() {
 }
 
 func (b *BatchNorm) planFwd(p *taskPlanner, in *plannedBuf) *plannedBuf {
+	if b.absorbed {
+		return in // fused into the upstream epilogue: no buffers, pass-through
+	}
 	// Outputs first, inputs after (memory.go's sub-op rule): the channel
 	// loop reads x throughout while writing statistics, xhat and y. The
 	// closing touch includes the secondary outputs so they stay live for
@@ -133,6 +141,12 @@ func (b *BatchNorm) InitParams(r *tensor.RNG, w []float32) {
 func (b *BatchNorm) plane() int { return b.h * b.w }
 
 func (b *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if b.absorbed {
+		if train {
+			panic("nn: training forward through a fused (inference-only) network")
+		}
+		return x
+	}
 	b.ensure()
 	b.x = x
 	b.train = train

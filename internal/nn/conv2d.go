@@ -1,6 +1,10 @@
 package nn
 
-import "crossbow/internal/tensor"
+import (
+	"math"
+
+	"crossbow/internal/tensor"
+)
 
 // Conv2D is a 2-D convolution over NCHW inputs with OIHW filters, lowered to
 // GEMM via batched im2col: the whole mini-batch is expanded into one
@@ -43,6 +47,24 @@ type Conv2D struct {
 	gwT      []float32 // ColRows × OutC staging for the transposed weight-grad GEMM
 	colFresh bool      // col currently holds im2col of c.x
 	colInit  bool      // col's static padding zeros are in place
+
+	mode tensor.KernelMode // GEMM kernel mode (Network.SetKernelMode)
+
+	// Inference fusion (Network.FuseInference): the following BN/ReLU are
+	// absorbed into a GEMM epilogue applied to pack while it is cache-hot;
+	// the bias moves from un-staging into the epilogue. fusedBN's parameter
+	// views are re-read every forward, so model hot-swaps stay correct.
+	epi     *tensor.Epilogue
+	fusedBN *BatchNorm
+	epiInv  []float32 // OutC per-channel 1/sqrt(runVar+eps) scratch
+
+	// Quantized inference (Network.QuantizeWeights): int8 weights with
+	// symmetric per-output-channel scales, activations quantized per tensor
+	// at run time, exact int32 accumulation (DESIGN.md §14).
+	qw      []int8
+	qscales []float32
+	qcol    []int8
+	qacc    []int32
 
 	// Hoisted kernel-loop closures (one allocation at construction instead
 	// of one per Forward/Backward call); dyd feeds the backward stage loop.
@@ -169,7 +191,9 @@ func (c *Conv2D) InitParams(r *tensor.RNG, w []float32) {
 }
 
 // unstageChunk copies pack rows [lo, hi) of the batch into NCHW order and
-// adds the bias (the forward un-staging loop).
+// adds the bias (the forward un-staging loop). When the layer is fused the
+// bias (and BN/ReLU) were already applied to pack by the GEMM epilogue, so
+// un-staging degenerates to a pure copy.
 func (c *Conv2D) unstageChunk(lo, hi int) {
 	g := c.Geom
 	s := g.ColCols()
@@ -180,12 +204,58 @@ func (c *Conv2D) unstageChunk(lo, hi int) {
 		for oc := 0; oc < g.OutC; oc++ {
 			src := c.pack[oc*ns+n*s : oc*ns+n*s+s]
 			dst := yd[n*outVol+oc*s : n*outVol+oc*s+s]
+			if c.epi != nil {
+				copy(dst, src)
+				continue
+			}
 			bias := c.b[oc]
 			for i, v := range src {
 				dst[i] = v + bias
 			}
 		}
 	}
+}
+
+// fuse absorbs the given BN (may be nil) and trailing ReLU into this
+// layer's GEMM epilogue. pack's rows are output channels, so the epilogue
+// indexes its vectors by row; the parameter views are refreshed every
+// forward (refreshEpi) because Bind re-slices them.
+func (c *Conv2D) fuse(bn *BatchNorm, relu bool) {
+	c.fusedBN = bn
+	c.epi = &tensor.Epilogue{ReLU: relu}
+	if bn != nil {
+		c.epiInv = make([]float32, c.Geom.OutC)
+	}
+}
+
+func (c *Conv2D) refreshEpi() {
+	c.epi.Bias = c.b
+	if bn := c.fusedBN; bn != nil {
+		c.epi.Gamma = bn.gamma
+		c.epi.Beta = bn.beta
+		c.epi.Mean = bn.runMean
+		for i := range c.epiInv {
+			c.epiInv[i] = 1 / float32(math.Sqrt(float64(bn.runVar[i])+float64(bn.Eps)))
+		}
+		c.epi.InvStd = c.epiInv
+	}
+}
+
+func (c *Conv2D) setKernelMode(m tensor.KernelMode) { c.mode = m }
+
+// quantize (re)builds the int8 weight copy and its per-output-channel
+// scales from the currently bound parameters, enabling the quantized
+// forward path. Call again after a model hot-swap.
+func (c *Conv2D) quantize() {
+	g := c.Geom
+	rows := g.ColRows()
+	if c.qw == nil {
+		c.qw = make([]int8, g.OutC*rows)
+		c.qscales = make([]float32, g.OutC)
+		c.qcol = make([]int8, rows*c.batch*g.ColCols())
+		c.qacc = make([]int32, g.OutC*c.batch*g.ColCols())
+	}
+	tensor.QuantizeRows(c.w, g.OutC, rows, c.qw, c.qscales)
 }
 
 func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
@@ -201,8 +271,34 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	tensor.Im2colBatch(g, c.batch, x.Data(), c.col, c.colInit)
 	c.colInit = true
 	c.colFresh = true
-	tensor.Gemm(1, c.w, g.OutC, g.ColRows(), c.col, ns, 0, c.pack)
-	// Un-stage into NCHW and add the bias.
+	if c.epi != nil {
+		c.refreshEpi()
+	}
+	switch {
+	case c.qw != nil && !train:
+		// Quantized path: int8·int8 → exact int32, dequantized into pack
+		// (per-channel weight scale × per-tensor activation scale), fused
+		// epilogue applied as a separate cache-warm pass.
+		rows := g.ColRows()
+		sx := tensor.QuantizeSym(c.col[:rows*ns], c.qcol)
+		tensor.GemmInt8(c.qw, g.OutC, rows, c.qcol, ns, c.qacc)
+		for oc := 0; oc < g.OutC; oc++ {
+			s := c.qscales[oc] * sx
+			row := c.pack[oc*ns : (oc+1)*ns]
+			acc := c.qacc[oc*ns : (oc+1)*ns]
+			for i, v := range acc {
+				row[i] = float32(v) * s
+			}
+		}
+		if c.epi != nil {
+			tensor.ApplyEpilogue(c.epi, c.pack, g.OutC, ns)
+		}
+	case c.epi != nil:
+		tensor.GemmEpi(c.mode, 1, c.w, g.OutC, g.ColRows(), c.col, ns, 0, c.pack, c.epi)
+	default:
+		tensor.GemmMode(c.mode, 1, c.w, g.OutC, g.ColRows(), c.col, ns, 0, c.pack)
+	}
+	// Un-stage into NCHW (adding the bias on the unfused path).
 	tensor.ParallelFor(c.batch, 1+(1<<14)/max(1, outVol), c.fwdLoop)
 	return c.y
 }
@@ -269,7 +365,7 @@ func (c *Conv2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
 		tensor.Im2colBatch(g, c.batch, c.x.Data(), c.col, c.colInit)
 	}
 	c.colFresh = false
-	tensor.Gemm(1, c.col, g.ColRows(), ns, c.packT, g.OutC, 0, c.gwT)
+	tensor.GemmMode(c.mode, 1, c.col, g.ColRows(), ns, c.packT, g.OutC, 0, c.gwT)
 	for oc := 0; oc < g.OutC; oc++ {
 		grow := c.gw[oc*g.ColRows() : (oc+1)*g.ColRows()]
 		for r := range grow {
@@ -277,7 +373,7 @@ func (c *Conv2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	// Input gradient: dcol(ColRows × NS) = Wᵀ · dY, then scatter per sample.
-	tensor.GemmTA(1, c.w, g.OutC, g.ColRows(), c.pack, ns, 0, c.dcol)
+	tensor.GemmTAMode(c.mode, 1, c.w, g.OutC, g.ColRows(), c.pack, ns, 0, c.dcol)
 	tensor.Col2imBatch(g, c.batch, c.dcol, c.dx.Data())
 	return c.dx
 }

@@ -380,6 +380,9 @@ func collectResetters(l Layer, out *[]arenaResetter) {
 // use. The plan is structural: it depends only on the layer stack and batch
 // size, never on parameters or data.
 func (n *Network) MemPlan() *MemPlan {
+	if n.fused {
+		panic("nn: training memory plan on a fused (inference-only) network")
+	}
 	if n.memPlan == nil {
 		n.memPlan = n.planMemory()
 	}

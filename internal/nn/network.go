@@ -19,6 +19,10 @@ type Network struct {
 	loss   *SoftmaxCE
 	size   int
 
+	mode      tensor.KernelMode // GEMM kernel mode for every layer (fuse.go)
+	fused     bool              // FuseInference ran: inference-only network
+	quantized bool              // QuantizeWeights ran: int8 eval forward
+
 	boundW []float32 // currently bound parameter vector (for sanity checks)
 
 	// Planned task memory (computed lazily; see memory.go): memPlan covers

@@ -185,15 +185,7 @@ func (r *Residual) InitParams(rng *tensor.RNG, w []float32) {
 // kept: y > 0 ⇔ the pre-activation sum was positive, so backward needs no
 // separate sum buffer.
 func (r *Residual) joinChunk(lo, hi int) {
-	sd, fd, yd := r.sd, r.fd, r.y.Data()
-	for i := lo; i < hi; i++ {
-		v := fd[i] + sd[i]
-		if v > 0 {
-			yd[i] = v
-		} else {
-			yd[i] = 0
-		}
-	}
+	tensor.AddRelu(r.y.Data()[lo:hi], r.fd[lo:hi], r.sd[lo:hi])
 }
 
 func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
@@ -214,14 +206,7 @@ func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 func (r *Residual) maskChunk(lo, hi int) {
 	// y > 0 ⇔ the pre-activation sum was positive: the cached output is the
 	// gradient mask.
-	dyd, dsumd, yd := r.dyd, r.dsum.Data(), r.y.Data()
-	for i := lo; i < hi; i++ {
-		if yd[i] > 0 {
-			dsumd[i] = dyd[i]
-		} else {
-			dsumd[i] = 0
-		}
-	}
+	tensor.ReluBwd(r.dsum.Data()[lo:hi], r.dyd[lo:hi], r.y.Data()[lo:hi])
 }
 
 func (r *Residual) combineChunk(lo, hi int) {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"crossbow/internal/nn"
+	"crossbow/internal/tensor"
 )
 
 // flood hammers the engine with `clients` goroutines sending `per`
@@ -95,13 +96,29 @@ func TestShedOnFullKeepsLatencyBounded(t *testing.T) {
 // while queued — and every request the engine does answer must have
 // dispatched within its budget.
 func TestAdmitDeadlineShedsLateRequests(t *testing.T) {
+	// Pin the kernels to two workers for the duration of the test. At full
+	// parallelism a batch's ParallelFor occupies every P, so the flood's
+	// client goroutines are starved off the scheduler and arrivals trickle
+	// in at the batch gap rate — the backlog this test is about never
+	// forms, and each kernel speedup widens that escape hatch. With the
+	// kernels capped, clients run concurrently with compute and the queue
+	// genuinely stacks many batch-times against the 2-batch budget.
+	prevPar := tensor.Parallelism()
+	tensor.SetParallelism(2)
+	t.Cleanup(func() { tensor.SetParallelism(prevPar) })
+
 	// Calibrate the budget to this machine: measure one batch's service
 	// time on a throwaway engine, then grant the real engine ~2 batch
 	// times. The queue is deep enough to stack dozens of batches, so
 	// without deadline admission nothing would ever be refused.
 	probe, w := newTestEngine(t, Config{Model: nn.VGG16, MaxBatch: 64})
-	if _, err := probe.Predict(randomSample(probe.SampleVol(), 1)); err != nil {
-		t.Fatalf("calibration Predict: %v", err)
+	// Several sequential probes, not one: the first batch pays lazy bind
+	// and page-fault costs, and a budget calibrated to that cold outlier
+	// alone is loose enough to let a whole backlog drain inside it.
+	for i := 0; i < 5; i++ {
+		if _, err := probe.Predict(randomSample(probe.SampleVol(), 1)); err != nil {
+			t.Fatalf("calibration Predict: %v", err)
+		}
 	}
 	batchTime := probe.service.Mean()
 	probe.Close()

@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"crossbow/internal/nn"
+	"crossbow/internal/tensor"
+)
+
+// TestFastModeMatchesDeterministicFusion pins the serving-side fusion
+// contract: a Fast-mode engine (which serves fused replicas) answers with
+// exactly the classes an unfused Fast-mode network computes directly —
+// fusion is a memory optimisation, never an accuracy change.
+func TestFastModeMatchesDirectForward(t *testing.T) {
+	const maxBatch = 4
+	e, w := newTestEngine(t, Config{
+		Model: nn.LeNet, MaxBatch: maxBatch,
+		MaxDelay: time.Millisecond, KernelMode: tensor.Fast,
+	})
+	defer e.Close()
+
+	ref := nn.BuildScaled(nn.LeNet, 1, tensor.NewRNG(9))
+	ref.SetKernelMode(tensor.Fast)
+	ref.Bind(w, make([]float32, ref.ParamSize()))
+	x := tensor.New(append([]int{1}, ref.InShape...)...)
+	preds := make([]int, 1)
+	conf := make([]float32, 1)
+
+	for i := 0; i < 8; i++ {
+		sample := randomSample(e.SampleVol(), uint64(300+i))
+		got, err := e.Predict(sample)
+		if err != nil {
+			t.Fatalf("Predict: %v", err)
+		}
+		copy(x.Data(), sample)
+		ref.Predict(x, preds, conf)
+		if got.Class != preds[0] {
+			t.Fatalf("sample %d: class %d, direct fast forward says %d", i, got.Class, preds[0])
+		}
+	}
+	if s := e.Stats(); s.KernelMode != "fast" {
+		t.Fatalf("Stats.KernelMode = %q, want \"fast\"", s.KernelMode)
+	}
+}
+
+// TestQuantizedServing forces the gate open (tiny threshold) and checks the
+// int8 path answers every request with a valid class, reports itself in
+// Stats, and survives a model hot-swap (which must re-quantize).
+func TestQuantizedServing(t *testing.T) {
+	const maxBatch = 4
+	e, w := newTestEngine(t, Config{
+		Model: nn.LeNet, MaxBatch: maxBatch, MaxDelay: time.Millisecond,
+		Quantize: true, QuantMinAgreement: 0.01, Version: 1,
+	})
+	defer e.Close()
+
+	if !e.Quantized() {
+		t.Fatal("gate with threshold 0.01 did not admit quantization")
+	}
+	if a := e.QuantAgreement(); a < 0.01 || a > 1 {
+		t.Fatalf("QuantAgreement() = %v, want a fraction in [0.01, 1]", a)
+	}
+	probe := nn.BuildScaled(nn.LeNet, 1, tensor.NewRNG(1))
+	classes := probe.Classes
+	ask := func(wantVersion int64) {
+		t.Helper()
+		for i := 0; i < 8; i++ {
+			p, err := e.Predict(randomSample(e.SampleVol(), uint64(500+i)))
+			if err != nil {
+				t.Fatalf("Predict: %v", err)
+			}
+			if p.Class < 0 || p.Class >= classes {
+				t.Fatalf("class %d out of range [0, %d)", p.Class, classes)
+			}
+			if p.Version != wantVersion {
+				t.Fatalf("version %d, want %d", p.Version, wantVersion)
+			}
+		}
+	}
+	ask(1)
+
+	// Hot-swap to perturbed parameters: replicas must rebind AND rebuild
+	// their int8 copies before answering under the new version.
+	w2 := make([]float32, len(w))
+	for i, v := range w {
+		w2[i] = v * 1.25
+	}
+	if err := e.UpdateModel(w2, 2); err != nil {
+		t.Fatalf("UpdateModel: %v", err)
+	}
+	ask(2)
+
+	s := e.Stats()
+	if !s.Quantized || s.QuantAgree != e.QuantAgreement() {
+		t.Fatalf("Stats quantization fields %+v do not match engine state", s)
+	}
+}
+
+// TestQuantizeGateFallback: an unreachable agreement threshold must leave
+// the engine serving f32 — bit-identical to a plain engine — while still
+// reporting the measured agreement.
+func TestQuantizeGateFallback(t *testing.T) {
+	const maxBatch = 4
+	e, w := newTestEngine(t, Config{
+		Model: nn.LeNet, MaxBatch: maxBatch, MaxDelay: time.Millisecond,
+		Quantize: true, QuantMinAgreement: 1.1,
+	})
+	defer e.Close()
+
+	if e.Quantized() {
+		t.Fatal("gate admitted quantization past an impossible threshold")
+	}
+	if a := e.QuantAgreement(); a < 0 || a > 1 {
+		t.Fatalf("QuantAgreement() = %v, want a fraction", a)
+	}
+	ref := nn.BuildScaled(nn.LeNet, 1, tensor.NewRNG(9))
+	ref.Bind(w, make([]float32, ref.ParamSize()))
+	x := tensor.New(append([]int{1}, ref.InShape...)...)
+	preds := make([]int, 1)
+	for i := 0; i < 8; i++ {
+		sample := randomSample(e.SampleVol(), uint64(700+i))
+		got, err := e.Predict(sample)
+		if err != nil {
+			t.Fatalf("Predict: %v", err)
+		}
+		copy(x.Data(), sample)
+		ref.Predict(x, preds, nil)
+		if got.Class != preds[0] {
+			t.Fatalf("fallback sample %d: class %d, f32 forward says %d", i, got.Class, preds[0])
+		}
+	}
+	if s := e.Stats(); s.Quantized {
+		t.Fatal("Stats.Quantized true after gate fallback")
+	}
+}

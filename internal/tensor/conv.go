@@ -330,11 +330,7 @@ func col2imStrided(g ConvGeom, col []float32, ld, off int, img []float32) {
 					}
 					if ohLo < ohHi {
 						src0 := chOff + (ohLo+kh-g.PadH)*g.InW
-						d := img[src0 : src0+(ohHi-ohLo)*outW]
-						s := src[ohLo*outW : ohHi*outW]
-						for i, v := range s {
-							d[i] += v
-						}
+						AccumAdd(img[src0:src0+(ohHi-ohLo)*outW], src[ohLo*outW:ohHi*outW])
 					}
 					continue
 				}
@@ -347,11 +343,7 @@ func col2imStrided(g ConvGeom, col []float32, ld, off int, img []float32) {
 					si := oh * outW
 					if g.StrideW == 1 {
 						lo := owLo - g.PadW + kw
-						dst := img[rowOff+lo : rowOff+lo+owHi-owLo]
-						s := src[si+owLo : si+owHi]
-						for i, v := range s {
-							dst[i] += v
-						}
+						AccumAdd(img[rowOff+lo:rowOff+lo+owHi-owLo], src[si+owLo:si+owHi])
 					} else {
 						iw := owLo*g.StrideW - g.PadW + kw
 						for ow := owLo; ow < owHi; ow++ {

@@ -13,4 +13,21 @@
 // output ranges disjointly, so results are bit-identical at any worker
 // count — the determinism contract DESIGN.md §8 documents and the
 // determinism tests pin.
+//
+// GEMMs come in two kernel modes (KernelMode, DESIGN.md §14).
+// Deterministic — the zero value and the default — computes every element
+// by the scalar rounding sequence (vector MUL then ADD, never FMA), so
+// results are bit-identical across SIMD levels, machines, and worker
+// counts. Fast opts into FMA3 micro-kernels (8×16 ZMM tiles under
+// AVX-512F) plus shape-gated fallback for tiny GEMMs: still ascending-k
+// and run-to-run reproducible on a fixed machine, but accurate only to
+// the standard forward-error bound against the scalar oracle. Dispatch is
+// CPUID-gated; CROSSBOW_NOSIMD, CROSSBOW_NOFMA and CROSSBOW_NOAVX512
+// force the successive fallbacks. GemmInt8 supplies the per-channel
+// symmetric int8 path the serving plane's quantized mode builds on, and
+// Epilogue lets internal/nn fuse bias/BN/ReLU into the GEMM's output
+// blocks. The exact elementwise kernels (ReluFwd, ReluBwd, AddRelu,
+// AccumAdd) are SIMD in both modes — max, compare-select and a single
+// add round identically to their scalar loops, so they never weaken the
+// deterministic contract.
 package tensor

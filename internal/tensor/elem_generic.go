@@ -1,0 +1,10 @@
+//go:build !amd64
+
+package tensor
+
+// Non-amd64 stubs: every elementwise kernel runs the scalar Go loop.
+
+func elemAccumAddASM(dst, src []float32) int        { return 0 }
+func elemReluFwdASM(dst, src []float32) int         { return 0 }
+func elemReluBwdASM(dst, dy, y []float32) int       { return 0 }
+func elemAddReluASM(dst, a, b []float32) int        { return 0 }

@@ -71,7 +71,7 @@ func Gemm(alpha float32, a []float32, m, k int, b []float32, n int, beta float32
 	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
 		panic("tensor: Gemm buffer too small")
 	}
-	gemmBlocked(gemmNN, alpha, a, m, k, b, n, beta, c)
+	gemmBlocked(gemmNN, alpha, a, m, k, b, n, beta, c, nil)
 }
 
 // GemmTA computes C = alpha*Aᵀ*B + beta*C where A is stored k×m (so Aᵀ is
@@ -80,7 +80,7 @@ func GemmTA(alpha float32, a []float32, k, m int, b []float32, n int, beta float
 	if len(a) < k*m || len(b) < k*n || len(c) < m*n {
 		panic("tensor: GemmTA buffer too small")
 	}
-	gemmBlocked(gemmTA, alpha, a, m, k, b, n, beta, c)
+	gemmBlocked(gemmTA, alpha, a, m, k, b, n, beta, c, nil)
 }
 
 // GemmTB computes C = alpha*A*Bᵀ + beta*C where A is m×k, B is stored n×k
@@ -89,7 +89,7 @@ func GemmTB(alpha float32, a []float32, m, k int, b []float32, n int, beta float
 	if len(a) < m*k || len(b) < n*k || len(c) < m*n {
 		panic("tensor: GemmTB buffer too small")
 	}
-	gemmBlocked(gemmTB, alpha, a, m, k, b, n, beta, c)
+	gemmBlocked(gemmTB, alpha, a, m, k, b, n, beta, c, nil)
 }
 
 // scaleC applies the beta pre-pass shared by all kernels.
@@ -108,14 +108,17 @@ func scaleC(beta float32, c []float32) {
 	}
 }
 
-func gemmBlocked(kind gemmKind, alpha float32, a []float32, m, k int, b []float32, n int, beta float32, c []float32) {
+func gemmBlocked(kind gemmKind, alpha float32, a []float32, m, k int, b []float32, n int, beta float32, c []float32, epi *Epilogue) {
 	scaleC(beta, c[:m*n])
 	if alpha == 0 || m == 0 || n == 0 || k == 0 {
+		if epi != nil && m > 0 && n > 0 {
+			applyEpi(epi, c, n, 0, m, 0, n)
+		}
 		return
 	}
 	if Parallelism() == 1 {
 		// Serial fast path: no band closure, no pool hand-off.
-		gemmBand(kind, alpha, a, m, k, b, n, c, 0, m, 0, n)
+		gemmBand(kind, alpha, a, m, k, b, n, c, 0, m, 0, n, epi)
 		return
 	}
 	// Partition the larger output dimension into disjoint bands. Each band
@@ -127,20 +130,22 @@ func gemmBlocked(kind gemmKind, alpha float32, a []float32, m, k int, b []float3
 		tiles := (m + gemmMR - 1) / gemmMR
 		grain := 1 + parGrainFlops/(2*k*n*gemmMR)
 		ParallelFor(tiles, grain, func(lo, hi int) {
-			gemmBand(kind, alpha, a, m, k, b, n, c, lo*gemmMR, min(hi*gemmMR, m), 0, n)
+			gemmBand(kind, alpha, a, m, k, b, n, c, lo*gemmMR, min(hi*gemmMR, m), 0, n, epi)
 		})
 		return
 	}
 	tiles := (n + gemmNR - 1) / gemmNR
 	grain := 1 + parGrainFlops/(2*k*m*gemmNR)
 	ParallelFor(tiles, grain, func(lo, hi int) {
-		gemmBand(kind, alpha, a, m, k, b, n, c, 0, m, lo*gemmNR, min(hi*gemmNR, n))
+		gemmBand(kind, alpha, a, m, k, b, n, c, 0, m, lo*gemmNR, min(hi*gemmNR, n), epi)
 	})
 }
 
 // gemmBand runs the blocked kernel over the output band C[rowLo:rowHi,
-// colLo:colHi]. beta has already been applied.
-func gemmBand(kind gemmKind, alpha float32, a []float32, m, k int, b []float32, n int, c []float32, rowLo, rowHi, colLo, colHi int) {
+// colLo:colHi]. beta has already been applied. An epilogue, when present,
+// runs over each output region as soon as its last k panel completes —
+// cache-hot, inside the same worker, once per element.
+func gemmBand(kind gemmKind, alpha float32, a []float32, m, k int, b []float32, n int, c []float32, rowLo, rowHi, colLo, colHi int, epi *Epilogue) {
 	// Fully direct mode: for gemmNN/gemmTA with alpha == 1 and L2-resident
 	// operands the micro-kernel streams both A (strided broadcasts) and B
 	// (strided row loads) from place — no packing at all. This is the
@@ -170,6 +175,9 @@ func gemmBand(kind gemmKind, alpha float32, a []float32, m, k int, b []float32, 
 					microEdgeDirect(k, as, ars, acs, bs, n, cp, n, rows, cols)
 				}
 			}
+		}
+		if epi != nil {
+			applyEpi(epi, c, n, rowLo, rowHi, colLo, colHi)
 		}
 		return
 	}
@@ -226,6 +234,11 @@ func gemmBand(kind gemmKind, alpha float32, a []float32, m, k int, b []float32, 
 					}
 				}
 			}
+		}
+		if epi != nil {
+			// All k panels for columns [jc, jc+nb) are done: this slab of
+			// the band is final, and still warm.
+			applyEpi(epi, c, n, rowLo, rowHi, jc, jc+nb)
 		}
 	}
 }
@@ -320,11 +333,30 @@ func packA(kind gemmKind, dst, a []float32, m, k, i0, mb, p0, kb int, alpha floa
 			}
 			continue
 		}
-		// A row-major m×k (gemmNN and gemmTB).
-		if rows < gemmMR {
-			for x := range d {
-				d[x] = 0
+		// A row-major m×k (gemmNN and gemmTB). Full tiles transpose all
+		// four source rows in one pass with sequential destination writes;
+		// the per-row strided loop below only handles the m%4 edge.
+		if rows == gemmMR {
+			s0 := a[(i0+i)*k+p0:]
+			s1 := a[(i0+i+1)*k+p0:]
+			s2 := a[(i0+i+2)*k+p0:]
+			s3 := a[(i0+i+3)*k+p0:]
+			if alpha == 1 {
+				for p := 0; p < kb; p++ {
+					dd := d[p*gemmMR : p*gemmMR+gemmMR]
+					dd[0], dd[1], dd[2], dd[3] = s0[p], s1[p], s2[p], s3[p]
+				}
+			} else {
+				for p := 0; p < kb; p++ {
+					dd := d[p*gemmMR : p*gemmMR+gemmMR]
+					dd[0], dd[1] = alpha*s0[p], alpha*s1[p]
+					dd[2], dd[3] = alpha*s2[p], alpha*s3[p]
+				}
 			}
+			continue
+		}
+		for x := range d {
+			d[x] = 0
 		}
 		for r := 0; r < rows; r++ {
 			src := a[(i0+i+r)*k+p0:]
@@ -351,11 +383,30 @@ func packB(kind gemmKind, dst, b []float32, k, n, p0, kb, j0, nb int) {
 		cols := min(gemmNR, nb-j)
 		d := dst[j*kb : j*kb+kb*gemmNR]
 		if kind == gemmTB {
-			// B stored n×k: row j of storage holds logical column j.
-			if cols < gemmNR {
-				for x := range d {
-					d[x] = 0
+			// B stored n×k: row j of storage holds logical column j. Full
+			// tiles transpose eight storage rows in a single pass with
+			// sequential destination writes — the per-column strided loop
+			// this replaces walked the whole panel once per column and held
+			// GemmTB at ~40% of Gemm's throughput on the small-m shapes.
+			// Same values, same panel layout, so bits are unchanged.
+			if cols == gemmNR {
+				s0 := b[(j0+j)*k+p0:]
+				s1 := b[(j0+j+1)*k+p0:]
+				s2 := b[(j0+j+2)*k+p0:]
+				s3 := b[(j0+j+3)*k+p0:]
+				s4 := b[(j0+j+4)*k+p0:]
+				s5 := b[(j0+j+5)*k+p0:]
+				s6 := b[(j0+j+6)*k+p0:]
+				s7 := b[(j0+j+7)*k+p0:]
+				for p := 0; p < kb; p++ {
+					dd := d[p*gemmNR : p*gemmNR+gemmNR]
+					dd[0], dd[1], dd[2], dd[3] = s0[p], s1[p], s2[p], s3[p]
+					dd[4], dd[5], dd[6], dd[7] = s4[p], s5[p], s6[p], s7[p]
 				}
+				continue
+			}
+			for x := range d {
+				d[x] = 0
 			}
 			for q := 0; q < cols; q++ {
 				src := b[(j0+j+q)*k+p0:]

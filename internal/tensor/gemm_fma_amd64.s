@@ -1,0 +1,250 @@
+// amd64 FMA3 GEMM micro-kernels: one 8×8 output tile per call (fast kernel
+// mode only — see DESIGN.md §14).
+//
+// ap is fmaMR(8)-interleaved (8 floats per k step, alpha folded in by the
+// packer); B is either a packed NR(8)-interleaved panel (Pack variant) or
+// row-major rows at stride ldb (BS variant). Each C element still
+// accumulates its products in ascending-k order in a single float32 lane —
+// results are deterministic run-to-run and independent of the worker count
+// — but VFMADD231PS fuses the multiply and add into one rounding, so bits
+// differ from the scalar oracle within standard forward-error bounds. The
+// 8-row tile exists because FMA halves the arithmetic ops per element:
+// eight independent accumulator chains are needed to keep both FMA ports
+// busy, where the deterministic 4×8 MUL+ADD kernel saturates them with four.
+
+#include "textflag.h"
+
+// func gemmMicroFMAPack8(kb int, ap, bp, c *float32, ldc int)
+// Packed-B variant. Accumulators preload from C; the result overwrites C.
+TEXT ·gemmMicroFMAPack8(SB), NOSPLIT, $0-40
+	MOVQ kb+0(FP), CX
+	MOVQ ap+8(FP), DI
+	MOVQ bp+16(FP), SI
+	MOVQ c+24(FP), DX
+	MOVQ ldc+32(FP), R8
+	SHLQ $2, R8
+	MOVQ DX, AX
+	VMOVUPS (AX), Y0
+	ADDQ    R8, AX
+	VMOVUPS (AX), Y1
+	ADDQ    R8, AX
+	VMOVUPS (AX), Y2
+	ADDQ    R8, AX
+	VMOVUPS (AX), Y3
+	ADDQ    R8, AX
+	VMOVUPS (AX), Y4
+	ADDQ    R8, AX
+	VMOVUPS (AX), Y5
+	ADDQ    R8, AX
+	VMOVUPS (AX), Y6
+	ADDQ    R8, AX
+	VMOVUPS (AX), Y7
+	TESTQ   CX, CX
+	JZ      fma_pack_done
+
+	// Unrolled ×2: pairs first, then an optional tail step.
+	MOVQ CX, R12
+	SHRQ $1, R12
+	JZ   fma_pack_tail
+
+fma_pack_loop:
+	VMOVUPS      (SI), Y8
+	VBROADCASTSS (DI), Y9
+	VFMADD231PS  Y8, Y9, Y0
+	VBROADCASTSS 4(DI), Y10
+	VFMADD231PS  Y8, Y10, Y1
+	VBROADCASTSS 8(DI), Y11
+	VFMADD231PS  Y8, Y11, Y2
+	VBROADCASTSS 12(DI), Y12
+	VFMADD231PS  Y8, Y12, Y3
+	VBROADCASTSS 16(DI), Y9
+	VFMADD231PS  Y8, Y9, Y4
+	VBROADCASTSS 20(DI), Y10
+	VFMADD231PS  Y8, Y10, Y5
+	VBROADCASTSS 24(DI), Y11
+	VFMADD231PS  Y8, Y11, Y6
+	VBROADCASTSS 28(DI), Y12
+	VFMADD231PS  Y8, Y12, Y7
+
+	VMOVUPS      32(SI), Y13
+	VBROADCASTSS 32(DI), Y9
+	VFMADD231PS  Y13, Y9, Y0
+	VBROADCASTSS 36(DI), Y10
+	VFMADD231PS  Y13, Y10, Y1
+	VBROADCASTSS 40(DI), Y11
+	VFMADD231PS  Y13, Y11, Y2
+	VBROADCASTSS 44(DI), Y12
+	VFMADD231PS  Y13, Y12, Y3
+	VBROADCASTSS 48(DI), Y9
+	VFMADD231PS  Y13, Y9, Y4
+	VBROADCASTSS 52(DI), Y10
+	VFMADD231PS  Y13, Y10, Y5
+	VBROADCASTSS 56(DI), Y11
+	VFMADD231PS  Y13, Y11, Y6
+	VBROADCASTSS 60(DI), Y12
+	VFMADD231PS  Y13, Y12, Y7
+
+	ADDQ $64, DI
+	ADDQ $64, SI
+	DECQ R12
+	JNZ  fma_pack_loop
+
+fma_pack_tail:
+	ANDQ $1, CX
+	JZ   fma_pack_done
+	VMOVUPS      (SI), Y8
+	VBROADCASTSS (DI), Y9
+	VFMADD231PS  Y8, Y9, Y0
+	VBROADCASTSS 4(DI), Y10
+	VFMADD231PS  Y8, Y10, Y1
+	VBROADCASTSS 8(DI), Y11
+	VFMADD231PS  Y8, Y11, Y2
+	VBROADCASTSS 12(DI), Y12
+	VFMADD231PS  Y8, Y12, Y3
+	VBROADCASTSS 16(DI), Y9
+	VFMADD231PS  Y8, Y9, Y4
+	VBROADCASTSS 20(DI), Y10
+	VFMADD231PS  Y8, Y10, Y5
+	VBROADCASTSS 24(DI), Y11
+	VFMADD231PS  Y8, Y11, Y6
+	VBROADCASTSS 28(DI), Y12
+	VFMADD231PS  Y8, Y12, Y7
+
+fma_pack_done:
+	MOVQ    DX, AX
+	VMOVUPS Y0, (AX)
+	ADDQ    R8, AX
+	VMOVUPS Y1, (AX)
+	ADDQ    R8, AX
+	VMOVUPS Y2, (AX)
+	ADDQ    R8, AX
+	VMOVUPS Y3, (AX)
+	ADDQ    R8, AX
+	VMOVUPS Y4, (AX)
+	ADDQ    R8, AX
+	VMOVUPS Y5, (AX)
+	ADDQ    R8, AX
+	VMOVUPS Y6, (AX)
+	ADDQ    R8, AX
+	VMOVUPS Y7, (AX)
+	VZEROUPPER
+	RET
+
+// func gemmMicroFMABS8(kb int, ap, b *float32, ldb int, c *float32, ldc int)
+// Strided-B variant: reads the 8 tile columns straight from row-major B
+// (row stride ldb elements), skipping the B pack for L2-resident operands.
+TEXT ·gemmMicroFMABS8(SB), NOSPLIT, $0-48
+	MOVQ kb+0(FP), CX
+	MOVQ ap+8(FP), DI
+	MOVQ b+16(FP), SI
+	MOVQ ldb+24(FP), R13
+	SHLQ $2, R13
+	MOVQ c+32(FP), DX
+	MOVQ ldc+40(FP), R8
+	SHLQ $2, R8
+	MOVQ DX, AX
+	VMOVUPS (AX), Y0
+	ADDQ    R8, AX
+	VMOVUPS (AX), Y1
+	ADDQ    R8, AX
+	VMOVUPS (AX), Y2
+	ADDQ    R8, AX
+	VMOVUPS (AX), Y3
+	ADDQ    R8, AX
+	VMOVUPS (AX), Y4
+	ADDQ    R8, AX
+	VMOVUPS (AX), Y5
+	ADDQ    R8, AX
+	VMOVUPS (AX), Y6
+	ADDQ    R8, AX
+	VMOVUPS (AX), Y7
+	TESTQ   CX, CX
+	JZ      fma_bs_done
+
+	MOVQ CX, R12
+	SHRQ $1, R12
+	JZ   fma_bs_tail
+
+fma_bs_loop:
+	VMOVUPS      (SI), Y8
+	ADDQ         R13, SI
+	VBROADCASTSS (DI), Y9
+	VFMADD231PS  Y8, Y9, Y0
+	VBROADCASTSS 4(DI), Y10
+	VFMADD231PS  Y8, Y10, Y1
+	VBROADCASTSS 8(DI), Y11
+	VFMADD231PS  Y8, Y11, Y2
+	VBROADCASTSS 12(DI), Y12
+	VFMADD231PS  Y8, Y12, Y3
+	VBROADCASTSS 16(DI), Y9
+	VFMADD231PS  Y8, Y9, Y4
+	VBROADCASTSS 20(DI), Y10
+	VFMADD231PS  Y8, Y10, Y5
+	VBROADCASTSS 24(DI), Y11
+	VFMADD231PS  Y8, Y11, Y6
+	VBROADCASTSS 28(DI), Y12
+	VFMADD231PS  Y8, Y12, Y7
+
+	VMOVUPS      (SI), Y13
+	ADDQ         R13, SI
+	VBROADCASTSS 32(DI), Y9
+	VFMADD231PS  Y13, Y9, Y0
+	VBROADCASTSS 36(DI), Y10
+	VFMADD231PS  Y13, Y10, Y1
+	VBROADCASTSS 40(DI), Y11
+	VFMADD231PS  Y13, Y11, Y2
+	VBROADCASTSS 44(DI), Y12
+	VFMADD231PS  Y13, Y12, Y3
+	VBROADCASTSS 48(DI), Y9
+	VFMADD231PS  Y13, Y9, Y4
+	VBROADCASTSS 52(DI), Y10
+	VFMADD231PS  Y13, Y10, Y5
+	VBROADCASTSS 56(DI), Y11
+	VFMADD231PS  Y13, Y11, Y6
+	VBROADCASTSS 60(DI), Y12
+	VFMADD231PS  Y13, Y12, Y7
+
+	ADDQ $64, DI
+	DECQ R12
+	JNZ  fma_bs_loop
+
+fma_bs_tail:
+	ANDQ $1, CX
+	JZ   fma_bs_done
+	VMOVUPS      (SI), Y8
+	VBROADCASTSS (DI), Y9
+	VFMADD231PS  Y8, Y9, Y0
+	VBROADCASTSS 4(DI), Y10
+	VFMADD231PS  Y8, Y10, Y1
+	VBROADCASTSS 8(DI), Y11
+	VFMADD231PS  Y8, Y11, Y2
+	VBROADCASTSS 12(DI), Y12
+	VFMADD231PS  Y8, Y12, Y3
+	VBROADCASTSS 16(DI), Y9
+	VFMADD231PS  Y8, Y9, Y4
+	VBROADCASTSS 20(DI), Y10
+	VFMADD231PS  Y8, Y10, Y5
+	VBROADCASTSS 24(DI), Y11
+	VFMADD231PS  Y8, Y11, Y6
+	VBROADCASTSS 28(DI), Y12
+	VFMADD231PS  Y8, Y12, Y7
+
+fma_bs_done:
+	MOVQ    DX, AX
+	VMOVUPS Y0, (AX)
+	ADDQ    R8, AX
+	VMOVUPS Y1, (AX)
+	ADDQ    R8, AX
+	VMOVUPS Y2, (AX)
+	ADDQ    R8, AX
+	VMOVUPS Y3, (AX)
+	ADDQ    R8, AX
+	VMOVUPS Y4, (AX)
+	ADDQ    R8, AX
+	VMOVUPS Y5, (AX)
+	ADDQ    R8, AX
+	VMOVUPS Y6, (AX)
+	ADDQ    R8, AX
+	VMOVUPS Y7, (AX)
+	VZEROUPPER
+	RET

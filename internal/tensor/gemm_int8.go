@@ -1,0 +1,113 @@
+package tensor
+
+import "math"
+
+// Int8 inference kernels (DESIGN.md §14). The quantized forward path
+// stores weights as int8 with a symmetric per-output-channel scale and
+// quantizes activations per tensor at run time; accumulation is exact
+// int32, so results are deterministic regardless of blocking or worker
+// count. These kernels trade a little accuracy (gated by the serving
+// plane's top-1 agreement check) for a 4× smaller weight working set.
+
+// QuantizeSym quantizes src into dst with one symmetric scale: dst[i] =
+// round(src[i]/scale) clamped to [-127, 127], scale = maxAbs(src)/127. It
+// returns the scale (1 when src is all zero, so dequantization is exact).
+func QuantizeSym(src []float32, dst []int8) float32 {
+	if len(dst) < len(src) {
+		panic("tensor: QuantizeSym dst too small")
+	}
+	var maxAbs float32
+	for _, v := range src {
+		if v < 0 {
+			v = -v
+		}
+		if v > maxAbs {
+			maxAbs = v
+		}
+	}
+	if maxAbs == 0 || math.IsNaN(float64(maxAbs)) || math.IsInf(float64(maxAbs), 0) {
+		for i := range src {
+			dst[i] = 0
+		}
+		return 1
+	}
+	scale := maxAbs / 127
+	inv := 1 / scale
+	for i, v := range src {
+		q := math.Round(float64(v * inv))
+		switch {
+		case q > 127:
+			q = 127
+		case q < -127:
+			q = -127
+		case math.IsNaN(q):
+			q = 0
+		}
+		dst[i] = int8(q)
+	}
+	return scale
+}
+
+// QuantizeRows quantizes each of the m rows of a row-major m×k matrix
+// independently (symmetric per-row scale — per-output-channel for OIHW
+// conv weights and Out×In dense weights), writing the m scales to scales.
+func QuantizeRows(src []float32, m, k int, dst []int8, scales []float32) {
+	if len(src) < m*k || len(dst) < m*k || len(scales) < m {
+		panic("tensor: QuantizeRows buffer too small")
+	}
+	for i := 0; i < m; i++ {
+		scales[i] = QuantizeSym(src[i*k:(i+1)*k], dst[i*k:(i+1)*k])
+	}
+}
+
+// GemmInt8 computes C(int32, m×n) = A(int8, m×k) · B(int8, k×n), all
+// row-major. Integer accumulation is exact, so any evaluation order gives
+// identical results; the row-axpy form keeps both streams sequential.
+func GemmInt8(a []int8, m, k int, b []int8, n int, c []int32) {
+	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
+		panic("tensor: GemmInt8 buffer too small")
+	}
+	grain := 1 + parGrainFlops/(1+2*k*n)
+	ParallelFor(m, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a[i*k : (i+1)*k]
+			crow := c[i*n : (i+1)*n]
+			for x := range crow {
+				crow[x] = 0
+			}
+			for p, av := range arow {
+				if av == 0 {
+					continue
+				}
+				av32 := int32(av)
+				brow := b[p*n : (p+1)*n]
+				for j, bv := range brow {
+					crow[j] += av32 * int32(bv)
+				}
+			}
+		}
+	})
+}
+
+// GemmInt8TB computes C(int32, m×n) = A(int8, m×k) · B(int8, n×k)ᵀ — the
+// dense-layer shape, where both operands are row-contiguous dot products.
+func GemmInt8TB(a []int8, m, k int, b []int8, n int, c []int32) {
+	if len(a) < m*k || len(b) < n*k || len(c) < m*n {
+		panic("tensor: GemmInt8TB buffer too small")
+	}
+	grain := 1 + parGrainFlops/(1+2*k*n)
+	ParallelFor(m, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a[i*k : (i+1)*k]
+			crow := c[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := b[j*k : (j+1)*k]
+				var s int32
+				for p, av := range arow {
+					s += int32(av) * int32(brow[p])
+				}
+				crow[j] = s
+			}
+		}
+	})
+}

@@ -1,0 +1,30 @@
+//go:build amd64
+
+package tensor
+
+// AVX2 panel packing for the fast-mode GEMM driver: transposes a full
+// 8-row × kb-column block of row-major A into the fmaMR-interleaved panel
+// layout, folding alpha in. Column count handled is kb&^7; the caller
+// packs the remaining columns with the scalar loop. The asm performs the
+// same per-element alpha*a[r][p] multiply as the scalar pack (an exact
+// elementwise IEEE operation — multiplying by alpha==1.0 is the identity),
+// so the packed panel is bit-identical either way.
+
+//go:noescape
+func packATr8AVX2(dst, src *float32, stride, kb8 int, alpha float32)
+
+// packATrASM packs columns [0, kb&^7) of the 8×kb row-major block at
+// a[off:] (row stride is `stride` floats) into dst, interleaved fmaMR-wide
+// with alpha folded in. Returns how many columns it packed: 0 when SIMD is
+// off, so the caller's scalar loop covers everything.
+func packATrASM(dst, a []float32, off, stride, kb int, alpha float32) int {
+	n := kb &^ 7
+	if n == 0 || !elemActive() {
+		return 0
+	}
+	// The last column block reads rows r*stride..r*stride+8; the final row
+	// read ends at off+7*stride+n, within the slice because the caller's
+	// block spans 8 full rows.
+	packATr8AVX2(&dst[0], &a[off], stride, n, alpha)
+	return n
+}

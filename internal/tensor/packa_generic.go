@@ -1,0 +1,6 @@
+//go:build !amd64
+
+package tensor
+
+// packATrASM on non-amd64: the scalar pack covers the whole block.
+func packATrASM(dst, a []float32, off, stride, kb int, alpha float32) int { return 0 }

@@ -107,6 +107,7 @@ func trainCluster(cfg Config) (*Result, error) {
 		TrainSamples:      cfg.TrainSamples,
 		TestSamples:       cfg.TestSamples,
 		Scheduler:         cfg.Scheduler,
+		KernelMode:        cfg.KernelMode,
 		Prefetch:          cfg.Prefetch,
 		MemoryBudget:      cfg.MemoryBudget,
 		PublishEvery:      cfg.PublishEvery,
