@@ -45,6 +45,8 @@ func main() {
 	nodeBin := flag.String("node-bin", "", "crossbow-node binary (with -tcp; default: next to this binary, then $PATH)")
 	basePort := flag.Int("base-port", 7070, "first localhost port for the node mesh (with -tcp)")
 	samples := flag.Int("samples", 0, "override training samples per epoch (with -tcp; 0: model default)")
+	overlap := flag.Bool("overlap", false, "overlap the global exchange with computation on every node (with -tcp)")
+	segments := flag.Int("segments", 0, "pipeline segments per collective transfer (with -tcp; 0: 4)")
 	flag.Parse()
 
 	learners := 1
@@ -97,7 +99,7 @@ func main() {
 			model: *model, gpus: *gpus, m: *m, batch: *batch,
 			tau: *tauLocal, tauGlobal: *tauGlobal,
 			epochs: *epochs, target: *target, seed: *seed, samples: *samples,
-			tree: ic.Tree,
+			tree: ic.Tree, overlap: *overlap, segments: *segments,
 		}))
 	}
 
@@ -157,6 +159,8 @@ type tcpOpts struct {
 	seed     uint64
 	samples  int
 	tree     bool
+	overlap  bool
+	segments int
 }
 
 // findNodeBin resolves the crossbow-node binary: explicit flag, then a
@@ -223,6 +227,12 @@ func runTCP(o tcpOpts) int {
 		}
 		if o.tree {
 			args = append(args, "-tree")
+		}
+		if o.overlap {
+			args = append(args, "-overlap")
+		}
+		if o.segments > 0 {
+			args = append(args, "-segments", strconv.Itoa(o.segments))
 		}
 		cmd := exec.Command(bin, args...)
 		stdout, _ := cmd.StdoutPipe()

@@ -51,6 +51,8 @@ func nodeMain() int {
 	roundTimeout := flag.Duration("round-timeout", 0, "abort a collective stalled this long by a live peer (0: 30s)")
 	quarantine := flag.Duration("quarantine", 0, "bar a corrupting/stalling peer from reconnecting this long (0: peer-timeout)")
 	exchangeRetries := flag.Int("exchange-retries", 0, "retries of a fault-aborted global exchange (0: 2, negative: none)")
+	overlap := flag.Bool("overlap", false, "overlap the global exchange with the next iteration's computation (bit-identical to synchronous)")
+	segments := flag.Int("segments", 0, "pipeline segments per collective transfer (0: 4)")
 	bootstrap := flag.Duration("bootstrap", 10*time.Second, "wait this long for the full mesh before training")
 	warm := flag.Duration("warm-start", 2*time.Second, "snapshot probe window at startup (rejoin seeding)")
 	quiet := flag.Bool("quiet", false, "suppress per-epoch output")
@@ -98,6 +100,8 @@ func nodeMain() int {
 			RoundTimeout:    *roundTimeout,
 			Quarantine:      *quarantine,
 			ExchangeRetries: *exchangeRetries,
+			OverlapGlobal:   *overlap,
+			Segments:        *segments,
 			Logf:            logf,
 		},
 	})
@@ -123,6 +127,15 @@ func nodeMain() int {
 		*rank, ts.BytesSent, ts.BytesRecv, ts.FramesSent+ts.FramesRecv,
 		ts.RoundP50, ts.RoundP99, ts.CollectiveMean,
 		res.Interconnect.Name, res.Interconnect.AllReduceUS(int64(len(res.Params))*4, res.Servers))
+	if ts.AsyncRounds > 0 {
+		total := ts.OverlapHiddenNs + ts.OverlapBlockedNs
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(ts.OverlapHiddenNs) / float64(total)
+		}
+		fmt.Printf("rank %d: overlapped %d rounds; hid %v of exchange time behind compute, %v exposed (%.0f%% hidden)\n",
+			*rank, ts.AsyncRounds, time.Duration(ts.OverlapHiddenNs), time.Duration(ts.OverlapBlockedNs), pct)
+	}
 
 	if *save != "" {
 		if err := crossbow.SaveModel(*save, crossbow.Model(*model), res); err != nil {

@@ -148,6 +148,99 @@ func TestTrainTCPCluster(t *testing.T) {
 	}
 }
 
+// TestTrainTCPOverlapBitIdentical is the correctness pin of the overlapped
+// global exchange: the SAME three-node ResNet-32 run, once synchronous and
+// once with OverlapGlobal, must produce a bit-for-bit identical final
+// cluster average model AND bit-identical published snapshots at every
+// round. Overlap moves the all-reduce off the critical path — between
+// launch and fold only forward/backward work runs, which never touches the
+// reference model — so the folded bytes must match the synchronous
+// schedule's exactly.
+func TestTrainTCPOverlapBitIdentical(t *testing.T) {
+	const servers = 3
+	run := func(overlap bool) ([]*Result, [][]Snapshot) {
+		addrs, lns := tcpPeers(t, servers)
+		results := make([]*Result, servers)
+		snaps := make([][]Snapshot, servers)
+		errs := make([]error, servers)
+		var wg sync.WaitGroup
+		for r := 0; r < servers; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				node := fastNode(r, addrs, lns[r])
+				node.OverlapGlobal = overlap
+				results[r], errs[r] = Train(Config{
+					Model: ResNet32, GPUs: 1, LearnersPerGPU: 2, Batch: 8,
+					MaxEpochs: 2, Seed: 42, TrainSamples: 128, TestSamples: 64,
+					Servers: servers, Transport: TransportTCP,
+					// Snapshots every 2 iterations: the pin covers not just the
+					// final model but every intermediate published artefact.
+					PublishEvery: 2,
+					OnSnapshot:   func(s Snapshot) { snaps[r] = append(snaps[r], s) },
+					Node:         node,
+				})
+			}(r)
+		}
+		wg.Wait()
+		for r, err := range errs {
+			if err != nil {
+				t.Fatalf("overlap=%v node %d: %v", overlap, r, err)
+			}
+		}
+		return results, snaps
+	}
+
+	syncRes, syncSnaps := run(false)
+	overRes, overSnaps := run(true)
+
+	for r := 0; r < servers; r++ {
+		if syncRes[r].TransportStats.AsyncRounds != 0 {
+			t.Fatalf("synchronous node %d used the async path: %+v", r, syncRes[r].TransportStats)
+		}
+		if overRes[r].TransportStats.AsyncRounds < 1 {
+			t.Fatalf("overlap node %d never overlapped a round: %+v", r, overRes[r].TransportStats)
+		}
+		if overRes[r].TransportStats.Aborts != 0 || overRes[r].TransportStats.RestartRounds != 0 {
+			t.Fatalf("overlap node %d saw churn on a healthy cluster: %+v", r, overRes[r].TransportStats)
+		}
+	}
+
+	// Final model: byte-for-byte across modes (and, transitively, across
+	// ranks — TestTrainTCPCluster pins rank agreement).
+	for r := 0; r < servers; r++ {
+		if len(syncRes[r].Params) != len(overRes[r].Params) {
+			t.Fatalf("node %d: param count %d vs %d", r, len(syncRes[r].Params), len(overRes[r].Params))
+		}
+		for i := range syncRes[r].Params {
+			if math.Float32bits(syncRes[r].Params[i]) != math.Float32bits(overRes[r].Params[i]) {
+				t.Fatalf("node %d param %d: sync %v vs overlap %v — overlap changed the math",
+					r, i, syncRes[r].Params[i], overRes[r].Params[i])
+			}
+		}
+	}
+
+	// Every published snapshot: same rounds, same bytes.
+	for r := 0; r < servers; r++ {
+		if len(syncSnaps[r]) == 0 || len(syncSnaps[r]) != len(overSnaps[r]) {
+			t.Fatalf("node %d: %d sync snapshots vs %d overlap", r, len(syncSnaps[r]), len(overSnaps[r]))
+		}
+		for k := range syncSnaps[r] {
+			s, o := syncSnaps[r][k], overSnaps[r][k]
+			if s.Round != o.Round || s.Iter != o.Iter || len(s.Params) != len(o.Params) {
+				t.Fatalf("node %d snapshot %d: (round %d iter %d, %d params) vs (round %d iter %d, %d params)",
+					r, k, s.Round, s.Iter, len(s.Params), o.Round, o.Iter, len(o.Params))
+			}
+			for i := range s.Params {
+				if math.Float32bits(s.Params[i]) != math.Float32bits(o.Params[i]) {
+					t.Fatalf("node %d snapshot %d (round %d) param %d: sync %v vs overlap %v",
+						r, k, s.Round, i, s.Params[i], o.Params[i])
+				}
+			}
+		}
+	}
+}
+
 // TestTrainTCPValidation pins the config errors of the TCP plane.
 func TestTrainTCPValidation(t *testing.T) {
 	peers := []string{"127.0.0.1:7101", "127.0.0.1:7102"}

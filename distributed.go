@@ -69,6 +69,17 @@ type NodeConfig struct {
 	// global exchange before the update is skipped until the next
 	// τ_global boundary (0 → 2, negative → no retries).
 	ExchangeRetries int
+	// OverlapGlobal launches each global exchange asynchronously at the
+	// τ_global boundary and folds the completed sum in one iteration
+	// later, hiding the network round-trip behind computation. The
+	// trajectory stays bit-identical to the synchronous default (see
+	// core.TrainConfig.OverlapGlobal).
+	OverlapGlobal bool
+	// Segments is the collectives' pipelining factor: each per-link
+	// transfer is split into this many fixed-boundary segments so sends
+	// overlap receive+sum (0 → 4; see transport.Config.Segments).
+	// Bit-identity across participants holds for any value.
+	Segments int
 	// Chaos, when set, interposes a deterministic fault injector on every
 	// frame this process sends (tests and soaks only).
 	Chaos *chaos.Injector
@@ -78,20 +89,46 @@ type NodeConfig struct {
 
 // nodeExchanger adapts transport.Node to the core trainer's network
 // interface (core redeclares the round report so it never imports the
-// transport package).
+// transport package). It satisfies core.AsyncGlobalExchanger, so the
+// trainer's OverlapGlobal mode can launch rounds without blocking.
 type nodeExchanger struct{ n *transport.Node }
+
+func coreRound(r transport.Round) core.ExchangeRound {
+	return core.ExchangeRound{
+		Seq:          r.Seq,
+		Participants: r.Participants,
+		Restart:      r.Restart,
+		Aborted:      r.Aborted,
+	}
+}
 
 func (e nodeExchanger) AllReduce(buf []float32) (core.ExchangeRound, error) {
 	r, err := e.n.AllReduce(buf)
 	if err != nil {
 		return core.ExchangeRound{}, err
 	}
-	return core.ExchangeRound{
-		Seq:          r.Seq,
-		Participants: r.Participants,
-		Restart:      r.Restart,
-		Aborted:      r.Aborted,
-	}, nil
+	return coreRound(r), nil
+}
+
+func (e nodeExchanger) BeginAllReduce(buf []float32) (core.PendingExchange, error) {
+	p, err := e.n.BeginAllReduce(buf)
+	if err != nil {
+		return nil, err
+	}
+	return pendingRound{p}, nil
+}
+
+// pendingRound adapts transport.PendingRound to core.PendingExchange.
+type pendingRound struct{ p *transport.PendingRound }
+
+func (w pendingRound) Poll() bool { return w.p.Poll() }
+
+func (w pendingRound) Wait() (core.ExchangeRound, error) {
+	r, err := w.p.Wait()
+	if err != nil {
+		return core.ExchangeRound{}, err
+	}
+	return coreRound(r), nil
 }
 
 // snapshotHolder retains the latest published training snapshot and serves
@@ -228,6 +265,7 @@ func trainNodeTCP(cfg Config) (*Result, error) {
 		DialBackoff:    cfg.Node.DialBackoff,
 		RoundTimeout:   cfg.Node.RoundTimeout,
 		Quarantine:     cfg.Node.Quarantine,
+		Segments:       cfg.Node.Segments,
 		Chaos:          cfg.Node.Chaos,
 		Snapshot:       holder.checkpoint,
 		Logf:           cfg.Node.Logf,
@@ -292,6 +330,7 @@ func trainNodeTCP(cfg Config) (*Result, error) {
 
 		ExchangeRetries: cfg.Node.ExchangeRetries,
 		GlobalExchange:  nodeExchanger{node},
+		OverlapGlobal:   cfg.Node.OverlapGlobal,
 		InitModel:       initModel,
 		ShuffleSeed:     shuffleSeedFor(cfg.Seed, cfg.Node.Rank),
 	})

@@ -46,6 +46,24 @@ type ClusterNetBenchRow struct {
 	// per round, tree ≈ the full tensor).
 	WireBytesPerNode int64 `json:"wire_bytes_per_node"`
 
+	// Per-phase means, per round per node: time at the round barrier, in
+	// the reduce-scatter half (tree: reduce) and in the all-gather half
+	// (tree: broadcast).
+	BarrierUS       float64 `json:"barrier_us"`
+	ReduceScatterUS float64 `json:"reduce_scatter_us"`
+	AllGatherUS     float64 `json:"all_gather_us"`
+
+	// Overlap marks rows measured through the asynchronous BeginAllReduce
+	// path, with a computation window (the matching synchronous row's mean
+	// collective time) between launch and Wait — the τ_global overlap a
+	// training node sees. ExposedUS is the mean time per round the caller
+	// still blocked in Wait (the exchange cost the overlap failed to
+	// hide); HiddenPct is the share of exchange wall time that ran
+	// concurrently with the computation window.
+	Overlap   bool    `json:"overlap"`
+	ExposedUS float64 `json:"exposed_us"`
+	HiddenPct float64 `json:"hidden_pct"`
+
 	// PredictedUS maps each cluster.Presets() cost model (at this row's
 	// topology) to its AllReduceUS prediction for the same bytes/servers.
 	PredictedUS map[string]float64 `json:"predicted_us"`
@@ -83,19 +101,26 @@ func clusterNetSetup(quick bool) clusterNetEnv {
 
 // ClusterNetBench runs the real localhost all-reduce for every
 // (topology × tensor size) point and pairs each measurement with the
-// simulated predictions.
+// simulated predictions. Every point is measured twice: synchronously
+// (AllReduce blocks the caller for the whole round) and overlapped
+// (BeginAllReduce launches the round, a computation window equal to the
+// synchronous mean runs concurrently, then Wait folds the result) — the
+// pair shows how much of the exchange the async path hides behind one
+// iteration's compute.
 func ClusterNetBench(quick bool) []ClusterNetBenchRow {
 	env := clusterNetSetup(quick)
 	var rows []ClusterNetBenchRow
 	for _, tree := range []bool{false, true} {
 		for _, floats := range env.floats {
-			rows = append(rows, clusterNetPoint(env.servers, floats, env.rounds, tree))
+			sync := clusterNetPoint(env.servers, floats, env.rounds, tree, false, 0)
+			rows = append(rows, sync)
+			rows = append(rows, clusterNetPoint(env.servers, floats, env.rounds, tree, true, sync.CollectiveMeanUS))
 		}
 	}
 	return rows
 }
 
-func clusterNetPoint(k, floats, rounds int, tree bool) ClusterNetBenchRow {
+func clusterNetPoint(k, floats, rounds int, tree, overlap bool, computeUS float64) ClusterNetBenchRow {
 	lns := make([]net.Listener, k)
 	addrs := make([]string, k)
 	for i := range lns {
@@ -139,7 +164,9 @@ func clusterNetPoint(k, floats, rounds int, tree bool) ClusterNetBenchRow {
 		}
 	}
 
+	compute := time.Duration(computeUS * float64(time.Microsecond))
 	samples := make([]float64, 0, rounds)
+	exposed := make([]float64, 0, rounds)
 	for round := 0; round < rounds; round++ {
 		// Keep magnitudes bounded across rounds: every rank contributes 1s,
 		// so the sum is exactly k everywhere and we reset it each round.
@@ -149,12 +176,30 @@ func clusterNetPoint(k, floats, rounds int, tree bool) ClusterNetBenchRow {
 			}
 		}
 		res := make([]transport.Round, k)
+		blocked := make([]int64, k)
 		var rw sync.WaitGroup
 		for r := 0; r < k; r++ {
 			rw.Add(1)
 			go func(r int) {
 				defer rw.Done()
-				rr, err := nodes[r].AllReduce(bufs[r])
+				var rr transport.Round
+				var err error
+				if overlap {
+					// The training node's schedule: launch the exchange,
+					// run one compute window's worth of work against the
+					// old reference, then fold. Only the Wait is on the
+					// critical path.
+					var p *transport.PendingRound
+					p, err = nodes[r].BeginAllReduce(bufs[r])
+					if err == nil {
+						time.Sleep(compute)
+						w0 := time.Now()
+						rr, err = p.Wait()
+						blocked[r] = time.Since(w0).Nanoseconds()
+					}
+				} else {
+					rr, err = nodes[r].AllReduce(bufs[r])
+				}
 				if err != nil {
 					panic(err)
 				}
@@ -162,7 +207,7 @@ func clusterNetPoint(k, floats, rounds int, tree bool) ClusterNetBenchRow {
 			}(r)
 		}
 		rw.Wait()
-		var worst int64
+		var worst, worstBlocked int64
 		for r, rr := range res {
 			if rr.Aborted || rr.Participants != k {
 				panic(fmt.Sprintf("cluster-net bench: rank %d round %d: %+v", r, round, rr))
@@ -170,13 +215,23 @@ func clusterNetPoint(k, floats, rounds int, tree bool) ClusterNetBenchRow {
 			if rr.CollectiveNs > worst {
 				worst = rr.CollectiveNs
 			}
+			if blocked[r] > worstBlocked {
+				worstBlocked = blocked[r]
+			}
 		}
 		samples = append(samples, float64(worst)/1e3)
+		exposed = append(exposed, float64(worstBlocked)/1e3)
 	}
 
-	var wire int64
+	var wire, barrierNs, rsNs, agNs, hiddenNs, blockedNs int64
 	for _, n := range nodes {
-		wire += n.Stats().BytesSent
+		s := n.Stats()
+		wire += s.BytesSent
+		barrierNs += s.BarrierWaitNs
+		rsNs += s.ReduceScatterNs
+		agNs += s.AllGatherNs
+		hiddenNs += s.OverlapHiddenNs
+		blockedNs += s.OverlapBlockedNs
 	}
 	for _, n := range nodes {
 		n.Close()
@@ -189,6 +244,7 @@ func clusterNetPoint(k, floats, rounds int, tree bool) ClusterNetBenchRow {
 	}
 	mean /= float64(len(samples))
 
+	perRound := 1e3 * float64(k) * float64(rounds) // ns totals -> us per round per node
 	bytes := int64(floats) * 4
 	row := ClusterNetBenchRow{
 		Topology: "ring", Servers: k, Floats: floats, Bytes: bytes, Rounds: rounds,
@@ -196,10 +252,25 @@ func clusterNetPoint(k, floats, rounds int, tree bool) ClusterNetBenchRow {
 		CollectiveMeanUS: mean,
 		CollectiveMaxUS:  samples[len(samples)-1],
 		WireBytesPerNode: wire / int64(k),
+		BarrierUS:        float64(barrierNs) / perRound,
+		ReduceScatterUS:  float64(rsNs) / perRound,
+		AllGatherUS:      float64(agNs) / perRound,
+		Overlap:          overlap,
 		PredictedUS:      map[string]float64{},
 	}
 	if tree {
 		row.Topology = "tree"
+	}
+	if overlap {
+		sort.Float64s(exposed)
+		var expMean float64
+		for _, e := range exposed {
+			expMean += e
+		}
+		row.ExposedUS = expMean / float64(len(exposed))
+		if total := hiddenNs + blockedNs; total > 0 {
+			row.HiddenPct = 100 * float64(hiddenNs) / float64(total)
+		}
 	}
 	for _, ic := range cluster.Presets() {
 		ic.Tree = tree
@@ -219,20 +290,33 @@ func PrintClusterNetBench(w io.Writer, rows []ClusterNetBenchRow) {
 	}
 	sort.Strings(names)
 	fmt.Fprintf(w, "Real TCP all-reduce on localhost vs simulated cost models (%d servers)\n", rows[0].Servers)
-	fmt.Fprintf(w, "%5s %9s %9s %10s %10s", "topo", "floats", "MiB", "p50(us)", "mean(us)")
+	fmt.Fprintf(w, "%5s %8s %9s %7s %9s %9s %8s %8s %8s %9s %7s",
+		"topo", "mode", "floats", "MiB", "p50(us)", "mean(us)", "rs(us)", "ag(us)", "bar(us)", "expos(us)", "hidden")
 	for _, name := range names {
 		fmt.Fprintf(w, " %10s", name)
 	}
 	fmt.Fprintln(w)
 	for _, row := range rows {
-		fmt.Fprintf(w, "%5s %9d %9.2f %10.0f %10.0f",
-			row.Topology, row.Floats, float64(row.Bytes)/(1<<20),
-			row.CollectiveP50US, row.CollectiveMeanUS)
+		mode, exposed, hidden := "sync", "-", "-"
+		if row.Overlap {
+			mode = "overlap"
+			exposed = fmt.Sprintf("%.0f", row.ExposedUS)
+			hidden = fmt.Sprintf("%.0f%%", row.HiddenPct)
+		}
+		fmt.Fprintf(w, "%5s %8s %9d %7.2f %9.0f %9.0f %8.0f %8.0f %8.0f %9s %7s",
+			row.Topology, mode, row.Floats, float64(row.Bytes)/(1<<20),
+			row.CollectiveP50US, row.CollectiveMeanUS,
+			row.ReduceScatterUS, row.AllGatherUS, row.BarrierUS,
+			exposed, hidden)
 		for _, name := range names {
 			fmt.Fprintf(w, " %10.0f", row.PredictedUS[name])
 		}
 		fmt.Fprintln(w)
 	}
+	fmt.Fprintln(w, "rs/ag/bar: per-round per-node reduce-scatter (tree: reduce), all-gather (tree:")
+	fmt.Fprintln(w, "broadcast) and barrier-wait time; overlap rows launch the round asynchronously,")
+	fmt.Fprintln(w, "run a compute window equal to the sync row's mean, then Wait — expos(us) is the")
+	fmt.Fprintln(w, "exchange time left on the critical path, hidden the share absorbed by compute.")
 	fmt.Fprintln(w, "predicted columns are the simulated Interconnect's AllReduceUS for the modelled NIC")
 }
 

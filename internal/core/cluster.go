@@ -28,6 +28,14 @@ type ClusterSMAConfig struct {
 	// Restart and re-derives z, so a missed attempt never corrupts state —
 	// retries just keep the averaging schedule on cadence under faults.
 	ExchangeRetries int
+	// OverlapGlobal, with an exchanger that supports AsyncGlobalExchanger,
+	// launches the global all-reduce at the τ_global boundary and keeps
+	// local iterations running while the sum is in flight; the completed
+	// sum is folded in at the next deterministic boundary every rank
+	// reaches identically (see DistClusterSMA.Drain). Ignored by the
+	// in-process ClusterSMA (its exchange is a memory copy) and by
+	// exchangers without an asynchronous path.
+	OverlapGlobal bool
 }
 
 // ClusterSMA generalises the hierarchical SMA of §3.3 by one level: the

@@ -32,6 +32,24 @@ type GlobalExchanger interface {
 	AllReduce(buf []float32) (ExchangeRound, error)
 }
 
+// PendingExchange is an in-flight asynchronous global exchange: Poll
+// reports completion without blocking, Wait blocks for the result. The
+// buffer handed to BeginAllReduce belongs to the exchanger until Wait
+// returns.
+type PendingExchange interface {
+	Poll() bool
+	Wait() (ExchangeRound, error)
+}
+
+// AsyncGlobalExchanger is implemented by exchangers that can run the
+// all-reduce in the background while the caller keeps computing — the
+// transport's non-blocking round API. A completed asynchronous round is
+// byte-for-byte the synchronous round's result.
+type AsyncGlobalExchanger interface {
+	GlobalExchanger
+	BeginAllReduce(buf []float32) (PendingExchange, error)
+}
+
 // DistClusterSMA is the multi-process form of ClusterSMA: this process
 // runs ONE server's learners (a flat intra-server SMA), and the
 // inter-server tier exchanges the server reference model over a real
@@ -61,6 +79,13 @@ type DistClusterSMA struct {
 	sma *SMA // this server's intra-server tier
 	ex  GlobalExchanger
 
+	// async is non-nil when OverlapGlobal is on and the exchanger supports
+	// it: the τ_global boundary then launches the round and keeps
+	// training; pending is the in-flight handle until the next fold
+	// boundary (see Drain).
+	async   AsyncGlobalExchanger
+	pending PendingExchange
+
 	z, zPrev []float32 // cluster average model, replicated across nodes
 	buf      []float32 // all-reduce scratch
 	state    []bool
@@ -70,10 +95,11 @@ type DistClusterSMA struct {
 	iter       int
 	localSyncs int
 
-	rounds  int64 // successful global exchanges
-	aborted int64 // aborted collectives observed (including retried ones)
-	retried int64 // exchanges rescued by a retry after an abort
-	lastRnd ExchangeRound
+	rounds     int64 // successful global exchanges
+	aborted    int64 // aborted collectives observed (including retried ones)
+	retried    int64 // exchanges rescued by a retry after an abort
+	overlapped int64 // exchanges launched asynchronously
+	lastRnd    ExchangeRound
 }
 
 // NewDistClusterSMA creates the optimiser for this server's k local
@@ -103,6 +129,14 @@ func NewDistClusterSMA(cfg ClusterSMAConfig, w0 []float32, k int, ex GlobalExcha
 		buf:    make([]float32, len(w0)),
 		alphaG: cfg.AlphaGlobal,
 		muG:    muG,
+	}
+	if cfg.OverlapGlobal {
+		// Degrade silently when the exchanger has no asynchronous path:
+		// the synchronous exchange computes the identical result, just
+		// without hiding it behind computation.
+		if a, ok := ex.(AsyncGlobalExchanger); ok {
+			d.async = a
+		}
 	}
 	if len(cfg.StateRanges) > 0 {
 		d.state = make([]bool, len(w0))
@@ -140,9 +174,24 @@ func (d *DistClusterSMA) RetriedExchanges() int64 { return d.retried }
 // LastRound returns the most recent exchange's report.
 func (d *DistClusterSMA) LastRound() ExchangeRound { return d.lastRnd }
 
+// OverlappedExchanges returns the number of exchanges launched
+// asynchronously (OverlapGlobal with an async-capable exchanger).
+func (d *DistClusterSMA) OverlappedExchanges() int64 { return d.overlapped }
+
 // Step performs one local iteration, and on every TauGlobal-th local
 // synchronisation runs the cross-server exchange over the network.
+//
+// With OverlapGlobal the boundary only *launches* the round: the exchange
+// proceeds on the transport's exchange goroutine while the next
+// iteration's forward/backward passes run, and the completed sum is folded
+// in at Step's entry one iteration later (or at an earlier snapshot /
+// evaluation boundary — see Drain). Between launch and fold nothing reads
+// or writes the optimiser state the fold touches — the intervening
+// computation only reads replica weights and writes gradients — so the
+// folded state is bit-for-bit the synchronous path's, merely computed
+// while the network round-trip was hidden behind useful work.
 func (d *DistClusterSMA) Step(ws, gs [][]float32) {
+	d.Drain()
 	d.iter++
 	d.sma.Step(ws, gs)
 	if d.iter%d.cfg.Tau != 0 {
@@ -152,25 +201,83 @@ func (d *DistClusterSMA) Step(ws, gs [][]float32) {
 	if d.localSyncs%d.cfg.TauGlobal != 0 {
 		return
 	}
-	d.exchange()
+	if d.async != nil {
+		d.launch()
+	} else {
+		d.exchangeFrom(0)
+	}
 }
 
-// exchange runs one global round: all-reduce the server reference model,
-// then apply the replicated z update (or the restart re-derivation). A
-// fault-aborted collective is retried a bounded number of times — the
-// post-churn round carries Restart and re-derives z, so a retry can never
-// double-apply anything; only after the budget is spent is the update
-// skipped until the next τ_global boundary.
-func (d *DistClusterSMA) exchange() {
+// launch starts the asynchronous global round: snapshot the reference
+// model into the scratch buffer and hand it to the exchange goroutine.
+// The reference model itself is not mutated again until the fold, so the
+// bytes summed are exactly those the synchronous exchange would have sent.
+func (d *DistClusterSMA) launch() {
+	copy(d.buf, d.sma.Average())
+	p, err := d.async.BeginAllReduce(d.buf)
+	if err != nil {
+		// Transport closed (shutdown); train on locally.
+		d.aborted++
+		return
+	}
+	d.overlapped++
+	d.pending = p
+}
+
+// Drain folds any in-flight asynchronous exchange into z, blocking until
+// the collective completes. It runs wherever the synchronous path would
+// already have folded before state is read: at the next Step's entry,
+// before a snapshot is published, before evaluation, and before a restart.
+// Every rank reaches these boundaries at the same logical point of the
+// lockstep schedule, so z stays bit-replicated across the cluster. A
+// fault-aborted round is retried synchronously here under the ordinary
+// retry budget — the reference model is unchanged since launch, so the
+// retry sums the same bytes the aborted attempt carried.
+func (d *DistClusterSMA) Drain() {
+	p := d.pending
+	if p == nil {
+		return
+	}
+	d.pending = nil
+	rr, err := p.Wait()
+	if err != nil {
+		d.aborted++
+		return
+	}
+	d.lastRnd = rr
+	if rr.Aborted || rr.Participants < 1 {
+		d.aborted++
+		if d.retryBudget() > 0 {
+			d.exchangeFrom(1)
+		}
+		return
+	}
+	d.apply(rr)
+}
+
+func (d *DistClusterSMA) retryBudget() int {
 	retries := d.cfg.ExchangeRetries
 	if retries == 0 {
 		retries = 2
 	} else if retries < 0 {
 		retries = 0
 	}
+	return retries
+}
+
+// exchangeFrom runs one global round synchronously, starting at the given
+// attempt number: all-reduce the server reference model, then apply the
+// replicated z update (or the restart re-derivation). A fault-aborted
+// collective is retried a bounded number of times — the post-churn round
+// carries Restart and re-derives z, so a retry can never double-apply
+// anything; only after the budget is spent is the update skipped until the
+// next τ_global boundary. Drain enters at attempt 1, charging the aborted
+// asynchronous attempt against the same budget.
+func (d *DistClusterSMA) exchangeFrom(attempt int) {
+	retries := d.retryBudget()
 	ref := d.sma.Average()
 	var r ExchangeRound
-	for attempt := 0; ; attempt++ {
+	for ; ; attempt++ {
 		copy(d.buf, ref)
 		rr, err := d.ex.AllReduce(d.buf)
 		if err != nil {
@@ -192,6 +299,13 @@ func (d *DistClusterSMA) exchange() {
 		r = rr
 		break
 	}
+	d.apply(r)
+}
+
+// apply folds a completed round's consensus sum into the cluster average
+// model and the local reference model.
+func (d *DistClusterSMA) apply(r ExchangeRound) {
+	ref := d.sma.Average()
 	n := float32(r.Participants)
 	alphaG := d.alphaG
 	if alphaG == 0 {
@@ -252,6 +366,7 @@ func (d *DistClusterSMA) Restart(ws [][]float32) {
 	if len(ws) != d.sma.K() {
 		panic(fmt.Sprintf("core: DistClusterSMA.Restart with %d replicas, want %d", len(ws), d.sma.K()))
 	}
+	d.Drain()
 	copy(d.zPrev, d.z)
 	tensor.Copy(d.sma.z, d.z)
 	tensor.Copy(d.sma.zPrev, d.z)

@@ -71,6 +71,32 @@ func (h *memHandle) AllReduce(buf []float32) (ExchangeRound, error) {
 	return ExchangeRound{Seq: my + 1, Participants: m.n, Restart: restart, Aborted: abort}, nil
 }
 
+// memPending adapts memHandle.AllReduce to the async API the same way the
+// TCP transport's exchange goroutine does: the blocking collective runs on
+// its own goroutine and the handle resolves when it returns.
+type memPending struct {
+	done chan struct{}
+	r    ExchangeRound
+	err  error
+}
+
+func (p *memPending) Poll() bool {
+	select {
+	case <-p.done:
+		return true
+	default:
+		return false
+	}
+}
+
+func (p *memPending) Wait() (ExchangeRound, error) { <-p.done; return p.r, p.err }
+
+func (h *memHandle) BeginAllReduce(buf []float32) (PendingExchange, error) {
+	p := &memPending{done: make(chan struct{})}
+	go func() { p.r, p.err = h.AllReduce(buf); close(p.done) }()
+	return p, nil
+}
+
 // stepDist drives n DistClusterSMA nodes through one iteration each,
 // concurrently (the exchanger barriers them on τ_global boundaries).
 func stepDist(nodes []*DistClusterSMA, ws, gs [][][]float32) {
@@ -270,6 +296,77 @@ func TestDistClusterRetryRescuesExchange(t *testing.T) {
 	if d.Rounds() != 2 || d.AbortedRounds() != 1 || d.RetriedExchanges() != 1 {
 		t.Fatalf("counters: rounds %d aborted %d retried %d, want 2/1/1",
 			d.Rounds(), d.AbortedRounds(), d.RetriedExchanges())
+	}
+}
+
+// TestDistClusterOverlapBitIdentical pins the tentpole invariant at the
+// optimiser level: the SAME two-server gradient schedule, run once with
+// synchronous exchanges and once with OverlapGlobal, must produce
+// bit-identical z trajectories. Between launch and fold only local
+// iterations run, and they never read or write z, so folding one Step
+// later consumes exactly the bytes the synchronous path would have.
+func TestDistClusterOverlapBitIdentical(t *testing.T) {
+	const servers, perServer, dim = 2, 2, 32
+	mk := func(overlap bool) ([]*DistClusterSMA, [][][]float32, [][][]float32) {
+		cfg := ClusterSMAConfig{
+			SMAConfig: SMAConfig{
+				LearnRate: 0.05, Momentum: 0.9, LocalMomentum: 0.6,
+				Tau: 2, StateRanges: [][2]int{{28, 32}},
+			},
+			TauGlobal:     2,
+			OverlapGlobal: overlap,
+		}
+		ex := newMemExchange(servers)
+		nodes := make([]*DistClusterSMA, servers)
+		ws := make([][][]float32, servers)
+		gs := make([][][]float32, servers)
+		for s := 0; s < servers; s++ {
+			w, g, w0 := makeReplicas(perServer, dim)
+			ws[s], gs[s] = w, g
+			nodes[s] = NewDistClusterSMA(cfg, w0, perServer, ex.handle(s))
+		}
+		return nodes, ws, gs
+	}
+
+	syncN, syncW, syncG := mk(false)
+	overN, overW, overG := mk(true)
+
+	for iter := 1; iter <= 16; iter++ {
+		for s := 0; s < servers; s++ {
+			fakeGrads(syncG[s], iter*servers+s)
+			for j := range overG[s] {
+				copy(overG[s][j], syncG[s][j])
+			}
+		}
+		stepDist(syncN, syncW, syncG)
+		stepDist(overN, overW, overG)
+		// The overlapped node may still have the round in flight — fold it
+		// at a deterministic boundary before comparing, exactly as the
+		// trainer does before evaluating or publishing.
+		for s := 0; s < servers; s++ {
+			overN[s].Drain()
+		}
+		for s := 0; s < servers; s++ {
+			if d := tensor.MaxAbsDiff(syncN[s].Average(), overN[s].Average()); d != 0 {
+				t.Fatalf("iter %d server %d: overlapped z off the synchronous run by %v", iter, s, d)
+			}
+			if d := tensor.MaxAbsDiff(syncN[s].Ref(), overN[s].Ref()); d != 0 {
+				t.Fatalf("iter %d server %d: reference model diverged by %v", iter, s, d)
+			}
+			for j := range syncW[s] {
+				if d := tensor.MaxAbsDiff(syncW[s][j], overW[s][j]); d != 0 {
+					t.Fatalf("iter %d replica %d/%d diverged by %v", iter, s, j, d)
+				}
+			}
+		}
+	}
+	for s := 0; s < servers; s++ {
+		if overN[s].OverlappedExchanges() < 1 {
+			t.Fatalf("server %d never overlapped an exchange", s)
+		}
+		if syncN[s].Rounds() != overN[s].Rounds() {
+			t.Fatalf("round counts differ: sync %d vs overlap %d", syncN[s].Rounds(), overN[s].Rounds())
+		}
 	}
 }
 

@@ -75,6 +75,11 @@ func (sp *snapshotPublisher) hook(opt stepper) func(round int) {
 // at quiescence); the model copy is the only non-trivial work, so a
 // publication costs one memcpy and publishing every K rounds amortises it.
 func (sp *snapshotPublisher) publish(opt stepper, round int) {
+	// An overlapped global exchange launched by this round's Step is folded
+	// before the model is copied: the Publish window runs on the same
+	// goroutine as Step under lockstep, so the published bytes match the
+	// synchronous path's exactly.
+	drainExchange(opt)
 	s := Snapshot{
 		Model: sp.cfg.Model,
 		Round: round,

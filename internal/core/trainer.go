@@ -181,6 +181,15 @@ type TrainConfig struct {
 	// then describes the cluster size for reporting only — each process
 	// contributes one server.
 	GlobalExchange GlobalExchanger
+	// OverlapGlobal launches each global exchange asynchronously at the
+	// τ_global boundary and folds the completed sum in one iteration
+	// later, hiding the network round-trip behind the next iteration's
+	// forward/backward computation. The trajectory is bit-identical to
+	// the synchronous exchange (the fold happens before any state the
+	// exchange touches is read again; see DistClusterSMA.Drain). Requires
+	// GlobalExchange; exchangers without an asynchronous path fall back
+	// to the synchronous round.
+	OverlapGlobal bool
 	// InitModel, if non-nil, overrides the seed-derived initial model w0
 	// (it must match the model's parameter count). A node rejoining a
 	// cluster warm-starts from a peer's snapshot this way.
@@ -276,6 +285,9 @@ func (c *TrainConfig) validate() {
 	}
 	if c.InitModel != nil && c.GlobalExchange == nil {
 		panic("core: InitModel is only meaningful with a GlobalExchange (snapshot-seeded rejoin)")
+	}
+	if c.OverlapGlobal && c.GlobalExchange == nil {
+		panic("core: OverlapGlobal requires a GlobalExchange (the simulated cluster plane has nothing to overlap)")
 	}
 }
 
@@ -500,6 +512,7 @@ func buildOpt(cfg *TrainConfig, w0 []float32, k int, stateRanges [][2]int) stepp
 			return NewDistClusterSMA(ClusterSMAConfig{
 				SMAConfig: smaCfg, TauGlobal: cfg.TauGlobal,
 				ExchangeRetries: cfg.ExchangeRetries,
+				OverlapGlobal:   cfg.OverlapGlobal,
 			}, w0, k, cfg.GlobalExchange)
 		}
 		// Contiguous learner partition: server s owns g×m learners; within
@@ -669,7 +682,10 @@ func Train(cfg TrainConfig) *Result {
 		res.Wall = append(res.Wall, wp)
 
 		// Evaluation runs at quiescence (the epoch join), so it too gets
-		// the whole kernel budget.
+		// the whole kernel budget. An overlapped global exchange launched
+		// by the epoch's last iteration is folded first, so the model read
+		// here matches the synchronous path's byte for byte.
+		drainExchange(opt)
 		prevL := tensor.SetActiveLearners(1)
 		acc := evaluate(e.evalNet, centralModel(opt), e.evalGrad, test, e.evalBatch, e.es)
 		tensor.SetActiveLearners(prevL)
@@ -718,6 +734,7 @@ func Train(cfg TrainConfig) *Result {
 	}
 	res.K = k
 	res.FinalAccuracy = metrics.BestAccuracy(res.Series)
+	drainExchange(opt)
 	res.Model = append([]float32(nil), centralModel(opt)...)
 	res.RuntimeStats = rt.Stats()
 	res.SeqLog = rt.SeqLog()
@@ -784,6 +801,15 @@ func restart(s stepper, ws [][]float32) {
 		o.Restart(ws)
 	case *DistClusterSMA:
 		o.Restart(ws)
+	}
+}
+
+// drainExchange folds any in-flight overlapped global exchange before the
+// central model is read (evaluation, snapshots, the final result). A no-op
+// for every optimiser but DistClusterSMA with OverlapGlobal.
+func drainExchange(s stepper) {
+	if d, ok := s.(*DistClusterSMA); ok {
+		d.Drain()
 	}
 }
 

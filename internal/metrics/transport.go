@@ -44,4 +44,19 @@ type TransportStats struct {
 	// CollectiveMean isolates the data phase — the quantity the simulated
 	// interconnect's AllReduceUS predicts.
 	CollectiveMean time.Duration `json:"collective_mean_ns"`
+
+	// Per-phase totals across all rounds: time at the round barrier, in
+	// the reduce-scatter half (tree: reduce toward the root), and in the
+	// all-gather half (tree: broadcast down).
+	BarrierWaitNs   int64 `json:"barrier_wait_ns"`
+	ReduceScatterNs int64 `json:"reduce_scatter_ns"`
+	AllGatherNs     int64 `json:"all_gather_ns"`
+
+	// Asynchronous (overlapped) rounds: how many ran through
+	// BeginAllReduce, how much of their wall time proceeded concurrently
+	// with computation (hidden), and how much still stalled the caller in
+	// Wait (blocked — the exposed cost of the exchange).
+	AsyncRounds      int64 `json:"async_rounds"`
+	OverlapHiddenNs  int64 `json:"overlap_hidden_ns"`
+	OverlapBlockedNs int64 `json:"overlap_blocked_ns"`
 }

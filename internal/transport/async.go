@@ -1,0 +1,110 @@
+package transport
+
+import (
+	"sync"
+	"time"
+)
+
+// PendingRound is a handle on an all-reduce running asynchronously on the
+// node's exchange goroutine. The caller keeps computing against its own
+// state while the collective proceeds; buf must not be touched until Wait
+// returns. Exactly the synchronous AllReduce runs underneath — same
+// barrier, same segmented collective, same abort semantics — so a
+// completed asynchronous round is indistinguishable from a synchronous
+// one, byte for byte.
+type PendingRound struct {
+	n     *Node
+	buf   []float32
+	begun time.Time
+
+	done     chan struct{}
+	finished time.Time
+	r        Round
+	err      error
+
+	statOnce sync.Once
+}
+
+// BeginAllReduce starts an asynchronous all-reduce of buf across the live
+// cluster and returns immediately. Rounds are serialised on one exchange
+// goroutine per node (started lazily on the first call), so callers that
+// overlap one round per τ_global boundary never queue. Ownership of buf
+// transfers to the transport until Wait returns.
+func (n *Node) BeginAllReduce(buf []float32) (*PendingRound, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if !n.exchStarted {
+		n.exchStarted = true
+		n.wg.Add(1)
+		go n.exchangeLoop()
+	}
+	n.mu.Unlock()
+	p := &PendingRound{n: n, buf: buf, begun: time.Now(), done: make(chan struct{})}
+	// exchCh is unbuffered: the handle is either picked up by the exchange
+	// goroutine or refused on shutdown — it can never strand in a queue
+	// with nobody left to complete it.
+	select {
+	case n.exchCh <- p:
+	case <-n.exchStop:
+		return nil, ErrClosed
+	}
+	n.stats.asyncRounds.Add(1)
+	return p, nil
+}
+
+// Poll reports whether the round has completed (Wait would not block).
+func (p *PendingRound) Poll() bool {
+	select {
+	case <-p.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Wait blocks until the round completes and returns its report, exactly as
+// the synchronous AllReduce would have. The time Wait spends blocked is
+// the exchange cost the overlap failed to hide; the remainder of the
+// round's duration ran concurrently with the caller's computation and is
+// accounted as hidden in the node's stats.
+func (p *PendingRound) Wait() (Round, error) {
+	w0 := time.Now()
+	<-p.done
+	p.statOnce.Do(func() {
+		blocked := time.Since(w0).Nanoseconds()
+		p.n.stats.overlapBlockedNs.Add(blocked)
+		if hidden := p.finished.Sub(p.begun).Nanoseconds() - blocked; hidden > 0 {
+			p.n.stats.overlapHiddenNs.Add(hidden)
+		}
+	})
+	return p.r, p.err
+}
+
+// exchangeLoop is the per-node exchange goroutine: it drives queued
+// asynchronous rounds through the ordinary synchronous path one at a time,
+// and on shutdown fails any round still queued with ErrClosed.
+func (n *Node) exchangeLoop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case p := <-n.exchCh:
+			p.r, p.err = n.AllReduce(p.buf)
+			p.finished = time.Now()
+			close(p.done)
+		case <-n.exchStop:
+			for {
+				select {
+				case p := <-n.exchCh:
+					p.err = ErrClosed
+					p.finished = time.Now()
+					close(p.done)
+				default:
+					return
+				}
+			}
+		}
+	}
+}

@@ -97,6 +97,98 @@ func TestFrozenPeerWatchdogAborts(t *testing.T) {
 	checkSums(t, bufs4, want4)
 }
 
+// TestFrozenPeerWatchdogAbortsOverlap re-runs the frozen-peer scenario
+// through the asynchronous round API with aggressive pipelining: the
+// watchdog is armed per segment, so a peer that freezes mid-collective —
+// after some segments of a transfer have already arrived — must still
+// trip the stall's direct victim within its RoundTimeout, fan the abort
+// out, and leave the frozen rank quarantined. The launching goroutines
+// meanwhile sit in Wait, which must return the aborted round rather than
+// hang.
+func TestFrozenPeerWatchdogAbortsOverlap(t *testing.T) {
+	inj := chaos.NewInjector(chaos.Config{Seed: 5})
+	nodes := startCluster(t, 3, false, func(rank int, cfg *Config) {
+		cfg.Chaos = inj
+		cfg.Segments = 8
+		cfg.Quarantine = 30 * time.Second
+		cfg.RoundTimeout = 1200 * time.Millisecond
+		if rank == 0 {
+			cfg.RoundTimeout = 300 * time.Millisecond
+		}
+	})
+
+	// A healthy overlapped round first: per-segment watchdogs must not
+	// misfire while the collective is pipelined.
+	bufs, want := rankBufs(3, 1<<14)
+	pend := make([]*PendingRound, 3)
+	for i, n := range nodes {
+		p, err := n.BeginAllReduce(bufs[i])
+		if err != nil {
+			t.Fatalf("rank %d BeginAllReduce: %v", i, err)
+		}
+		pend[i] = p
+	}
+	for i, p := range pend {
+		if r, err := p.Wait(); err != nil || r.Aborted {
+			t.Fatalf("rank %d healthy overlapped round = %+v, err %v", i, r, err)
+		}
+	}
+	checkSums(t, bufs, want)
+
+	inj.Freeze(2)
+
+	bufs2, _ := rankBufs(3, 1<<14)
+	for i, n := range nodes {
+		p, err := n.BeginAllReduce(bufs2[i])
+		if err != nil {
+			t.Fatalf("rank %d BeginAllReduce: %v", i, err)
+		}
+		pend[i] = p
+	}
+	rounds := make([]Round, 3)
+	done := make(chan int, 3)
+	for i, p := range pend {
+		go func(i int, p *PendingRound) {
+			rounds[i], _ = p.Wait()
+			done <- i
+		}(i, p)
+	}
+	deadline := time.After(10 * time.Second)
+	for i := 0; i < 3; i++ {
+		select {
+		case <-done:
+		case <-deadline:
+			t.Fatal("overlapped round deadlocked on a frozen peer: watchdog never fired")
+		}
+	}
+	if !rounds[0].Aborted || !rounds[1].Aborted {
+		t.Fatalf("victim rounds = %+v, %+v; want both aborted", rounds[0], rounds[1])
+	}
+	if s := nodes[0].Stats(); s.WatchdogFires < 1 || s.Quarantines < 1 {
+		t.Fatalf("rank 0 (direct victim) stats: %+v, want watchdog fire + quarantine", s)
+	}
+	if s := nodes[1].Stats(); s.Quarantines < 1 {
+		t.Fatalf("rank 1 (accused) stats: %+v, want >=1 quarantine", s)
+	}
+
+	// Recovery without the quarantined rank, still through the async API.
+	bufs3, want3 := rankBufs(2, 1<<10)
+	for i, n := range nodes[:2] {
+		p, err := n.BeginAllReduce(bufs3[i])
+		if err != nil {
+			t.Fatalf("rank %d recovery BeginAllReduce: %v", i, err)
+		}
+		pend[i] = p
+	}
+	for i, p := range pend[:2] {
+		r, err := p.Wait()
+		if err != nil || r.Aborted || r.Participants != 2 || !r.Restart {
+			t.Fatalf("rank %d recovery round = %+v, err %v, want 2-member restart", i, r, err)
+		}
+	}
+	checkSums(t, bufs3, want3)
+}
+
 // TestCorruptingPeerQuarantined runs a round in which every Data frame is
 // bit-flipped on the wire. The CRC must keep the poison out of the sums,
 // classify the link as corrupt (errWire), quarantine the sender, and —

@@ -47,6 +47,7 @@ func (n *Node) AllReduce(buf []float32) (Round, error) {
 	view := ranksOf(bm.view)
 	r := Round{Seq: bm.round, Participants: len(view), Restart: bm.restart}
 	r.WaitNs = time.Since(start).Nanoseconds()
+	n.stats.barrierNs.Add(r.WaitNs)
 	if bm.restart {
 		n.stats.restartRounds.Add(1)
 	}
@@ -253,26 +254,30 @@ func (n *Node) abortRoundPeers(bm *beginMsg, view []int, suspects uint64) {
 	}
 }
 
-// sendData ships one collective chunk; a write failure aborts the round.
-func (n *Node) sendData(p *peer, round uint64, phase byte, step int, chunk []float32) error {
-	h := &header{Type: frameData, Sender: uint32(n.rank), Round: round, Aux: dataAux(phase, step)}
+// sendData ships one collective chunk segment; a write failure aborts the
+// round.
+func (n *Node) sendData(p *peer, round uint64, phase byte, seg, step int, chunk []float32) error {
+	h := &header{Type: frameData, Sender: uint32(n.rank), Round: round, Aux: dataAux(phase, seg, step)}
 	if err := p.send(n, h, f32Bytes(chunk), n.cfg.WriteTimeout); err != nil {
 		return errAborted
 	}
 	return nil
 }
 
-// recvData waits for the addressed chunk from p, dropping stale frames
-// from earlier (aborted) rounds. It gives up when p dies, the round is
-// aborted by another participant, or the node closes. The returned buffer
-// is pool-owned.
-func (n *Node) recvData(p *peer, round uint64, phase byte, step int, want int) ([]float32, error) {
-	// The watchdog arms once per expected chunk. Heartbeats keep a frozen
+// recvData waits for the addressed chunk segment from p, dropping stale
+// frames from earlier (aborted) rounds. It gives up when p dies, the round
+// is aborted by another participant, or the node closes. The returned
+// buffer is pool-owned.
+func (n *Node) recvData(p *peer, round uint64, phase byte, seg, step int, want int) ([]float32, error) {
+	// The watchdog arms once per expected segment. Heartbeats keep a frozen
 	// peer alive to the failure detector forever; this timer is what turns
 	// "alive but silent inside the collective" into an abort instead of a
-	// cluster-wide hang. The stall's direct victim fires first (downstream
-	// ranks hear the Abort well before their own timers expire), so the
-	// suspect it names is the actual stalled peer, not a healthy one.
+	// cluster-wide hang — and arming it per segment means a peer that
+	// freezes mid-pipeline (some segments delivered, the rest never coming)
+	// is caught just as fast as one that never starts. The stall's direct
+	// victim fires first (downstream ranks hear the Abort well before their
+	// own timers expire), so the suspect it names is the actual stalled
+	// peer, not a healthy one.
 	watchdog := time.NewTimer(n.cfg.RoundTimeout)
 	defer watchdog.Stop()
 	// take classifies one mailbox message: stale frames from earlier rounds
@@ -285,7 +290,7 @@ func (n *Node) recvData(p *peer, round uint64, phase byte, step int, want int) (
 			n.pool.Put(m.buf)
 			return nil, false, nil
 		}
-		if m.round != round || m.phase != phase || m.step != step || len(m.buf) != want {
+		if m.round != round || m.phase != phase || m.seg != seg || m.step != step || len(m.buf) != want {
 			n.pool.Put(m.buf)
 			return nil, true, errAborted
 		}
@@ -336,6 +341,54 @@ func (n *Node) recvData(p *peer, round uint64, phase byte, step int, want int) (
 	}
 }
 
+// segBounds returns segment j of the half-open range [lo,hi) split into S
+// fixed parts: a pure function of the range, so every participant derives
+// the same boundaries and skips the same zero-length segments. Degenerate
+// chunks (len(buf) < k makes some ring chunks empty) fall out for free —
+// all their segments are empty, so no frames are emitted at all.
+func segBounds(lo, hi, j, S int) (int, int) {
+	span := hi - lo
+	return lo + j*span/S, lo + (j+1)*span/S
+}
+
+// ringStep is one pipelined ring step: the send-chunk's segments go out
+// interleaved with receive+reduce of the recv-chunk's, so segment j is on
+// the wire while segment j−1 is being summed — the socket never idles
+// during addInto. Segment boundaries are fixed by the chunk range alone
+// and addInto is element-wise, so the per-element reduction order (and
+// with it cross-participant bit-identity) is exactly the unsegmented
+// ring's for any segment count.
+func (n *Node) ringStep(next, prev *peer, round uint64, phase byte, s int, buf []float32, sendLo, sendHi, recvLo, recvHi int, reduce bool) error {
+	S := n.cfg.Segments
+	for j := 0; j <= S; j++ {
+		if j < S {
+			lo, hi := segBounds(sendLo, sendHi, j, S)
+			if hi > lo {
+				if err := n.sendData(next, round, phase, j, s, buf[lo:hi]); err != nil {
+					return err
+				}
+			}
+		}
+		if j > 0 {
+			lo, hi := segBounds(recvLo, recvHi, j-1, S)
+			if hi == lo {
+				continue
+			}
+			in, err := n.recvData(prev, round, phase, j-1, s, hi-lo)
+			if err != nil {
+				return err
+			}
+			if reduce {
+				addInto(buf[lo:hi], in)
+			} else {
+				copy(buf[lo:hi], in)
+			}
+			n.pool.Put(in)
+		}
+	}
+	return nil
+}
+
 // ringAllReduce runs the bandwidth-optimal ring: k−1 reduce-scatter steps
 // in which each node accumulates one chunk, then k−1 all-gather steps that
 // circulate the reduced chunks verbatim. Each chunk is summed at exactly
@@ -347,86 +400,153 @@ func (n *Node) ringAllReduce(bm *beginMsg, view []int, buf []float32) error {
 	prev := n.peers[view[(me-1+k)%k]]
 	bounds := func(c int) (int, int) { return c * len(buf) / k, (c + 1) * len(buf) / k }
 
+	rs := time.Now()
 	for s := 0; s < k-1; s++ {
-		lo, hi := bounds((me - s + k) % k)
-		if err := n.sendData(next, bm.round, phaseReduceScatter, s, buf[lo:hi]); err != nil {
+		sendLo, sendHi := bounds((me - s + k) % k)
+		recvLo, recvHi := bounds((me - s - 1 + k) % k)
+		if err := n.ringStep(next, prev, bm.round, phaseReduceScatter, s, buf, sendLo, sendHi, recvLo, recvHi, true); err != nil {
 			return err
 		}
-		lo, hi = bounds((me - s - 1 + k) % k)
-		in, err := n.recvData(prev, bm.round, phaseReduceScatter, s, hi-lo)
-		if err != nil {
-			return err
-		}
-		addInto(buf[lo:hi], in)
-		n.pool.Put(in)
 	}
+	n.stats.reduceScatterNs.Add(time.Since(rs).Nanoseconds())
+	ag := time.Now()
 	for s := 0; s < k-1; s++ {
-		lo, hi := bounds((me + 1 - s + k) % k)
-		if err := n.sendData(next, bm.round, phaseAllGather, s, buf[lo:hi]); err != nil {
+		sendLo, sendHi := bounds((me + 1 - s + k) % k)
+		recvLo, recvHi := bounds((me - s + k) % k)
+		if err := n.ringStep(next, prev, bm.round, phaseAllGather, s, buf, sendLo, sendHi, recvLo, recvHi, false); err != nil {
 			return err
 		}
-		lo, hi = bounds((me - s + k) % k)
-		in, err := n.recvData(prev, bm.round, phaseAllGather, s, hi-lo)
-		if err != nil {
-			return err
-		}
-		copy(buf[lo:hi], in)
-		n.pool.Put(in)
 	}
+	n.stats.allGatherNs.Add(time.Since(ag).Nanoseconds())
 	return nil
 }
 
 // treeAllReduce runs the latency-optimal binomial tree rooted at the
 // lowest view index: ⌈log2 k⌉ reduce steps toward the root, then the
 // mirror broadcast of the finished sum. Only the root sums, so the
-// broadcast bytes are identical everywhere by construction.
+// broadcast bytes are identical everywhere by construction. Every link
+// transfer is segmented: during reduce, segment j+1 is in flight while the
+// parent sums segment j; during broadcast, a relay forwards each segment
+// to its subtree before the next one arrives, so the sum streams down the
+// tree instead of store-and-forwarding whole models.
 func (n *Node) treeAllReduce(bm *beginMsg, view []int, buf []float32) error {
 	k := len(view)
 	me := rankIndex(view, n.rank)
+	rs := time.Now()
 	for b := 1; b < k; b <<= 1 {
 		if me&b != 0 {
-			return n.treeLeafFinish(bm, view, me, b, buf)
-		}
-		if me+b < k {
-			in, err := n.recvData(n.peers[view[me+b]], bm.round, phaseTreeReduce, b, len(buf))
-			if err != nil {
+			// Non-root: ship the partial sum up, then receive and relay the
+			// finished sum.
+			if err := n.sendSegments(n.peers[view[me-b]], bm.round, phaseTreeReduce, b, buf); err != nil {
 				return err
 			}
-			addInto(buf, in)
-			n.pool.Put(in)
+			n.stats.reduceScatterNs.Add(time.Since(rs).Nanoseconds())
+			ag := time.Now()
+			err := n.treeRecvRelay(bm, view, me, b, buf)
+			n.stats.allGatherNs.Add(time.Since(ag).Nanoseconds())
+			return err
+		}
+		if me+b < k {
+			if err := n.recvSegmentsAdd(n.peers[view[me+b]], bm.round, phaseTreeReduce, b, buf); err != nil {
+				return err
+			}
 		}
 	}
-	// Root: broadcast down the same tree.
+	n.stats.reduceScatterNs.Add(time.Since(rs).Nanoseconds())
+	// Root: stream the finished sum down the same tree.
 	span := 1
 	for span < k {
 		span <<= 1
 	}
-	return n.treeBcast(bm, view, me, span, buf)
+	ag := time.Now()
+	err := n.treeBcastRoot(bm, view, me, span, buf)
+	n.stats.allGatherNs.Add(time.Since(ag).Nanoseconds())
+	return err
 }
 
-// treeLeafFinish is the non-root path: send the partial sum to the parent,
-// wait for the finished sum, and relay it to our broadcast children.
-func (n *Node) treeLeafFinish(bm *beginMsg, view []int, me, b int, buf []float32) error {
-	if err := n.sendData(n.peers[view[me-b]], bm.round, phaseTreeReduce, b, buf); err != nil {
-		return err
+// sendSegments ships buf to p segment by segment under one (phase, step)
+// address. Back-to-back segment writes keep the link saturated while the
+// receiver sums earlier segments.
+func (n *Node) sendSegments(p *peer, round uint64, phase byte, step int, buf []float32) error {
+	S := n.cfg.Segments
+	for j := 0; j < S; j++ {
+		lo, hi := segBounds(0, len(buf), j, S)
+		if hi == lo {
+			continue
+		}
+		if err := n.sendData(p, round, phase, j, step, buf[lo:hi]); err != nil {
+			return err
+		}
 	}
-	in, err := n.recvData(n.peers[view[me-b]], bm.round, phaseTreeBcast, b, len(buf))
-	if err != nil {
-		return err
-	}
-	copy(buf, in)
-	n.pool.Put(in)
-	return n.treeBcast(bm, view, me, b, buf)
+	return nil
 }
 
-// treeBcast relays the finished sum to this node's broadcast subtree:
-// children at offsets below the distance to our own parent.
-func (n *Node) treeBcast(bm *beginMsg, view []int, me, below int, buf []float32) error {
+// recvSegmentsAdd accumulates p's segmented transfer into buf: while
+// segment j is summed here, segment j+1 is already in flight (the peer's
+// read loop drains the socket independently of this call).
+func (n *Node) recvSegmentsAdd(p *peer, round uint64, phase byte, step int, buf []float32) error {
+	S := n.cfg.Segments
+	for j := 0; j < S; j++ {
+		lo, hi := segBounds(0, len(buf), j, S)
+		if hi == lo {
+			continue
+		}
+		in, err := n.recvData(p, round, phase, j, step, hi-lo)
+		if err != nil {
+			return err
+		}
+		addInto(buf[lo:hi], in)
+		n.pool.Put(in)
+	}
+	return nil
+}
+
+// treeRecvRelay is the non-root broadcast path: receive the finished sum
+// from the parent segment by segment, relaying each segment to our
+// broadcast children (offsets below our own parent distance b) before the
+// next segment arrives — the pipelined broadcast.
+func (n *Node) treeRecvRelay(bm *beginMsg, view []int, me, b int, buf []float32) error {
+	parent := n.peers[view[me-b]]
 	k := len(view)
-	for b := below >> 1; b >= 1; b >>= 1 {
-		if me+b < k {
-			if err := n.sendData(n.peers[view[me+b]], bm.round, phaseTreeBcast, b, buf); err != nil {
-				return err
+	S := n.cfg.Segments
+	for j := 0; j < S; j++ {
+		lo, hi := segBounds(0, len(buf), j, S)
+		if hi == lo {
+			continue
+		}
+		in, err := n.recvData(parent, bm.round, phaseTreeBcast, j, b, hi-lo)
+		if err != nil {
+			return err
+		}
+		copy(buf[lo:hi], in)
+		n.pool.Put(in)
+		for c := b >> 1; c >= 1; c >>= 1 {
+			if me+c < k {
+				if err := n.sendData(n.peers[view[me+c]], bm.round, phaseTreeBcast, j, c, buf[lo:hi]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// treeBcastRoot streams the finished sum from the root: segment j goes to
+// every child before segment j+1, so a child is already relaying j down
+// its subtree while the root writes j+1.
+func (n *Node) treeBcastRoot(bm *beginMsg, view []int, me, below int, buf []float32) error {
+	k := len(view)
+	S := n.cfg.Segments
+	for j := 0; j < S; j++ {
+		lo, hi := segBounds(0, len(buf), j, S)
+		if hi == lo {
+			continue
+		}
+		for b := below >> 1; b >= 1; b >>= 1 {
+			if me+b < k {
+				if err := n.sendData(n.peers[view[me+b]], bm.round, phaseTreeBcast, j, b, buf[lo:hi]); err != nil {
+					return err
+				}
 			}
 		}
 	}
@@ -469,6 +589,19 @@ type nodeStats struct {
 
 	collectiveNs atomic.Int64
 	roundLat     metrics.LatencyRecorder
+
+	// Per-phase wall time: barrier wait, reduce-scatter (tree: reduce) and
+	// all-gather (tree: broadcast) split of the collective.
+	barrierNs       atomic.Int64
+	reduceScatterNs atomic.Int64
+	allGatherNs     atomic.Int64
+
+	// Overlap accounting for asynchronous rounds: how much of the exchange
+	// ran concurrently with computation (hidden) vs stalled the caller in
+	// Wait (blocked).
+	asyncRounds      atomic.Int64
+	overlapHiddenNs  atomic.Int64
+	overlapBlockedNs atomic.Int64
 }
 
 func (s *nodeStats) snapshot() metrics.TransportStats {
@@ -489,6 +622,12 @@ func (s *nodeStats) snapshot() metrics.TransportStats {
 		SnapshotsFetched: s.snapshotsFetched.Load(),
 		RoundMean:        s.roundLat.Mean(),
 		RoundMax:         s.roundLat.Max(),
+		BarrierWaitNs:    s.barrierNs.Load(),
+		ReduceScatterNs:  s.reduceScatterNs.Load(),
+		AllGatherNs:      s.allGatherNs.Load(),
+		AsyncRounds:      s.asyncRounds.Load(),
+		OverlapHiddenNs:  s.overlapHiddenNs.Load(),
+		OverlapBlockedNs: s.overlapBlockedNs.Load(),
 	}
 	if s.roundLat.Count() > 0 {
 		out.RoundP50 = s.roundLat.Quantile(0.50)

@@ -28,6 +28,17 @@
 //     frames in ring or binomial-tree topology — the same two collectives
 //     the cluster.Interconnect cost model prices. Both reduce in a fixed
 //     rank order, so the summed bytes are identical on every participant.
+//     Each transfer is split into Config.Segments pipelined segments so
+//     summation (and tree relaying) hides under transmission; segment
+//     boundaries are computed identically on both ends and addInto is
+//     element-wise, so segmentation changes no bits.
+//
+// AllReduce blocks the caller for the whole round. BeginAllReduce is the
+// asynchronous form: it hands the buffer to the node's exchange goroutine
+// and returns a PendingRound handle (Poll/Wait), letting the caller
+// compute while the identical round runs — the τ_global overlap of
+// DESIGN.md §15. Stats meter the split between hidden and exposed
+// exchange time.
 //
 // A rejoining process seeds its model by pulling a checkpoint-v3 snapshot
 // from a live peer (FetchSnapshot) before training, then enters the next

@@ -27,16 +27,21 @@ var errWire = errors.New("transport: wire corruption")
 //	6      2    flags
 //	8      4    sender rank
 //	12     8    round (collective frames) / 0
-//	20     8    aux (Begin: participant view bitmap; Data: phase|step)
+//	20     8    aux (Begin: participant view bitmap; Data: phase|seg|step)
 //	28     4    payload length in bytes
 //	32     4    CRC-32 (IEEE) of the payload
 //
 // Tensor payloads are the raw native-endian float32 bytes of the model
 // vector chunk — encoded and decoded through an unsafe slice view, so a
 // send costs no copy and a receive lands directly in a pooled buffer.
+//
+// Version 2 repacked the Data aux field to address pipeline segments
+// (collectives ship each transfer as several fixed-boundary segments so
+// sends overlap receive+sum). v1 and v2 nodes must not mix: the version
+// check rejects the handshake.
 const (
 	frameMagic  = "CBTF"
-	wireVersion = 1
+	wireVersion = 2
 	headerSize  = 36
 )
 
@@ -71,11 +76,15 @@ type header struct {
 }
 
 // dataAux packs a collective Data frame's addressing into the aux field:
-// the phase (reduce-scatter, all-gather, tree-reduce, tree-broadcast) and
-// the step index within the phase.
-func dataAux(phase byte, step int) uint64 { return uint64(phase)<<32 | uint64(uint32(step)) }
+// the phase (reduce-scatter, all-gather, tree-reduce, tree-broadcast), the
+// pipeline segment within the transfer, and the step index within the
+// phase.
+func dataAux(phase byte, seg, step int) uint64 {
+	return uint64(phase)<<56 | uint64(uint16(seg))<<40 | uint64(uint32(step))
+}
 
-func dataPhase(aux uint64) byte { return byte(aux >> 32) }
+func dataPhase(aux uint64) byte { return byte(aux >> 56) }
+func dataSeg(aux uint64) int    { return int(uint16(aux >> 40)) }
 func dataStep(aux uint64) int   { return int(uint32(aux)) }
 
 // Collective phases.

@@ -13,7 +13,7 @@ import (
 // magic and version.
 func TestFrameRoundTrip(t *testing.T) {
 	payload := []float32{1.5, -2.25, 3.125, 0, 42}
-	h := header{Type: frameData, Flags: flagRestart, Sender: 3, Round: 77, Aux: dataAux(phaseAllGather, 9)}
+	h := header{Type: frameData, Flags: flagRestart, Sender: 3, Round: 77, Aux: dataAux(phaseAllGather, 5, 9)}
 	var b bytes.Buffer
 	wrote, err := writeFrame(&b, &h, f32Bytes(payload))
 	if err != nil {
@@ -38,8 +38,8 @@ func TestFrameRoundTrip(t *testing.T) {
 	if got.Type != h.Type || got.Flags != h.Flags || got.Sender != h.Sender || got.Round != h.Round || got.Aux != h.Aux {
 		t.Fatalf("header mismatch: got %+v want %+v", got, h)
 	}
-	if dataPhase(got.Aux) != phaseAllGather || dataStep(got.Aux) != 9 {
-		t.Fatalf("aux decode: phase %d step %d", dataPhase(got.Aux), dataStep(got.Aux))
+	if dataPhase(got.Aux) != phaseAllGather || dataSeg(got.Aux) != 5 || dataStep(got.Aux) != 9 {
+		t.Fatalf("aux decode: phase %d seg %d step %d", dataPhase(got.Aux), dataSeg(got.Aux), dataStep(got.Aux))
 	}
 	f32, err := payloadF32(buf, &got)
 	if err != nil {

@@ -35,11 +35,12 @@ type peer struct {
 	data chan dataMsg
 }
 
-// dataMsg is one received collective chunk; buf is pool-owned and must be
-// returned by the consumer.
+// dataMsg is one received collective chunk segment; buf is pool-owned and
+// must be returned by the consumer.
 type dataMsg struct {
 	round uint64
 	phase byte
+	seg   int
 	step  int
 	buf   []float32
 }

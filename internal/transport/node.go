@@ -59,6 +59,15 @@ type Config struct {
 	Quarantine time.Duration
 	// MaxPayload bounds one frame's payload (default 256 MiB).
 	MaxPayload int
+	// Segments is the collectives' pipelining factor: every per-link
+	// transfer is split into this many fixed-boundary segments so the send
+	// of segment i overlaps the receive+sum of segment i−1 instead of the
+	// socket idling during summation (default 4). Boundaries are a pure
+	// function of the vector length, so the per-element reduction order —
+	// and with it bit-identity across participants — is unchanged for any
+	// value. The round watchdog arms once per segment, so a peer frozen
+	// mid-pipeline is still caught.
+	Segments int
 	// Chaos, when set, interposes a fault injector on every outgoing
 	// frame of this node (tests and soaks only; it is an in-process hook,
 	// so all ranks of a chaos run share one injector in one process).
@@ -99,6 +108,12 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.MaxPayload <= 0 {
 		c.MaxPayload = 256 << 20
+	}
+	if c.Segments <= 0 {
+		c.Segments = 4
+	}
+	if c.Segments > 1<<16 {
+		c.Segments = 1 << 16
 	}
 	return nil
 }
@@ -162,6 +177,14 @@ type Node struct {
 	// cleared only by a completed Restart round.
 	dirty bool
 
+	// Asynchronous exchange plumbing (see async.go): BeginAllReduce hands
+	// rounds to a dedicated exchange goroutine through exchCh (unbuffered,
+	// so a handle is either picked up or refused — never stranded).
+	// exchStop closes on shutdown; exchStarted guards the lazy launch.
+	exchCh      chan *PendingRound
+	exchStop    chan struct{}
+	exchStarted bool
+
 	// Pending FetchSnapshot response slot.
 	snapMu sync.Mutex
 	snapCh chan *ckpt.Checkpoint
@@ -196,6 +219,8 @@ func Listen(cfg Config) (*Node, error) {
 		nextRound: 1,
 		notifyCh:  make(chan struct{}),
 		prevView:  fullView(len(cfg.Peers)),
+		exchCh:    make(chan *PendingRound),
+		exchStop:  make(chan struct{}),
 	}
 	n.cond = sync.NewCond(&n.mu)
 	for r, addr := range cfg.Peers {
@@ -272,6 +297,7 @@ func (n *Node) shutdown(graceful bool) {
 		return
 	}
 	n.closed = true
+	close(n.exchStop)
 	var live []*peer
 	for _, p := range n.peers {
 		if p != nil && p.alive {
@@ -435,7 +461,7 @@ func (n *Node) dispatch(p *peer, h header, payload []float32) {
 		// Blocking push is safe: the mailbox holds far more frames than
 		// one round produces, and stale rounds are drained by the next
 		// collective.
-		p.data <- dataMsg{round: h.Round, phase: dataPhase(h.Aux), step: dataStep(h.Aux), buf: buf}
+		p.data <- dataMsg{round: h.Round, phase: dataPhase(h.Aux), seg: dataSeg(h.Aux), step: dataStep(h.Aux), buf: buf}
 	case frameSnapReq:
 		n.pool.Put(payload)
 		n.wg.Add(1)
