@@ -5,6 +5,8 @@
 // Usage:
 //
 //	crossbow-serve -ckpt model.ckpt -addr :8080 -replicas 2 -max-batch 16
+//	crossbow-serve -ckpt model.ckpt -slo 5ms -autoscale 4       # fleet mode
+//	crossbow-serve -follow 10.0.0.1:9090 -slo 5ms               # live feed
 //	crossbow-serve -model resnet32 -train-epochs 2 -addr :8080   # demo mode
 //
 // Endpoints:
@@ -14,11 +16,18 @@
 //	                     "predictions": [{"class": C, "confidence": P,
 //	                                      "version": V}, ...]}
 //	GET  /v1/stats    → metrics.ServingStats JSON
+//	GET  /v1/feed     → metrics.FeedStats JSON (all-zero unless -follow)
 //	GET  /healthz     → 200 "ok"
 //
 // With -ckpt the process serves the exact published model the checkpoint
-// carries (its snapshot round is the reported version). Demo mode trains a
-// small model first so the server can be tried without a checkpoint.
+// carries (its snapshot round is the reported version). With -follow it
+// subscribes to a training run's model feed (crossbow-train -publish) and
+// hot-swaps every published snapshot in as it arrives — combined with -ckpt
+// the checkpoint is the feed's warm base, so a restarted replica resumes
+// with deltas instead of a full snapshot. -slo enables SLO-driven adaptive
+// batching and -autoscale replica autoscaling (DESIGN.md §16). Demo mode
+// trains a small model first so the server can be tried without a
+// checkpoint.
 package main
 
 import (
@@ -53,6 +62,10 @@ func serveMain() int {
 	kmode := flag.String("kernel-mode", "deterministic", "replica GEMM kernel mode: deterministic or fast")
 	quantized := flag.Bool("quantized", false, "serve int8 replicas when the top-1 agreement gate vs f32 passes")
 	quantMinAgree := flag.Float64("quant-min-agreement", 0, "quantization gate threshold (0: 0.99)")
+	follow := flag.String("follow", "", "subscribe to a model feed (crossbow-train -publish address); with -ckpt the checkpoint is the feed's warm base")
+	followTimeout := flag.Duration("follow-timeout", 0, "cold-start wait for the feed's first snapshot (0: 30s)")
+	slo := flag.Duration("slo", 0, "p99 latency target enabling SLO-driven adaptive batching (-max-batch becomes the ceiling, -max-delay is ignored)")
+	autoscale := flag.Int("autoscale", 0, "with -slo: replica pool ceiling; -replicas becomes the floor (0: fixed pool)")
 	flag.Parse()
 
 	kernelMode, err := crossbow.ParseKernelMode(*kmode)
@@ -71,10 +84,20 @@ func serveMain() int {
 		KernelMode:        kernelMode,
 		Quantize:          *quantized,
 		QuantMinAgreement: *quantMinAgree,
+
+		SLO:           *slo,
+		AutoScale:     *autoscale,
+		Follow:        *follow,
+		FollowTimeout: *followTimeout,
 	}
-	if *ckptPath != "" {
+	switch {
+	case *ckptPath != "":
 		cfg.Checkpoint = *ckptPath
-	} else {
+	case *follow != "":
+		// Follow mode: the feed's first snapshot provides the model, no
+		// local training needed.
+		log.Printf("following model feed at %s", *follow)
+	default:
 		// Demo mode: train a small model so the server is self-contained.
 		log.Printf("no -ckpt: training %s for %d epoch(s) first", *model, *trainEpochs)
 		res, err := crossbow.Train(crossbow.Config{
@@ -94,8 +117,17 @@ func serveMain() int {
 	}
 	defer p.Close()
 
-	log.Printf("serving %s (version %d, %d replicas, max batch %d, max delay %v, kernels %s) on %s",
-		p.Model(), p.Version(), *replicas, *maxBatch, *maxDelay, kernelMode, *addr)
+	if *slo > 0 {
+		pool := fmt.Sprintf("%d replicas", *replicas)
+		if *autoscale > 0 {
+			pool = fmt.Sprintf("%d–%d replicas (autoscaled)", *replicas, *autoscale)
+		}
+		log.Printf("serving %s (version %d, %s, adaptive batching ≤%d under %v p99 SLO, kernels %s) on %s",
+			p.Model(), p.Version(), pool, *maxBatch, *slo, kernelMode, *addr)
+	} else {
+		log.Printf("serving %s (version %d, %d replicas, max batch %d, max delay %v, kernels %s) on %s",
+			p.Model(), p.Version(), *replicas, *maxBatch, *maxDelay, kernelMode, *addr)
+	}
 	if *quantized {
 		if p.Quantized() {
 			log.Printf("int8 path on: top-1 agreement vs f32 %.4f", p.QuantAgreement())
@@ -142,6 +174,10 @@ func newMux(p *crossbow.Predictor) *http.ServeMux {
 	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(p.Stats())
+	})
+	mux.HandleFunc("/v1/feed", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(p.FeedStats())
 	})
 	mux.HandleFunc("/v1/predict", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {

@@ -103,6 +103,84 @@ func TestPredictEndpointRejectsBadInput(t *testing.T) {
 	}
 }
 
+// TestFollowModeEndToEnd stands up the HTTP front end over a follow-mode
+// predictor (the crossbow-serve -follow path): a ModelPublisher feeds it a
+// model and then an update, and /v1/feed shows the delta arriving.
+func TestFollowModeEndToEnd(t *testing.T) {
+	res, err := crossbow.Train(crossbow.Config{
+		Model: crossbow.LeNet, MaxEpochs: 1, Seed: 3,
+		TrainSamples: 64, TestSamples: 32, Batch: 8,
+	})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	mp, err := crossbow.NewModelPublisher("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewModelPublisher: %v", err)
+	}
+	defer mp.Close()
+	if err := mp.Publish(crossbow.Snapshot{
+		Model: crossbow.LeNet, Round: 1, Iter: 1, Epoch: 1, Params: res.Params,
+	}); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+
+	p, err := crossbow.Serve(crossbow.ServeConfig{
+		Follow: mp.Addr(), FollowTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("Serve(follow): %v", err)
+	}
+	srv := httptest.NewServer(newMux(p))
+	defer func() { srv.Close(); p.Close() }()
+
+	inst := make([]float32, p.SampleVol())
+	body, _ := json.Marshal(predictRequest{Instances: [][]float32{inst}})
+	resp, err := http.Post(srv.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	var got predictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	resp.Body.Close()
+	if got.Model != "lenet" || got.Version != 1 {
+		t.Fatalf("follow-mode response header %q/%d, want lenet/1", got.Model, got.Version)
+	}
+
+	// Publish an update and watch the server hot-swap to it.
+	next := append([]float32(nil), res.Params...)
+	for i := 0; i < 100 && i < len(next); i++ {
+		next[i] += 0.001
+	}
+	if err := mp.Publish(crossbow.Snapshot{
+		Model: crossbow.LeNet, Round: 2, Iter: 2, Epoch: 1, Params: next,
+	}); err != nil {
+		t.Fatalf("Publish update: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Version() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("server stuck on version %d after update", p.Version())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	fresp, err := http.Get(srv.URL + "/v1/feed")
+	if err != nil {
+		t.Fatalf("GET feed: %v", err)
+	}
+	defer fresp.Body.Close()
+	var fs crossbow.FeedStats
+	if err := json.NewDecoder(fresp.Body).Decode(&fs); err != nil {
+		t.Fatalf("decoding feed stats: %v", err)
+	}
+	if fs.FullSent != 1 || fs.DeltaSent != 1 {
+		t.Fatalf("feed stats report %d fulls / %d deltas, want 1 / 1 (%+v)",
+			fs.FullSent, fs.DeltaSent, fs)
+	}
+}
+
 // TestStatsAndHealthEndpoints checks the sidecar endpoints.
 func TestStatsAndHealthEndpoints(t *testing.T) {
 	srv, p := startTestServer(t)

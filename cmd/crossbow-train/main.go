@@ -7,6 +7,10 @@
 //	crossbow-train -model resnet32 -gpus 8 -m auto -batch 16 -target 0.85
 //	crossbow-train -model lenet -algo ssgd -epochs 20
 //	crossbow-train -model resnet32 -sched fcfs -m 2 -batch 4 -tau 2
+//	crossbow-train -model lenet -publish :9090 -publish-every 100
+//
+// With -publish the run streams every published snapshot to serving
+// replicas (crossbow-serve -follow) as deltas over TCP while it trains.
 package main
 
 import (
@@ -33,6 +37,8 @@ func main() {
 	sched := flag.String("sched", "lockstep", "task-runtime scheduler: lockstep (barriered oracle) or fcfs (barrier-free)")
 	prefetch := flag.Int("prefetch", 0, "staged batches per learner in the input pipeline, min 1 (0: double buffering)")
 	kmode := flag.String("kernel-mode", "deterministic", "GEMM kernel mode: deterministic (bit-reproducible) or fast (FMA micro-kernels)")
+	publish := flag.String("publish", "", "serve a model feed on this address while training (crossbow-serve -follow subscribes)")
+	publishEvery := flag.Int("publish-every", 0, "publish a snapshot every N iterations (0 with -publish: 100)")
 	flag.Parse()
 
 	learners := 1
@@ -48,7 +54,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	res, err := crossbow.Train(crossbow.Config{
+	cfg := crossbow.Config{
 		Model:          crossbow.Model(*model),
 		Algo:           crossbow.Algorithm(*algo),
 		GPUs:           *gpus,
@@ -63,7 +69,15 @@ func main() {
 		Scheduler:      crossbow.Scheduler(*sched),
 		Prefetch:       *prefetch,
 		KernelMode:     kernelMode,
-	})
+	}
+	if *publish != "" {
+		cfg.PublishAddr = *publish
+		cfg.PublishEvery = *publishEvery
+		if cfg.PublishEvery <= 0 {
+			cfg.PublishEvery = 100
+		}
+	}
+	res, err := crossbow.Train(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -201,6 +201,13 @@ type Config struct {
 	// the freshest model) or to SaveSnapshot (durable export). The
 	// callback runs on runtime goroutines and must return quickly.
 	OnSnapshot func(Snapshot)
+	// PublishAddr, with PublishEvery set, additionally streams every
+	// published snapshot to serving replicas over TCP (DESIGN.md §16): Train
+	// runs a ModelPublisher on this address for the duration of the run, and
+	// Predictors started with ServeConfig.Follow (or crossbow-serve -follow)
+	// receive each snapshot as a delta against the model they already hold.
+	// OnSnapshot may still be set; it runs after the feed send.
+	PublishAddr string
 }
 
 // Snapshot is a versioned copy of the central average model cut at a
@@ -332,6 +339,27 @@ func (c *Config) fillDefaults() error {
 func Train(cfg Config) (*Result, error) {
 	if err := cfg.fillDefaults(); err != nil {
 		return nil, err
+	}
+	if cfg.PublishAddr != "" {
+		if cfg.PublishEvery <= 0 {
+			return nil, fmt.Errorf("crossbow: PublishAddr requires PublishEvery")
+		}
+		mp, err := NewModelPublisher(cfg.PublishAddr)
+		if err != nil {
+			return nil, err
+		}
+		defer mp.Close()
+		prev := cfg.OnSnapshot
+		cfg.OnSnapshot = func(s Snapshot) {
+			// A feed hiccup must not kill the run: Publish only errors on
+			// contract violations the snapshot publisher upholds (monotone
+			// rounds, stable shape); per-subscriber faults drop subscribers,
+			// not snapshots.
+			mp.Publish(s)
+			if prev != nil {
+				prev(s)
+			}
+		}
 	}
 	if cfg.Transport == TransportTCP {
 		return trainNodeTCP(cfg)

@@ -21,11 +21,14 @@ import (
 	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"crossbow/internal/ckpt"
 	"crossbow/internal/nn"
 	"crossbow/internal/serve"
 	"crossbow/internal/tensor"
+	"crossbow/internal/transport"
 )
 
 // ServingBenchRow is one (replicas, maxBatch) measurement.
@@ -49,6 +52,34 @@ type ServingBenchRow struct {
 	WithinBound bool    `json:"p99_within_bound"`
 }
 
+// ServingPolicyRow is one open-loop measurement of a batching policy at an
+// offered load: a fixed MaxBatch/MaxDelay configuration or the SLO-driven
+// adaptive controller (DESIGN.md §16). The sweep is the record behind the
+// batch-32 regression fix: the adaptive policy must serve at least what the
+// best fixed policy serves at every load point, while holding its p99 SLO
+// wherever it admits the load.
+type ServingPolicyRow struct {
+	Policy      string  `json:"policy"` // "fixed-8", "fixed-32", "adaptive-slo"
+	OfferedRate float64 `json:"offered_req_per_sec"`
+	Throughput  float64 `json:"served_req_per_sec"`
+	Shed        int64   `json:"shed"`
+	P99Ms       float64 `json:"p99_ms"`
+	SLOMs       float64 `json:"slo_ms"`
+	// SettledMaxBatch is the adaptive controller's final batch ceiling
+	// (zero on fixed-policy rows).
+	SettledMaxBatch int  `json:"settled_max_batch,omitempty"`
+	SLOMet          bool `json:"p99_within_slo"`
+}
+
+// ServingDeltaStats records delta snapshot distribution economics over a
+// real loopback feed: a one-layer update must ship a small fraction of the
+// full snapshot's bytes.
+type ServingDeltaStats struct {
+	FullBytes  int64   `json:"full_snapshot_bytes"`
+	DeltaBytes int64   `json:"one_layer_delta_bytes"`
+	Ratio      float64 `json:"delta_to_full_ratio"`
+}
+
 // ServingBenchReport is the JSON document written to BENCH_serving.json.
 type ServingBenchReport struct {
 	GOOS         string            `json:"goos"`
@@ -62,6 +93,14 @@ type ServingBenchReport struct {
 	// relative to 1 replica at the same MaxBatch: > 1 shows replica
 	// scaling.
 	ThroughputGrowth map[string]float64 `json:"throughput_growth_vs_r1"`
+	// PolicyRows is the adaptive-vs-fixed open-loop load sweep;
+	// AdaptiveDominatesFixed8 summarises it: at every load point the
+	// adaptive policy served at least (within 2% of) what fixed batch-8 —
+	// the best static point on this machine — served.
+	PolicyRows              []ServingPolicyRow `json:"policy_rows,omitempty"`
+	AdaptiveDominatesFixed8 bool               `json:"adaptive_dominates_fixed8"`
+	// Delta records delta snapshot distribution economics.
+	Delta *ServingDeltaStats `json:"delta_distribution,omitempty"`
 }
 
 type servingBenchEnv struct {
@@ -88,8 +127,11 @@ func servingBenchSetup(quick bool) servingBenchEnv {
 
 // ServingBenchResult carries the rows plus the replica-scaling summary.
 type ServingBenchResult struct {
-	Rows   []ServingBenchRow
-	Growth map[string]float64
+	Rows       []ServingBenchRow
+	Growth     map[string]float64
+	PolicyRows []ServingPolicyRow
+	Dominates  bool
+	Delta      *ServingDeltaStats
 }
 
 // ServingBench drives the prediction runtime with closed-loop clients for
@@ -122,7 +164,160 @@ func ServingBench(quick bool) *ServingBenchResult {
 			}
 		}
 	}
+
+	// Policy sweep: adaptive vs fixed under open-loop load. The fixed
+	// batch-8 closed-loop row above is this machine's best static capacity;
+	// the sweep offers fractions of it (and one overload point) to each
+	// policy and records who serves what.
+	cap8 := base[8]
+	if cap8 > 0 {
+		dur := 1600 * time.Millisecond
+		if quick {
+			dur = 900 * time.Millisecond
+		}
+		const sweepSLO = 10 * time.Millisecond
+		out.Dominates = true
+		for _, frac := range []float64{0.2, 0.5, 0.8, 1.1} {
+			rate := cap8 * frac
+			f8 := servingPolicyPoint("fixed-8", env, params, sample, rate, dur, sweepSLO, 8, false)
+			f32 := servingPolicyPoint("fixed-32", env, params, sample, rate, dur, sweepSLO, 32, false)
+			ad := servingPolicyPoint("adaptive-slo", env, params, sample, rate, dur, sweepSLO, 32, true)
+			out.PolicyRows = append(out.PolicyRows, f8, f32, ad)
+			if ad.Throughput < f8.Throughput*0.98 {
+				out.Dominates = false
+			}
+		}
+	}
+	out.Delta = servingDeltaPoint(env.model, params)
 	return out
+}
+
+// servingPolicyPoint offers rate req/s to a fresh engine for dur and
+// records what it served. Requests arrive open-loop (token-paced, shed when
+// the service cannot keep up), so overload shows as shed volume and bounded
+// admitted latency rather than client backpressure.
+func servingPolicyPoint(policy string, env servingBenchEnv, params, sample []float32,
+	rate float64, dur time.Duration, slo time.Duration, maxBatch int, adaptive bool) ServingPolicyRow {
+	cfg := serve.Config{
+		Model:      env.model,
+		Params:     append([]float32(nil), params...),
+		MaxBatch:   maxBatch,
+		MaxDelay:   env.maxDelay,
+		ShedOnFull: true,
+	}
+	if adaptive {
+		cfg.MaxDelay = 0
+		cfg.SLO = slo
+		cfg.ControlEvery = 40 * time.Millisecond
+	}
+	eng, err := serve.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	defer eng.Close()
+
+	tokens := make(chan struct{}, 256)
+	var completed, shed atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 64; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range tokens {
+				if _, err := eng.Predict(sample); err != nil {
+					shed.Add(1)
+				} else {
+					completed.Add(1)
+				}
+			}
+		}()
+	}
+	// Token-paced generator: every tick it tops the emitted count up to the
+	// schedule, dropping (as a shed) when all workers are stuck — the
+	// open-loop client's impatience.
+	start := time.Now()
+	emitted := 0.0
+	for {
+		elapsed := time.Since(start)
+		if elapsed >= dur {
+			break
+		}
+		for want := rate * elapsed.Seconds(); emitted < want; emitted++ {
+			select {
+			case tokens <- struct{}{}:
+			default:
+				shed.Add(1)
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(tokens)
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+
+	s := eng.Stats()
+	row := ServingPolicyRow{
+		Policy:      policy,
+		OfferedRate: rate,
+		Shed:        shed.Load(),
+		P99Ms:       s.P99Ms,
+		SLOMs:       float64(slo) / 1e6,
+	}
+	if wall > 0 {
+		row.Throughput = float64(completed.Load()) / wall
+	}
+	if adaptive {
+		row.SettledMaxBatch = s.CurMaxBatch
+	}
+	row.SLOMet = row.P99Ms <= row.SLOMs
+	return row
+}
+
+// servingDeltaPoint measures delta distribution economics on a real
+// loopback feed: one cold follower takes the base as a full snapshot, then
+// a one-layer update (a contiguous 5% of the vector) as a delta.
+func servingDeltaPoint(model nn.ModelID, params []float32) *ServingDeltaStats {
+	pub, err := transport.NewPublisher(transport.PublisherConfig{Addr: "127.0.0.1:0"})
+	if err != nil {
+		return nil
+	}
+	defer pub.Close()
+	fol, err := transport.Follow(transport.FollowerConfig{Addr: pub.Addr()})
+	if err != nil {
+		return nil
+	}
+	defer fol.Close()
+
+	// The follower must be attached before the base is published, or its
+	// hello would find round 2 current and take it as a full — measuring
+	// nothing.
+	pub.WaitSubscribers(1, 5*time.Second)
+	base := append([]float32(nil), params...)
+	if err := pub.Publish(&ckpt.Checkpoint{
+		Model: string(model), SnapshotRound: 1, Params: base,
+	}); err != nil {
+		return nil
+	}
+	fol.WaitRound(1, 5*time.Second)
+
+	next := append([]float32(nil), params...)
+	lo, n := len(next)/2, len(next)/20
+	for i := lo; i < lo+n && i < len(next); i++ {
+		next[i] += 0.5
+	}
+	if err := pub.Publish(&ckpt.Checkpoint{
+		Model: string(model), SnapshotRound: 2, Params: next,
+	}); err != nil {
+		return nil
+	}
+	fol.WaitRound(2, 5*time.Second)
+
+	fs := fol.Stats()
+	d := &ServingDeltaStats{FullBytes: fs.FullBytes, DeltaBytes: fs.DeltaBytes}
+	if d.FullBytes > 0 {
+		d.Ratio = float64(d.DeltaBytes) / float64(d.FullBytes)
+	}
+	return d
 }
 
 func servingBenchPoint(env servingBenchEnv, params, sample []float32, replicas, maxBatch int) ServingBenchRow {
@@ -214,6 +409,32 @@ func PrintServingBench(w io.Writer, r *ServingBenchResult) {
 			fmt.Fprintf(w, "throughput growth r=1→%d at batch %d: %.2fx\n", maxR, b, g)
 		}
 	}
+	if len(r.PolicyRows) > 0 {
+		fmt.Fprintf(w, "\nBatching policies under open-loop load (SLO %.0fms)\n", r.PolicyRows[0].SLOMs)
+		fmt.Fprintf(w, "%-13s %9s %9s %7s %8s %6s %4s\n",
+			"policy", "offered/s", "served/s", "shed", "p99(ms)", "batch", "slo")
+		for _, row := range r.PolicyRows {
+			slo := "ok"
+			if !row.SLOMet {
+				slo = "NO"
+			}
+			batch := "-"
+			if row.SettledMaxBatch > 0 {
+				batch = fmt.Sprintf("%d", row.SettledMaxBatch)
+			}
+			fmt.Fprintf(w, "%-13s %9.0f %9.0f %7d %8.2f %6s %4s\n",
+				row.Policy, row.OfferedRate, row.Throughput, row.Shed, row.P99Ms, batch, slo)
+		}
+		verdict := "dominates"
+		if !r.Dominates {
+			verdict = "DOES NOT dominate"
+		}
+		fmt.Fprintf(w, "adaptive %s fixed batch-8 across the sweep\n", verdict)
+	}
+	if r.Delta != nil {
+		fmt.Fprintf(w, "delta distribution: one-layer update %d B vs full %d B (%.1f%%)\n",
+			r.Delta.DeltaBytes, r.Delta.FullBytes, 100*r.Delta.Ratio)
+	}
 }
 
 // WriteServingBenchJSON records the result (plus environment) at path.
@@ -226,6 +447,10 @@ func WriteServingBenchJSON(path string, r *ServingBenchResult, quick bool) error
 		Model:            string(env.model),
 		Rows:             r.Rows,
 		ThroughputGrowth: r.Growth,
+
+		PolicyRows:              r.PolicyRows,
+		AdaptiveDominatesFixed8: r.Dominates,
+		Delta:                   r.Delta,
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -1,0 +1,154 @@
+package ckpt
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randParams(n int, seed int64) []float32 {
+	r := rand.New(rand.NewSource(seed))
+	p := make([]float32, n)
+	for i := range p {
+		p[i] = float32(r.NormFloat64())
+	}
+	return p
+}
+
+// TestDeltaBitIdentity is the distribution correctness pin: applying a delta
+// stream to a round-r replica yields byte-for-byte the same model as loading
+// the full round-r+k snapshot — across several hops, odd tail chunks, and a
+// forced full-fallback resync in the middle.
+func TestDeltaBitIdentity(t *testing.T) {
+	const n = 4096*3 + 137 // deliberately not a chunk multiple
+	base := randParams(n, 1)
+	replica := append([]float32(nil), base...)
+
+	cur := base
+	r := rand.New(rand.NewSource(2))
+	for round := int64(2); round <= 6; round++ {
+		next := append([]float32(nil), cur...)
+		// Touch a few scattered regions, including the tail chunk.
+		for k := 0; k < 3; k++ {
+			off := r.Intn(n - 10)
+			for j := 0; j < 10; j++ {
+				next[off+j] += float32(r.NormFloat64())
+			}
+		}
+		next[n-1] *= 1.5
+
+		d, err := ComputeDelta("resnet32", cur, next, round-1, round, round*10, 0)
+		if err != nil {
+			t.Fatalf("ComputeDelta: %v", err)
+		}
+
+		// Round-trip the wire encoding, as the transport does.
+		var buf bytes.Buffer
+		if err := WriteDelta(&buf, d); err != nil {
+			t.Fatalf("WriteDelta: %v", err)
+		}
+		got, err := ReadDelta(&buf)
+		if err != nil {
+			t.Fatalf("ReadDelta: %v", err)
+		}
+		if got.Model != "resnet32" || got.FromRound != round-1 || got.ToRound != round {
+			t.Fatalf("round %d: decoded header %q %d→%d", round, got.Model, got.FromRound, got.ToRound)
+		}
+
+		if round == 4 {
+			// Forced full-fallback resync: the replica diverges (a stray
+			// write), the delta must refuse, and a full snapshot heals it.
+			replica[7] += 1
+			if err := got.Apply(replica); !errors.Is(err, ErrDeltaBase) {
+				t.Fatalf("diverged replica: Apply returned %v, want ErrDeltaBase", err)
+			}
+			copy(replica, next) // the full-resync path ships next verbatim
+		} else if err := got.Apply(replica); err != nil {
+			t.Fatalf("round %d: Apply: %v", round, err)
+		}
+
+		for i := range replica {
+			if math.Float32bits(replica[i]) != math.Float32bits(next[i]) {
+				t.Fatalf("round %d: replica[%d] = %x, full snapshot has %x",
+					round, i, math.Float32bits(replica[i]), math.Float32bits(next[i]))
+			}
+		}
+		cur = next
+	}
+}
+
+// TestDeltaOneLayerBytes pins the acceptance bound: a 1-layer-touched update
+// ships < 25% of the full snapshot's bytes.
+func TestDeltaOneLayerBytes(t *testing.T) {
+	const n = 1 << 19 // ~0.5M params, resnet32-scale
+	base := randParams(n, 3)
+	next := append([]float32(nil), base...)
+	// "One layer": a contiguous 5% slice of the vector.
+	for i := n / 2; i < n/2+n/20; i++ {
+		next[i] += 0.5
+	}
+	d, err := ComputeDelta("m", base, next, 1, 2, 20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := 4 * n
+	if got := d.WireSize(); got >= full/4 {
+		t.Fatalf("one-layer delta is %d bytes, full snapshot %d — want < 25%%", got, full)
+	}
+	// And an untouched model produces an (almost) empty delta.
+	d2, _ := ComputeDelta("m", base, base, 1, 2, 20, 0)
+	if len(d2.Chunks) != 0 {
+		t.Fatalf("identical vectors produced %d changed chunks", len(d2.Chunks))
+	}
+}
+
+// TestDeltaNaNChunks pins bit-wise (not float) comparison: NaN-carrying
+// chunks must not be re-shipped forever.
+func TestDeltaNaNChunks(t *testing.T) {
+	base := randParams(8192, 4)
+	base[10] = float32(math.NaN())
+	same := append([]float32(nil), base...)
+	d, err := ComputeDelta("m", base, same, 1, 2, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Chunks) != 0 {
+		t.Fatalf("NaN chunk reported as changed: %d chunks", len(d.Chunks))
+	}
+}
+
+// TestDeltaDecodeRejects fuzz-lite: corrupted wire bytes must error, never
+// yield a delta that would patch garbage into a model.
+func TestDeltaDecodeRejects(t *testing.T) {
+	base := randParams(10000, 5)
+	next := append([]float32(nil), base...)
+	next[5000] = 42
+	d, _ := ComputeDelta("m", base, next, 1, 2, 0, 256)
+	var buf bytes.Buffer
+	if err := WriteDelta(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := map[string][]byte{
+		"bad magic":   append([]byte("XXXXXXXX"), good[8:]...),
+		"truncated":   good[:len(good)-9],
+		"flipped bit": flipBit(good, len(good)/2),
+	}
+	for name, raw := range cases {
+		if _, err := ReadDelta(bytes.NewReader(raw)); err == nil {
+			t.Errorf("%s: ReadDelta accepted corrupted input", name)
+		}
+	}
+	if _, err := ReadDelta(bytes.NewReader(good)); err != nil {
+		t.Fatalf("clean bytes rejected: %v", err)
+	}
+}
+
+func flipBit(b []byte, i int) []byte {
+	c := append([]byte(nil), b...)
+	c[i] ^= 0x10
+	return c
+}

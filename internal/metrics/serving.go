@@ -81,6 +81,20 @@ func (l *LatencyRecorder) Record(d time.Duration) {
 // Count returns the number of observations so far.
 func (l *LatencyRecorder) Count() int64 { return l.count.Load() }
 
+// Reset clears the distribution. Resets racing concurrent Records are not
+// atomic — a Record in flight may land partly before and partly after — so
+// Reset is for windowed control/benchmark reads (the adaptive batching
+// controller, the serving bench's warmup cut), where an off-by-one
+// observation is noise, not for exact accounting.
+func (l *LatencyRecorder) Reset() {
+	l.count.Store(0)
+	l.sumNs.Store(0)
+	l.maxNs.Store(0)
+	for i := range l.buckets {
+		l.buckets[i].Store(0)
+	}
+}
+
 // Mean returns the mean observed latency (zero before any observation).
 func (l *LatencyRecorder) Mean() time.Duration {
 	n := l.count.Load()
@@ -170,6 +184,46 @@ type ServingStats struct {
 	KernelMode string  `json:"kernel_mode"`
 	Quantized  bool    `json:"quantized"`
 	QuantAgree float64 `json:"quant_agreement"`
+	// Replicas is the live replica count (equal to the configured count
+	// unless autoscaling is on); Resizes counts autoscaler replica-count
+	// changes applied since start.
+	Replicas int   `json:"replicas"`
+	Resizes  int64 `json:"resizes"`
+	// Adaptive batching state (zero/false when no SLO is configured):
+	// SLOMs is the p99 target, CurMaxBatch/CurMaxDelayMs the controller's
+	// current batch ceiling and straggler wait, and SLOBreaches the number
+	// of decision windows whose measured p99 exceeded the SLO.
+	SLOMs         float64 `json:"slo_ms,omitempty"`
+	CurMaxBatch   int     `json:"cur_max_batch,omitempty"`
+	CurMaxDelayMs float64 `json:"cur_max_delay_ms,omitempty"`
+	SLOBreaches   int64   `json:"slo_breaches,omitempty"`
+}
+
+// FeedStats describes a snapshot feed — the delta-distribution channel
+// between one publisher and its follower fleet (DESIGN.md §16). The same
+// struct serves both ends: a publisher counts what it sent, a follower what
+// it received and applied.
+type FeedStats struct {
+	// Subscribers is the publisher's current follower count (zero on the
+	// follower side).
+	Subscribers int `json:"subscribers"`
+	// Published counts snapshots offered to the feed; Rounds is the latest
+	// round published or applied.
+	Published int64 `json:"published"`
+	Round     int64 `json:"round"`
+	// FullSent/DeltaSent count per-subscriber transmissions by kind, and
+	// FullBytes/DeltaBytes their payload volume. On the follower side the
+	// same fields count receptions.
+	FullSent   int64 `json:"full_sent"`
+	DeltaSent  int64 `json:"delta_sent"`
+	FullBytes  int64 `json:"full_bytes"`
+	DeltaBytes int64 `json:"delta_bytes"`
+	// Resyncs counts full snapshots forced by divergence (a subscriber
+	// whose acknowledged CRC stopped matching the published round, or a
+	// delta the follower had to reject at the base check).
+	Resyncs int64 `json:"resyncs"`
+	// Redials counts follower reconnection attempts after a lost feed.
+	Redials int64 `json:"redials"`
 }
 
 // Ms converts a duration to float milliseconds (the ServingStats unit).

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -89,6 +90,103 @@ func TestLatencyRecorderConcurrent(t *testing.T) {
 	}
 	if bucketSum != goroutines*per {
 		t.Fatalf("bucket sum %d, want %d", bucketSum, goroutines*per)
+	}
+}
+
+// TestLatencyRecorderConcurrentAccuracy is the quantile-accuracy-under-
+// concurrency pin (run under -race by CI): goroutines record a known sample
+// set while a reader hammers Quantile; afterwards every quantile estimate
+// must bracket the exact quantile of the same samples computed from a sorted
+// reference — lower-bounded by the true value, upper-bounded by one bucket
+// width (~12.5%). Mid-flight reads must stay within the distribution's
+// global envelope even while the distribution moves under them.
+func TestLatencyRecorderConcurrentAccuracy(t *testing.T) {
+	var l LatencyRecorder
+	const writers, per = 8, 4000
+	// Deterministic per-writer samples spanning several octaves, heavy-ish
+	// tail — the shape a serving latency distribution actually has.
+	samples := make([]time.Duration, writers*per)
+	for g := 0; g < writers; g++ {
+		x := uint64(g*2654435761 + 12345)
+		for i := 0; i < per; i++ {
+			x = x*6364136223846793005 + 1442695040888963407 // LCG, deterministic
+			d := time.Duration(100+x%100_000) * time.Microsecond / 100
+			if x%97 == 0 {
+				d *= 50 // tail spikes
+			}
+			samples[g*per+i] = d
+		}
+	}
+
+	stopRead := make(chan struct{})
+	var readerWG sync.WaitGroup
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stopRead:
+				return
+			default:
+			}
+			for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+				got := l.Quantile(q)
+				if got < 0 || (l.Max() > 0 && got > l.Max()) {
+					t.Errorf("mid-flight Quantile(%v) = %v outside [0, max]", q, got)
+					return
+				}
+			}
+			l.Mean()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for _, d := range samples[g*per : (g+1)*per] {
+				l.Record(d)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stopRead)
+	readerWG.Wait()
+
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if l.Count() != int64(len(sorted)) {
+		t.Fatalf("count %d, want %d", l.Count(), len(sorted))
+	}
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+		ref := sorted[int(q*float64(len(sorted)))]
+		got := l.Quantile(q)
+		if got < ref {
+			t.Errorf("q=%v: %v under-reports sorted reference %v", q, got, ref)
+		}
+		if float64(got) > float64(ref)*1.13+1 {
+			t.Errorf("q=%v: %v over-reports sorted reference %v beyond one bucket width", q, got, ref)
+		}
+	}
+	if l.Max() != sorted[len(sorted)-1] {
+		t.Errorf("max %v, want %v", l.Max(), sorted[len(sorted)-1])
+	}
+}
+
+// TestLatencyRecorderReset pins the windowed-read contract.
+func TestLatencyRecorderReset(t *testing.T) {
+	var l LatencyRecorder
+	for i := 0; i < 100; i++ {
+		l.Record(time.Millisecond)
+	}
+	l.Reset()
+	if l.Count() != 0 || l.Max() != 0 || l.Quantile(0.99) != 0 {
+		t.Fatalf("after Reset: count=%d max=%v q99=%v, want zeros", l.Count(), l.Max(), l.Quantile(0.99))
+	}
+	l.Record(2 * time.Millisecond)
+	if l.Count() != 1 || l.Mean() != 2*time.Millisecond {
+		t.Fatalf("recorder unusable after Reset: count=%d mean=%v", l.Count(), l.Mean())
 	}
 }
 

@@ -1,0 +1,335 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"crossbow/internal/nn"
+)
+
+// The controller property tests drive the pure decision kernel with
+// synthetic arrival traces over a simulated service model shaped like the
+// real machine's profile (BENCH_serving.json): per-sample service improves
+// with batch size up to 8, then degrades — capacity peaks at batch 8. The
+// simulator closes the loop: each window it derives the batch size the
+// dispatcher would actually run under the controller's policy, the service
+// time that batch costs, and a queueing-theory p99, and feeds them back.
+
+// simService is the ground-truth batch service time: amortization up to
+// batch 8, falloff beyond (the batch-32 trap).
+func simService(b int) time.Duration {
+	if b <= 8 {
+		return time.Duration(210+90*b) * time.Microsecond
+	}
+	s := float64(simService(8))
+	for k := 8; k < b; k *= 2 {
+		s *= 2.6 // doubling past the peak costs ×2.6: capacity falls
+	}
+	return time.Duration(s)
+}
+
+// sim is a closed-loop window simulator for one engine.
+type sim struct {
+	ctrl     *controller
+	classes  []int
+	replicas int
+	out      controlOutput
+}
+
+func newSim(slo time.Duration, maxBatch, replicas int) *sim {
+	s := &sim{
+		ctrl:     newController(slo, maxBatch),
+		classes:  batchClasses(maxBatch),
+		replicas: replicas,
+	}
+	s.out = controlOutput{MaxBatch: s.classes[0]}
+	return s
+}
+
+// classOf returns the smallest class index fitting k requests.
+func (s *sim) classOf(k int) int {
+	for i, c := range s.classes {
+		if c >= k {
+			return i
+		}
+	}
+	return len(s.classes) - 1
+}
+
+// window simulates one control window at arrival rate λ under the current
+// policy and steps the controller. It returns the window's simulated p99 and
+// the padded batch size the dispatcher ran.
+func (s *sim) window(rate float64) (p99 time.Duration, ranBatch int) {
+	// Fixpoint for the typical coalesced batch size: requests accumulate
+	// while the previous batch is in service (plus the straggler wait).
+	k := 1
+	for it := 0; it < 4; it++ {
+		svc := simService(s.classes[s.classOf(k)])
+		kNew := int(rate*(s.out.MaxDelay+svc).Seconds()/float64(s.replicas) + 0.5)
+		if kNew < 1 {
+			kNew = 1
+		}
+		if kNew > s.out.MaxBatch {
+			kNew = s.out.MaxBatch
+		}
+		if kNew == k {
+			break
+		}
+		k = kNew
+	}
+	ci := s.classOf(k)
+	padded := s.classes[ci]
+	svc := simService(padded)
+	capacity := float64(s.replicas) * float64(padded) / svc.Seconds()
+	util := rate / capacity
+	queue := 0
+	if util >= 0.98 {
+		// Saturated: the queue grows without bound; the window's p99 blows
+		// through any SLO (the real engine sheds here).
+		p99 = 10 * svc * time.Duration(s.replicas*4)
+		queue = 1000
+	} else {
+		// M/D/1-flavoured wait plus the straggler delay plus service.
+		wait := time.Duration(float64(svc) * util / (2 * (1 - util)))
+		p99 = s.out.MaxDelay + wait + svc + svc/8
+	}
+
+	in := controlInput{
+		Rate:       rate,
+		P99:        p99,
+		Replicas:   s.replicas,
+		QueueDepth: queue,
+	}
+	in.ClassService = make([]time.Duration, len(s.classes))
+	in.ClassService[ci] = svc + svc/50 // measurement jitter
+	s.out = s.ctrl.step(in)
+	return p99, padded
+}
+
+// settle runs the simulator to steady state at a constant rate and returns
+// the controller's settled batch ceiling.
+func settle(t *testing.T, slo time.Duration, rate float64) int {
+	t.Helper()
+	s := newSim(slo, 32, 1)
+	for w := 0; w < 120; w++ {
+		s.window(rate)
+	}
+	return s.out.MaxBatch
+}
+
+// TestControllerMonotoneInLoad is the ISSUE's monotonicity property: at
+// steady state the chosen batch size is non-decreasing in offered load —
+// the smallest-feasible-class rule scans a rate-independent capacity table
+// smallest-first, so more load can only move the choice up the ladder.
+func TestControllerMonotoneInLoad(t *testing.T) {
+	const slo = 10 * time.Millisecond
+	rates := []float64{50, 200, 800, 1500, 2500, 3500, 4500, 5500, 6500, 7500}
+	prev, prevRate := 0, 0.0
+	for _, rate := range rates {
+		got := settle(t, slo, rate)
+		if got < prev {
+			t.Errorf("settled batch fell from %d (at %.0f req/s) to %d (at %.0f req/s)",
+				prev, prevRate, got, rate)
+		}
+		prev, prevRate = got, rate
+	}
+	if prev < 8 {
+		t.Errorf("highest load settled at batch %d, want the capacity peak 8", prev)
+	}
+	// And the capacity cliff: no load can make the controller pick a class
+	// past the peak — batch 16/32 have LOWER capacity, so they never become
+	// the first class to satisfy demand.
+	for _, rate := range []float64{8000, 12000, 50000} {
+		if got := settle(t, slo, rate); got > 8 {
+			t.Errorf("overload %.0f req/s drove batch to %d, past the capacity peak 8", rate, got)
+		}
+	}
+}
+
+// TestControllerFeasibility: a tight SLO excludes classes whose own service
+// time cannot meet it, no matter the load.
+func TestControllerFeasibility(t *testing.T) {
+	// 2·s(8) = 1.86ms fits a 2ms SLO; 2·s(16) ≈ 4.8ms does not.
+	const slo = 2 * time.Millisecond
+	for _, rate := range []float64{100, 3000, 20000} {
+		s := newSim(slo, 32, 1)
+		for w := 0; w < 120; w++ {
+			s.window(rate)
+			if w > 40 && s.out.MaxBatch > 8 {
+				t.Fatalf("rate %.0f: window %d chose batch %d whose service alone breaks the %v SLO",
+					rate, w, s.out.MaxBatch, slo)
+			}
+		}
+	}
+}
+
+// traceWindows asserts the SLO property over a trace: after the controller
+// has had grace windows to observe a phase, every simulated window p99 stays
+// within SLO + one batch service time.
+func traceWindows(t *testing.T, name string, slo time.Duration, rates []float64, grace int) {
+	t.Helper()
+	s := newSim(slo, 32, 1)
+	sincePhase := 0
+	for w, rate := range rates {
+		if w > 0 && rates[w-1] != rate {
+			sincePhase = 0
+		}
+		p99, ran := s.window(rate)
+		sincePhase++
+		if w < 20 || sincePhase <= grace {
+			continue // measurement warmup / phase transition
+		}
+		if bound := slo + simService(ran); p99 > bound {
+			t.Errorf("%s: window %d (rate %.0f, batch %d): p99 %v exceeds SLO+service bound %v",
+				name, w, rate, ran, p99, bound)
+		}
+	}
+}
+
+// TestControllerTraces is the ISSUE's p99 property across the three
+// canonical arrival shapes.
+func TestControllerTraces(t *testing.T) {
+	const slo = 10 * time.Millisecond
+
+	uniform := make([]float64, 100)
+	for i := range uniform {
+		uniform[i] = 2500
+	}
+	traceWindows(t, "uniform", slo, uniform, 1)
+
+	// Bursty: alternating 12-window phases of light and heavy load (the
+	// heavy phase within the batch-8 capacity so a correct controller CAN
+	// hold the SLO).
+	bursty := make([]float64, 120)
+	for i := range bursty {
+		if (i/12)%2 == 0 {
+			bursty[i] = 400
+		} else {
+			bursty[i] = 6000
+		}
+	}
+	traceWindows(t, "bursty", slo, bursty, 3)
+
+	// Ramp: 200 → 6455 req/s over 140 windows, topping out inside batch-8
+	// capacity (right AT the capacity peak the controller probes one class
+	// up, measures, and steps back — correct behaviour, but not the steady
+	// state this trace is about).
+	ramp := make([]float64, 140)
+	for i := range ramp {
+		ramp[i] = 200 + float64(i)*45
+	}
+	traceWindows(t, "ramp", slo, ramp, 2)
+
+	// The ramp's batch choice must grow, never oscillate downward, once
+	// estimates are in: replay and track.
+	s := newSim(slo, 32, 1)
+	prevBatch := 0
+	for w, rate := range ramp {
+		s.window(rate)
+		if w > 30 {
+			if s.out.MaxBatch < prevBatch {
+				t.Errorf("ramp: batch fell from %d to %d at window %d under rising load",
+					prevBatch, s.out.MaxBatch, w)
+			}
+			prevBatch = s.out.MaxBatch
+		}
+	}
+}
+
+// TestControllerDelayBounds pins the straggler-wait rule: zero for
+// single-sample batches, never more than a quarter of the SLO, and never
+// more than the slack two service times leave.
+func TestControllerDelayBounds(t *testing.T) {
+	const slo = 10 * time.Millisecond
+	s := newSim(slo, 32, 1)
+	for w := 0; w < 120; w++ {
+		s.window(3000)
+		if s.out.MaxBatch == 1 && s.out.MaxDelay != 0 {
+			t.Fatalf("window %d: batch 1 with non-zero delay %v", w, s.out.MaxDelay)
+		}
+		if s.out.MaxDelay > slo/4 {
+			t.Fatalf("window %d: delay %v exceeds SLO/4", w, s.out.MaxDelay)
+		}
+		if est := s.ctrl.estimate(s.ctrl.cur); est > 0 {
+			if float64(s.out.MaxDelay) > (float64(slo)-2*est)/2+1 {
+				t.Fatalf("window %d: delay %v exceeds the slack after 2×service %v",
+					w, s.out.MaxDelay, time.Duration(est))
+			}
+		}
+	}
+}
+
+// TestAdaptiveEngineServes is the end-to-end smoke for SLO mode on the real
+// engine: a mixed single/burst workload is answered correctly (bit-equal to
+// the static engine's answers), the controller state shows up in Stats, and
+// the engine shuts down cleanly with the control loop running.
+func TestAdaptiveEngineServes(t *testing.T) {
+	e, w := newTestEngine(t, Config{
+		Model:        nn.LeNet,
+		MaxBatch:     8,
+		SLO:          250 * time.Millisecond, // generous: correctness test, not perf
+		ControlEvery: 20 * time.Millisecond,
+		Version:      3,
+	})
+	defer e.Close()
+
+	ref, _ := New(Config{Model: nn.LeNet, Params: append([]float32(nil), w...), MaxBatch: 1, Version: 3})
+	defer ref.Close()
+
+	// Single requests exercise class 1; concurrent bursts exercise larger
+	// lazily-built classes.
+	for i := 0; i < 6; i++ {
+		sample := randomSample(e.SampleVol(), uint64(40+i))
+		got, err := e.Predict(sample)
+		if err != nil {
+			t.Fatalf("single %d: %v", i, err)
+		}
+		want, _ := ref.Predict(sample)
+		if got.Class != want.Class || got.Confidence != want.Confidence {
+			t.Fatalf("single %d: adaptive answered (%d, %v), static (%d, %v)",
+				i, got.Class, got.Confidence, want.Class, want.Confidence)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sample := randomSample(e.SampleVol(), uint64(200+i))
+			got, err := e.Predict(sample)
+			if err != nil {
+				errs <- err
+				return
+			}
+			want, _ := ref.Predict(sample)
+			if got.Class != want.Class {
+				t.Errorf("burst %d: adaptive class %d, static %d", i, got.Class, want.Class)
+			}
+			if got.Version != 3 {
+				t.Errorf("burst %d: version %d, want 3", i, got.Version)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("burst Predict: %v", err)
+	}
+
+	time.Sleep(50 * time.Millisecond) // let a control window close
+	s := e.Stats()
+	if s.SLOMs != 250 {
+		t.Errorf("Stats.SLOMs = %v, want 250", s.SLOMs)
+	}
+	if s.CurMaxBatch < 1 || s.CurMaxBatch > 8 {
+		t.Errorf("Stats.CurMaxBatch = %d, want within [1, 8]", s.CurMaxBatch)
+	}
+	if s.Requests != 70 {
+		t.Errorf("Stats.Requests = %d, want 70", s.Requests)
+	}
+	if s.Replicas != 1 {
+		t.Errorf("Stats.Replicas = %d, want 1", s.Replicas)
+	}
+}

@@ -33,4 +33,25 @@
 // live training run (core.Snapshot, Config.PublishEvery) without dropping
 // requests. metrics.ServingStats reports latency quantiles, batch occupancy
 // and queue pressure.
+//
+// Fleet mode (DESIGN.md §16) replaces the static MaxBatch/MaxDelay knobs
+// with measured control loops:
+//
+//   - Config.SLO enables the adaptive batching controller (adaptive.go): it
+//     walks a power-of-two ladder of batch classes, tracks an EWMA of the
+//     measured service time per class, and each control window picks the
+//     smallest class whose extrapolated service time still fits the p99
+//     target — one rung per window, so batch size is monotone in offered
+//     load by construction and the batch-32 throughput falloff cannot be
+//     configured into existence.
+//
+//   - Config.AutoScale enables the replica autoscaler (autoscale.go): it
+//     reuses the training plane's Algorithm 2 tuner (autotune.Online) over
+//     the replica count, with a decayed per-replica throughput high-water
+//     mark for idle scale-in and a drift detector that restarts the probe
+//     when load outgrows the settled configuration. Parked replicas keep
+//     their arenas and resume without warm-up.
+//
+// Both loops leave the static path untouched: without SLO/AutoScale the
+// engine behaves exactly as described above.
 package serve

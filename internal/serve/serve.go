@@ -84,6 +84,22 @@ type Config struct {
 	// falls back to f32 (Quantized() reports which side won, and
 	// ServingStats carries the measured agreement). Zero selects 0.99.
 	QuantMinAgreement float64
+	// SLO, when positive, turns on adaptive batching (DESIGN.md §16): the
+	// engine targets this end-to-end p99 latency, treating MaxBatch as a
+	// ceiling and MaxDelay as irrelevant — a measurement-driven controller
+	// picks the batch size and straggler wait each control window from the
+	// observed arrival rate and per-class service times. Zero (the default)
+	// keeps the static MaxBatch/MaxDelay policy exactly as before.
+	SLO time.Duration
+	// ControlEvery is the adaptive controller's decision window (default
+	// 100ms). Only meaningful with SLO set.
+	ControlEvery time.Duration
+	// AutoScale, when positive with SLO set, lets the engine resize its own
+	// replica pool between MinReplicas(=Replicas) and AutoScale replicas,
+	// tracking measured throughput-per-replica under the process worker
+	// budget (the serving analogue of tensor.SetActiveLearners). Zero keeps
+	// the fixed Replicas count.
+	AutoScale int
 }
 
 func (c *Config) fillDefaults() error {
@@ -110,6 +126,15 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.QuantMinAgreement <= 0 {
 		c.QuantMinAgreement = 0.99
+	}
+	if c.ControlEvery <= 0 {
+		c.ControlEvery = 100 * time.Millisecond
+	}
+	if c.AutoScale > 0 && c.SLO <= 0 {
+		return errors.New("serve: AutoScale requires an SLO (the autoscaler is driven by the same measurement windows)")
+	}
+	if c.AutoScale > 0 && c.AutoScale < c.Replicas {
+		return fmt.Errorf("serve: AutoScale ceiling %d below Replicas %d", c.AutoScale, c.Replicas)
 	}
 	return nil
 }
@@ -148,15 +173,27 @@ type modelState struct {
 	version int64
 }
 
-// replica is one forward-only copy of the network with its planned
-// inference arena and fixed-batch staging buffers.
-type replica struct {
+// replicaSlot is one forward-only copy of the network at one batch class,
+// with its planned inference arena and fixed-batch staging buffers.
+type replicaSlot struct {
 	net   *nn.Network
 	x     *tensor.Tensor
 	vol   int // per-sample volume
 	preds []int
 	conf  []float32
 	bound *modelState // model the net is currently bound to
+}
+
+// replica is one serving replica: in static mode a single slot at MaxBatch,
+// in adaptive mode one slot per batch class, built lazily the first time the
+// controller's chosen class actually runs (each slot owns a planned arena,
+// so an unvisited class costs nothing). A partial batch runs on the smallest
+// class that fits it instead of paying the full-MaxBatch forward pass — half
+// of what made the fixed batch-32 configuration fall off. Slots are touched
+// only by the replica's own goroutine.
+type replica struct {
+	id    int
+	slots []*replicaSlot
 }
 
 // Engine is the batched prediction runtime. Create with New, submit with
@@ -184,6 +221,28 @@ type Engine struct {
 	quantOn        bool
 	quantAgreement float64
 
+	// Adaptive batching state (SLO > 0). classes is the batch-size ladder
+	// (a single MaxBatch entry in static mode); curBatch/curDelayNs are the
+	// controller's live policy, read by the dispatcher per batch; the
+	// window meters feed the next decision and are swapped out each
+	// control tick.
+	adaptive    bool
+	classes     []int
+	curBatch    atomic.Int64
+	curDelayNs  atomic.Int64
+	winLatency  metrics.LatencyRecorder
+	arrivals    atomic.Int64
+	classMeters []classMeter
+	sloBreaches atomic.Int64
+
+	// Replica pool sizing. liveReplicas is how many replica goroutines
+	// currently claim batches (== cfg.Replicas unless autoscaling);
+	// desiredReplicas is the autoscaler's target — a replica goroutine
+	// whose id exceeds it parks until scaled up again.
+	liveReplicas    atomic.Int64
+	desiredReplicas atomic.Int64
+	resizes         atomic.Int64
+
 	// Stats. occupancy = requests/batches; queuePeak is a CAS-maxed gauge.
 	requests  atomic.Int64
 	nbatches  atomic.Int64
@@ -193,6 +252,13 @@ type Engine struct {
 	queuePeak atomic.Int64
 	latency   metrics.LatencyRecorder
 	service   metrics.LatencyRecorder
+}
+
+// classMeter accumulates one batch class's service time over a control
+// window (lock-free; swapped out by the controller each tick).
+type classMeter struct {
+	sumNs atomic.Int64
+	n     atomic.Int64
 }
 
 // New validates cfg, builds the replica pool (each replica plans and
@@ -207,12 +273,16 @@ func New(cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("serve: %q takes %d parameters, got %d",
 			cfg.Model, probe.ParamSize(), len(cfg.Params))
 	}
+	maxReplicas := cfg.Replicas
+	if cfg.AutoScale > maxReplicas {
+		maxReplicas = cfg.AutoScale
+	}
 	e := &Engine{
 		cfg:         cfg,
 		queue:       make(chan *request, cfg.QueueDepth),
-		batches:     make(chan *batch, cfg.Replicas),
-		freeReqs:    make(chan *request, cfg.QueueDepth+cfg.Replicas*cfg.MaxBatch),
-		freeBatches: make(chan *batch, cfg.Replicas+2),
+		batches:     make(chan *batch, maxReplicas),
+		freeReqs:    make(chan *request, cfg.QueueDepth+maxReplicas*cfg.MaxBatch),
+		freeBatches: make(chan *batch, maxReplicas+2),
 		stop:        make(chan struct{}),
 		sampleVol:   tensor.Volume(probe.InShape),
 		gradScratch: make([]float32, probe.ParamSize()),
@@ -221,46 +291,99 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Quantize {
 		e.quantOn, e.quantAgreement = quantGate(&cfg)
 	}
+	e.adaptive = cfg.SLO > 0
+	e.classes = []int{cfg.MaxBatch}
+	if e.adaptive {
+		e.classes = batchClasses(cfg.MaxBatch)
+	}
+	e.classMeters = make([]classMeter, len(e.classes))
+	// The controller starts at the smallest class — the lowest-latency
+	// answer to an unknown load — and grows within a window or two when the
+	// measured rate demands it. Static mode pins the configured policy.
+	e.curBatch.Store(int64(e.classes[0]))
+	e.liveReplicas.Store(int64(cfg.Replicas))
+	e.desiredReplicas.Store(int64(cfg.Replicas))
 
-	for i := 0; i < cfg.Replicas; i++ {
-		net := probe
-		if i > 0 {
-			net = nn.BuildScaled(cfg.Model, cfg.MaxBatch, tensor.NewRNG(1))
-		}
-		net.SetKernelMode(cfg.KernelMode)
-		// Fusion is bit-identical (TestFusedPredictBitIdentical) and only
-		// shrinks the inference walk, but the deterministic default stays
-		// on the exact layer-by-layer path the determinism suite pins.
-		if e.quantOn || cfg.KernelMode == tensor.Fast {
-			net.FuseInference()
-		}
-		net.Bind(cfg.Params, e.gradScratch)
-		if e.quantOn {
-			net.QuantizeWeights()
-		}
-		net.AttachInferenceArena(tensor.NewArena(net.InferPlan().ArenaElems))
-		r := &replica{
-			net:   net,
-			x:     tensor.New(append([]int{cfg.MaxBatch}, net.InShape...)...),
-			vol:   tensor.Volume(net.InShape),
-			preds: make([]int, cfg.MaxBatch),
-			conf:  make([]float32, cfg.MaxBatch),
-			bound: e.model.Load(),
+	probeSlot := e.makeSlot(probe, cfg.MaxBatch)
+	for i := 0; i < maxReplicas; i++ {
+		r := &replica{id: i, slots: make([]*replicaSlot, len(e.classes))}
+		if i == 0 {
+			// The validation probe is a fully built MaxBatch net; keep it as
+			// replica 0's MaxBatch slot instead of throwing it away.
+			r.slots[len(e.classes)-1] = probeSlot
+		} else if !e.adaptive {
+			// Static mode keeps its original contract: every replica fully
+			// built before New returns, nothing left for the hot path.
+			r.slots[0] = e.buildSlot(cfg.MaxBatch)
 		}
 		e.wg.Add(1)
-		go func() {
-			defer e.wg.Done()
-			for b := range e.batches {
-				e.runBatch(r, b)
-			}
-		}()
+		go e.replicaLoop(r)
 	}
 	e.wg.Add(1)
 	go func() {
 		defer e.wg.Done()
 		e.dispatch()
 	}()
+	if e.adaptive {
+		e.wg.Add(1)
+		go e.control()
+	}
 	return e, nil
+}
+
+// makeSlot wraps an already-built forward network into a replica slot,
+// binding it to the current model.
+func (e *Engine) makeSlot(net *nn.Network, batchSize int) *replicaSlot {
+	ms := e.model.Load()
+	net.SetKernelMode(e.cfg.KernelMode)
+	// Fusion is bit-identical (TestFusedPredictBitIdentical) and only
+	// shrinks the inference walk, but the deterministic default stays
+	// on the exact layer-by-layer path the determinism suite pins.
+	if e.quantOn || e.cfg.KernelMode == tensor.Fast {
+		net.FuseInference()
+	}
+	net.Bind(ms.w, e.gradScratch)
+	if e.quantOn {
+		net.QuantizeWeights()
+	}
+	net.AttachInferenceArena(tensor.NewArena(net.InferPlan().ArenaElems))
+	return &replicaSlot{
+		net:   net,
+		x:     tensor.New(append([]int{batchSize}, net.InShape...)...),
+		vol:   tensor.Volume(net.InShape),
+		preds: make([]int, batchSize),
+		conf:  make([]float32, batchSize),
+		bound: ms,
+	}
+}
+
+// buildSlot builds a replica slot at the given batch size from scratch.
+func (e *Engine) buildSlot(batchSize int) *replicaSlot {
+	return e.makeSlot(nn.BuildScaled(e.cfg.Model, batchSize, tensor.NewRNG(1)), batchSize)
+}
+
+// replicaLoop claims batches first-come-first-served until the batch
+// channel closes. A replica whose id is at or above the autoscaler's target
+// parks — polling rather than claiming, so scaled-away capacity stops
+// pulling work within a poll tick but its built slots survive for the next
+// scale-up.
+func (e *Engine) replicaLoop(r *replica) {
+	defer e.wg.Done()
+	for {
+		if int64(r.id) >= e.desiredReplicas.Load() {
+			select {
+			case <-e.stop:
+				return
+			case <-time.After(10 * time.Millisecond):
+			}
+			continue
+		}
+		b, ok := <-e.batches
+		if !ok {
+			return
+		}
+		e.runBatch(r, b)
+	}
 }
 
 // quantGate decides whether the int8 path may serve cfg.Params: it builds
@@ -359,14 +482,18 @@ func (e *Engine) Predict(sample []float32) (Prediction, error) {
 		return Prediction{}, fmt.Errorf("serve: sample has %d values, %q takes %d",
 			len(sample), e.cfg.Model, e.sampleVol)
 	}
+	if e.adaptive {
+		e.arrivals.Add(1) // offered load: every well-formed request, shed or not
+	}
 	// Deadline-aware admission: estimate how long the queue already ahead
 	// of us takes to drain (batches ahead × mean batch service time) and
 	// refuse on arrival if the answer would miss the budget anyway. The
-	// estimate is deliberately cheap — two atomic reads — because it runs
+	// estimate is deliberately cheap — a few atomic reads — because it runs
 	// on every request of an overloaded server.
 	if e.cfg.AdmitDeadline > 0 {
 		if mean := e.service.Mean(); mean > 0 {
-			ahead := int64(len(e.queue)/(e.cfg.MaxBatch*e.cfg.Replicas) + 1)
+			maxB, _ := e.policy()
+			ahead := int64(len(e.queue)/(maxB*int(e.liveReplicas.Load())) + 1)
 			if time.Duration(ahead*int64(mean)) > e.cfg.AdmitDeadline {
 				e.shed.Add(1)
 				return Prediction{}, ErrOverloaded
@@ -459,9 +586,18 @@ func (e *Engine) Stats() metrics.ServingStats {
 		KernelMode:   e.cfg.KernelMode.String(),
 		Quantized:    e.quantOn,
 		QuantAgree:   e.quantAgreement,
+		Replicas:     int(e.liveReplicas.Load()),
+		Resizes:      e.resizes.Load(),
 	}
 	if bat > 0 {
 		s.BatchOccupancy = float64(reqs) / float64(bat)
+	}
+	if e.adaptive {
+		s.SLOMs = metrics.Ms(e.cfg.SLO)
+		maxB, maxD := e.policy()
+		s.CurMaxBatch = maxB
+		s.CurMaxDelayMs = metrics.Ms(maxD)
+		s.SLOBreaches = e.sloBreaches.Load()
 	}
 	return s
 }
@@ -489,12 +625,16 @@ func (e *Engine) dispatch() {
 		if e.lapsed(first) {
 			continue
 		}
+		// The policy is read once per batch: in static mode the configured
+		// constants, in adaptive mode whatever the controller decided at the
+		// last window boundary.
+		maxBatch, maxDelay := e.policy()
 		b := e.getBatch()
 		b.reqs = append(b.reqs[:0], first)
-		if e.cfg.MaxDelay > 0 {
-			timer.Reset(e.cfg.MaxDelay)
+		if maxDelay > 0 {
+			timer.Reset(maxDelay)
 			expired := false
-			for !expired && len(b.reqs) < e.cfg.MaxBatch {
+			for !expired && len(b.reqs) < maxBatch {
 				select {
 				case r := <-e.queue:
 					if !e.lapsed(r) {
@@ -511,7 +651,7 @@ func (e *Engine) dispatch() {
 			}
 		} else {
 		gather:
-			for len(b.reqs) < e.cfg.MaxBatch {
+			for len(b.reqs) < maxBatch {
 				select {
 				case r := <-e.queue:
 					if !e.lapsed(r) {
@@ -524,6 +664,15 @@ func (e *Engine) dispatch() {
 		}
 		e.batches <- b
 	}
+}
+
+// policy returns the batching policy in force: the configured constants in
+// static mode, the controller's latest decision in adaptive mode.
+func (e *Engine) policy() (maxBatch int, maxDelay time.Duration) {
+	if !e.adaptive {
+		return e.cfg.MaxBatch, e.cfg.MaxDelay
+	}
+	return int(e.curBatch.Load()), time.Duration(e.curDelayNs.Load())
 }
 
 // lapsed sheds a dequeued request that aged past AdmitDeadline while
@@ -564,38 +713,141 @@ func (e *Engine) drain() {
 	}
 }
 
-// runBatch executes one batch on a replica: rebind if the model was
-// swapped, stage the samples into the replica's fixed-batch input, run the
-// forward-only network, answer every request. Tail rows of a partial batch
-// compute over stale staging data and are ignored.
+// runBatch executes one batch on a replica: pick the smallest batch class
+// that fits it (building the slot on first use in adaptive mode), rebind if
+// the model was swapped, stage the samples into the slot's fixed-batch
+// input, run the forward-only network, answer every request. Tail rows of a
+// partial batch compute over stale staging data and are ignored.
 func (e *Engine) runBatch(r *replica, b *batch) {
 	start := time.Now()
 	ms := e.model.Load()
-	if ms != r.bound {
-		r.net.Bind(ms.w, e.gradScratch)
+	ci := 0
+	if e.adaptive {
+		for e.classes[ci] < len(b.reqs) {
+			ci++
+		}
+	}
+	slot := r.slots[ci]
+	if slot == nil {
+		slot = e.buildSlot(e.classes[ci])
+		r.slots[ci] = slot
+	}
+	if ms != slot.bound {
+		slot.net.Bind(ms.w, e.gradScratch)
 		if e.quantOn {
 			// Quantization happens at publish time: the hot-swapped
 			// parameters need a fresh int8 copy and scales before this
-			// replica's next forward pass.
-			r.net.QuantizeWeights()
+			// slot's next forward pass.
+			slot.net.QuantizeWeights()
 		}
-		r.bound = ms
+		slot.bound = ms
 	}
-	xd := r.x.Data()
+	xd := slot.x.Data()
 	for i, req := range b.reqs {
-		copy(xd[i*r.vol:(i+1)*r.vol], req.sample)
+		copy(xd[i*slot.vol:(i+1)*slot.vol], req.sample)
 	}
-	r.net.Predict(r.x, r.preds, r.conf)
-	e.service.Record(time.Since(start))
+	slot.net.Predict(slot.x, slot.preds, slot.conf)
+	svc := time.Since(start)
+	e.service.Record(svc)
+	if e.adaptive {
+		e.classMeters[ci].sumNs.Add(int64(svc))
+		e.classMeters[ci].n.Add(1)
+	}
 
 	now := time.Now()
 	for i, req := range b.reqs {
-		e.latency.Record(now.Sub(req.enq))
-		req.resp <- Prediction{Class: r.preds[i], Confidence: r.conf[i], Version: ms.version}
+		lat := now.Sub(req.enq)
+		e.latency.Record(lat)
+		if e.adaptive {
+			e.winLatency.Record(lat)
+		}
+		req.resp <- Prediction{Class: slot.preds[i], Confidence: slot.conf[i], Version: ms.version}
 	}
 	e.requests.Add(int64(len(b.reqs)))
 	e.nbatches.Add(1)
 	e.putBatch(b)
+}
+
+// control is the adaptive batching decision loop: every ControlEvery it
+// swaps out the window meters (arrival count, request-latency distribution,
+// per-class service sums), asks the controller for the next policy and
+// publishes it for the dispatcher. Runs only with SLO set.
+func (e *Engine) control() {
+	defer e.wg.Done()
+	tick := time.NewTicker(e.cfg.ControlEvery)
+	defer tick.Stop()
+	ctrl := newController(e.cfg.SLO, e.cfg.MaxBatch)
+	svc := make([]time.Duration, len(e.classes))
+	last := time.Now()
+
+	// Autoscaler state: decisions every scaleEvery control windows, over
+	// the arrivals and completions accumulated meanwhile.
+	var sc *scaler
+	var scArrived, scDone int64
+	var scLast time.Time
+	ticks := 0
+	if e.cfg.AutoScale > 0 {
+		sc = newScaler(e.cfg.Replicas, e.cfg.AutoScale)
+		scDone = e.requests.Load()
+		scLast = last
+		// An autoscaling engine owns the process's learner-count division
+		// of the worker budget (it is a dedicated serving process).
+		tensor.SetActiveLearners(e.cfg.Replicas)
+	}
+	for {
+		var now time.Time
+		select {
+		case <-e.stop:
+			return
+		case now = <-tick.C:
+		}
+		elapsed := now.Sub(last)
+		last = now
+		if elapsed <= 0 {
+			elapsed = e.cfg.ControlEvery
+		}
+		arrived := e.arrivals.Swap(0)
+		count := e.winLatency.Count()
+		var p99 time.Duration
+		if count > 0 {
+			p99 = e.winLatency.Quantile(0.99)
+		}
+		e.winLatency.Reset()
+		for i := range e.classMeters {
+			n := e.classMeters[i].n.Swap(0)
+			sum := e.classMeters[i].sumNs.Swap(0)
+			svc[i] = 0
+			if n > 0 {
+				svc[i] = time.Duration(sum / n)
+			}
+		}
+		if count > 0 && p99 > e.cfg.SLO {
+			e.sloBreaches.Add(1)
+		}
+		out := ctrl.step(controlInput{
+			Rate:         float64(arrived) / elapsed.Seconds(),
+			P99:          p99,
+			Replicas:     int(e.liveReplicas.Load()),
+			QueueDepth:   len(e.queue),
+			ClassService: svc,
+		})
+		e.curBatch.Store(int64(out.MaxBatch))
+		e.curDelayNs.Store(int64(out.MaxDelay))
+
+		if sc != nil {
+			scArrived += arrived
+			if ticks++; ticks%scaleEvery == 0 {
+				window := now.Sub(scLast).Seconds()
+				scLast = now
+				done := e.requests.Load()
+				if window > 0 {
+					n := sc.step(float64(scArrived)/window, float64(done-scDone)/window)
+					e.applyScale(n)
+				}
+				scArrived, scDone = 0, done
+			}
+		}
+	}
 }
 
 // getReq / putReq recycle request objects through a fixed free list (a

@@ -57,6 +57,15 @@ const (
 	frameSnapResp  = byte(8)  // checkpoint-v3 payload (empty: none held)
 	frameLeave     = byte(9)  // graceful departure
 	frameAbort     = byte(10) // a participant aborted the round in `round`
+
+	// Snapshot feed frames (publisher ↔ follower, DESIGN.md §16). These
+	// reuse the CBTF framing on a dedicated connection — a follower is not
+	// a rank of the collective mesh, so Sender carries the publisher-
+	// assigned subscriber id instead of a rank.
+	frameSubHello  = byte(11) // follower's base announcement (Round, Aux=params CRC)
+	frameSnapFull  = byte(12) // full checkpoint-v3 snapshot payload
+	frameSnapDelta = byte(13) // ckpt delta payload (CBOWDLTA)
+	frameSubAck    = byte(14) // follower's applied state (Round, Aux=params CRC)
 )
 
 // Frame flags.
